@@ -1,0 +1,58 @@
+"""Fig. 11: metrics along the four lowering stages.
+
+For convolutions H=W in {4, 8, 16(, 32)} with Fh=Fw=3, C=3, N=4 on a 4x4
+PE array (the paper's setup), report per stage:
+
+(a) simulator execution (wall-clock) time
+(b) simulated runtime in cycles
+(c) read bandwidth (SRAM and register)
+(d) write bandwidth (SRAM and register)
+"""
+
+from repro.dialects.linalg import ConvDims
+from repro.generators.pipeline import STAGES, LoweringPipeline
+
+from conftest import FULL_SWEEP, emit
+
+SIZES = [4, 8, 16, 32] if FULL_SWEEP else [4, 8, 16]
+
+
+def _run_workload(size):
+    pipeline = LoweringPipeline(
+        dims=ConvDims(n=4, c=3, h=size, w=size, fh=3, fw=3),
+        array_height=4,
+        array_width=4,
+        dataflow="WS",
+    )
+    return pipeline.run_all()
+
+
+def test_fig11_all_metrics(benchmark):
+    """One pass computes all four Fig. 11 panels."""
+    all_results = benchmark.pedantic(
+        lambda: {size: _run_workload(size) for size in SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'H=W':>4} {'stage':10} {'exec time':>10} {'cycles':>9} "
+        f"{'SRAM rdBW':>10} {'SRAM wrBW':>10} {'reg rdBW':>9} {'reg wrBW':>9}"
+    ]
+    for size, results in all_results.items():
+        for stage in STAGES:
+            r = results[stage]
+            lines.append(
+                f"{size:>4} {stage:10} {r.execution_time_s:>9.3f}s "
+                f"{r.cycles:>9} {r.sram_read_bw:>10.3f} "
+                f"{r.sram_write_bw:>10.3f} {r.register_read_bw:>9.3f} "
+                f"{r.register_write_bw:>9.3f}"
+            )
+    emit("fig11_lowering_stages", lines)
+
+    # Shape assertions on every workload (the paper's qualitative claims).
+    for size, results in all_results.items():
+        cycles = [results[stage].cycles for stage in STAGES]
+        assert cycles == sorted(cycles, reverse=True), (size, cycles)
+        assert results["affine"].sram_read_bw > results["linalg"].sram_read_bw
+        assert results["linalg"].register_read_bw == 0
+        assert results["reassign"].register_read_bw > 0

@@ -1,0 +1,107 @@
+"""Fig. 12: scalability and dataflow characteristics over the §VI-E sweep.
+
+(a) simulator execution time vs simulated cycles (DES points, 3 dataflows)
+(b) SRAM ofmap write bandwidth vs cycles (bandwidth/latency trade-off)
+(c-e) loop iterations vs cycles per dataflow (the ⌈D1/Ah⌉x⌈D2/Aw⌉ law)
+
+The full 4,050-point space is evaluated with the analytical model (the
+test suite proves DES == model on sampled points); a deterministic DES
+subsample provides the wall-clock scatter of panel (a).
+"""
+
+import numpy as np
+
+from repro.analysis import paper_sweep_spec, run_sweep
+
+from conftest import FULL_SWEEP, emit
+
+DES_SAMPLE = 24 if FULL_SWEEP else 10
+DES_MAX_CYCLES = 6000 if FULL_SWEEP else 2500
+
+
+def test_fig12a_execution_time_vs_cycles(benchmark):
+    spec = paper_sweep_spec()
+    points = benchmark.pedantic(
+        lambda: run_sweep(
+            spec, use_des=True, sample=DES_SAMPLE, max_cycles=DES_MAX_CYCLES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert points, "DES sample is empty"
+    lines = [f"{'dataflow':9} {'cycles':>8} {'exec time (s)':>14}"]
+    for point in sorted(points, key=lambda p: p.cycles):
+        lines.append(
+            f"{point.dataflow:9} {point.cycles:>8} "
+            f"{point.execution_time_s:>14.4f}"
+        )
+    emit("fig12a_exec_time_vs_cycles", lines)
+    # Execution time grows with cycle count (rank correlation).
+    cycles = np.array([p.cycles for p in points], float)
+    times = np.array([p.execution_time_s for p in points], float)
+    order = np.argsort(cycles)
+    big = times[order[-3:]].mean()
+    small = times[order[:3]].mean()
+    assert big > small, "wall-clock must grow with simulated cycles"
+    # DES equals the analytical model on every simulated point.
+    for point in points:
+        assert point.cycles == point.config.expected_cycles
+
+
+def test_fig12b_bandwidth_vs_cycles(benchmark):
+    spec = paper_sweep_spec()
+    points = benchmark.pedantic(
+        lambda: run_sweep(spec, use_des=False), rounds=1, iterations=1
+    )
+    # Persist the full sweep for external plotting of the Fig. 12 scatter.
+    from repro.analysis import to_csv
+
+    from conftest import OUT_DIR
+
+    OUT_DIR.mkdir(exist_ok=True)
+    to_csv(points, OUT_DIR / "fig12_sweep.csv")
+    by_dataflow = {"WS": [], "IS": [], "OS": []}
+    for point in points:
+        by_dataflow[point.dataflow].append(point)
+    lines = [
+        f"{'dataflow':9} {'points':>7} {'median cycles':>14} "
+        f"{'mean ofmap wr BW':>17}"
+    ]
+    means = {}
+    for dataflow, subset in by_dataflow.items():
+        mean_bw = float(np.mean([p.peak_write_bw_x_portion for p in subset]))
+        means[dataflow] = mean_bw
+        lines.append(
+            f"{dataflow:9} {len(subset):>7} "
+            f"{np.median([p.cycles for p in subset]):>14.0f} {mean_bw:>17.3f}"
+        )
+    lines.append(
+        "ordering (our model): OS accumulates locally -> lowest ofmap "
+        "write BW; WS streams psums every cycle -> highest."
+    )
+    emit("fig12b_bandwidth", lines)
+    assert means["OS"] < means["IS"] < means["WS"]
+
+
+def test_fig12c_d_e_loop_iteration_law(benchmark):
+    spec = paper_sweep_spec()
+    points = benchmark.pedantic(
+        lambda: run_sweep(spec, use_des=False), rounds=1, iterations=1
+    )
+    lines = []
+    for dataflow in ("WS", "IS", "OS"):
+        subset = [p for p in points if p.dataflow == dataflow]
+        iterations = np.array([p.loop_iterations for p in subset], float)
+        cycles = np.array([p.cycles for p in subset], float)
+        correlation = float(
+            np.corrcoef(np.log(iterations + 1), np.log(cycles))[0, 1]
+        )
+        lines.append(
+            f"{dataflow}: {len(subset)} points, "
+            f"log-log corr(iterations, cycles) = {correlation:.3f}"
+        )
+        assert correlation > 0.6
+    lines.append(
+        "cycles track ceil(D1/Ah)*ceil(D2/Aw) per dataflow (Fig. 12c-e)."
+    )
+    emit("fig12cde_iteration_law", lines)

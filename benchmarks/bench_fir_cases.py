@@ -1,0 +1,61 @@
+"""§VII case-study table: the four AI Engine FIR designs.
+
+Regenerates the paper's in-text numbers (treated as a table):
+
+=======  ===========================  ============  ==========
+case     design                       paper EQueue  AIE sim
+=======  ===========================  ============  ==========
+case1    1 core, unlimited I/O        2048          2276
+case2    16 cores, unlimited I/O      143           —
+case3    16 cores, 32-bit streams     588 (79 wu)   —
+case4    4 cores, 32-bit streams      538 (26 wu)   539
+=======  ===========================  ============  ==========
+"""
+
+import numpy as np
+
+from repro.baselines import AIE_REFERENCE
+from repro.generators.fir import PAPER_CASES, build_fir_program, fir_reference
+from repro.sim import simulate
+
+from conftest import emit
+
+
+def _run_all(rng):
+    results = {}
+    for case, cfg in PAPER_CASES.items():
+        samples = rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32)
+        coeffs = rng.integers(-4, 5, cfg.taps).astype(np.int32)
+        program = build_fir_program(cfg)
+        result = simulate(
+            program.module, inputs=program.prepare_inputs(samples, coeffs)
+        )
+        output = program.extract_output(result)
+        expected = fir_reference(samples, coeffs, cfg.samples)
+        results[case] = (result.cycles, bool(np.array_equal(output, expected)),
+                         cfg.expected_warmup)
+    return results
+
+
+def test_fir_case_table(benchmark, rng):
+    results = benchmark.pedantic(lambda: _run_all(rng), rounds=1, iterations=1)
+    lines = [
+        f"{'case':6} {'measured':>9} {'paper':>7} {'AIE sim':>8} "
+        f"{'warmup':>7} {'paper wu':>9} {'correct':>8}"
+    ]
+    for case, (cycles, correct, warmup) in results.items():
+        reference = AIE_REFERENCE[case]
+        lines.append(
+            f"{case:6} {cycles:>9} {reference['equeue_paper'] or '-':>7} "
+            f"{reference['aie_sim'] or '-':>8} {warmup:>7} "
+            f"{reference['warmup_paper'] or '-':>9} "
+            f"{'yes' if correct else 'NO':>8}"
+        )
+    emit("fir_cases_table", lines)
+
+    assert results["case1"][0] == 2048
+    assert results["case2"][0] == 143
+    assert results["case3"][0] == 588
+    paper4 = AIE_REFERENCE["case4"]["equeue_paper"]
+    assert abs(results["case4"][0] - paper4) / paper4 < 0.005
+    assert all(correct for _, correct, _ in results.values())

@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench prints the series/rows corresponding to one paper figure or
+table and also writes them to ``benchmarks/out/`` so the data survives
+pytest's output capture.  Set ``EQUEUE_FULL_SWEEP=1`` to run the paper's
+full problem sizes (slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.dialects  # noqa: F401
+
+OUT_DIR = Path(__file__).parent / "out"
+
+FULL_SWEEP = bool(int(os.environ.get("EQUEUE_FULL_SWEEP", "0")))
+
+
+def emit(name: str, lines) -> None:
+    """Print a figure's data and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def conv_inputs(dims, rng):
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    return ifmap, weights

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The multi-level lowering pipeline (§VI-D, Fig. 1 and Fig. 11).
+
+One convolution is simulated at four abstraction levels — Linalg (fast,
+coarse), Affine loops (explicit data movement), buffer-reassigned
+(register-file accesses + DMA staging), and the full systolic array — and
+every level computes the identical result while the fidelity/cost
+trade-off shifts.
+
+Run:  python examples/lowering_pipeline.py
+"""
+
+from repro.dialects.linalg import ConvDims
+from repro.generators.pipeline import STAGES, LoweringPipeline
+
+
+def main():
+    pipeline = LoweringPipeline(
+        dims=ConvDims(n=4, c=3, h=8, w=8, fh=3, fw=3),
+        array_height=4,
+        array_width=4,
+        dataflow="WS",
+    )
+    print(
+        "Convolution H=W=8, Fh=Fw=3, C=3, N=4 on a 4x4 array (WS)\n"
+    )
+    header = (
+        f"{'stage':10} {'cycles':>8} {'sim time':>9} {'SRAM rd BW':>11} "
+        f"{'SRAM wr BW':>11} {'reg rd BW':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = pipeline.run_all()
+    for stage in STAGES:
+        r = results[stage]
+        print(
+            f"{stage:10} {r.cycles:>8} {r.execution_time_s:>8.3f}s "
+            f"{r.sram_read_bw:>11.3f} {r.sram_write_bw:>11.3f} "
+            f"{r.register_read_bw:>10.3f}"
+        )
+    print(
+        "\nAll four stages computed the same convolution (checked)."
+        "\nLower = more detailed: simulated cycles drop as overlap is"
+        "\nmodeled, while wall-clock simulation cost rises — the Fig. 1"
+        "\naccuracy/cost ladder."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Matrix multiplication on the systolic array.
+
+Matmul is the original systolic workload (Kung, 1982): ``A @ B`` is a 1x1
+convolution with K channels, so the convolution generator runs it
+unchanged — one more payoff of separating structure from simulation.
+
+Run:  python examples/matmul_accelerator.py
+"""
+
+import numpy as np
+
+from repro.generators.systolic import (
+    SystolicConfig,
+    build_systolic_program,
+    matmul_dims,
+    matmul_inputs,
+    matmul_output,
+)
+from repro.sim import simulate
+
+
+def main():
+    m, k, n = 12, 9, 6
+    rng = np.random.default_rng(5)
+    a = rng.integers(-5, 6, (m, k)).astype(np.int32)
+    b = rng.integers(-5, 6, (k, n)).astype(np.int32)
+
+    print(f"C[{m}x{n}] = A[{m}x{k}] @ B[{k}x{n}] on a 4x4 systolic array\n")
+    print(f"{'dataflow':9} {'folds':>6} {'cycles':>7} {'correct':>8}")
+    for dataflow in ("WS", "IS", "OS"):
+        cfg = SystolicConfig(dataflow, 4, 4, matmul_dims(m, k, n))
+        program = build_systolic_program(cfg)
+        ifmap, weights = matmul_inputs(a, b)
+        result = simulate(
+            program.module, inputs=program.prepare_inputs(ifmap, weights)
+        )
+        c = matmul_output(program.extract_ofmap(result))
+        ok = np.array_equal(c, a @ b)
+        print(f"{dataflow:9} {cfg.loop_iterations:>6} {result.cycles:>7} "
+              f"{'yes' if ok else 'NO':>8}")
+    print("\nSame generator, same engine — only the workload mapping changed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Systolic-array case study (§VI): model a convolution accelerator under
+all three dataflows and compare the EQueue discrete-event simulation with
+the SCALE-Sim analytical baseline (the Fig. 9 experiment, in miniature).
+
+Run:  python examples/systolic_array.py
+"""
+
+import numpy as np
+
+from repro.baselines import ScaleSimConfig, run_scalesim
+from repro.dialects.linalg import ConvDims
+from repro.generators.systolic import SystolicConfig, build_systolic_program
+from repro.sim import simulate
+
+
+def conv_reference(ifmap, weights):
+    n, c, fh, fw = weights.shape
+    _, h, w = ifmap.shape
+    eh, ew = h - fh + 1, w - fw + 1
+    out = np.zeros((n, eh, ew), ifmap.dtype)
+    for f in range(n):
+        for y in range(eh):
+            for x in range(ew):
+                out[f, y, x] = np.sum(ifmap[:, y:y + fh, x:x + fw] * weights[f])
+    return out
+
+
+def main():
+    rng = np.random.default_rng(2022)
+    dims = ConvDims(n=2, c=3, h=10, w=10, fh=2, fw=2)
+    ifmap = rng.integers(-4, 5, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(-4, 5, (dims.n, dims.c, dims.fh, dims.fw)).astype(
+        np.int32
+    )
+    expected = conv_reference(ifmap, weights)
+
+    print(f"Convolution: ifmap {dims.c}x{dims.h}x{dims.w}, "
+          f"weights {dims.n}x{dims.c}x{dims.fh}x{dims.fw}, 4x4 PE array\n")
+    header = (
+        f"{'dataflow':9} {'folds':>6} {'EQueue cyc':>11} {'SCALE-Sim':>10} "
+        f"{'match':>6} {'ofmap BW':>9} {'correct':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for dataflow in ("WS", "IS", "OS"):
+        cfg = SystolicConfig(dataflow, 4, 4, dims)
+        program = build_systolic_program(cfg)
+        result = simulate(
+            program.module, inputs=program.prepare_inputs(ifmap, weights)
+        )
+        ofmap = program.extract_ofmap(result)
+        scalesim = run_scalesim(
+            ScaleSimConfig(dataflow, 4, 4, dims)
+        )
+        ofmap_report = result.summary.memory_named("ofmap_mem")
+        bw = ofmap_report.avg_write_bandwidth if ofmap_report else 0.0
+        print(
+            f"{dataflow:9} {cfg.loop_iterations:>6} {result.cycles:>11} "
+            f"{scalesim.cycles:>10} "
+            f"{'yes' if result.cycles == scalesim.cycles else 'NO':>6} "
+            f"{bw:>9.2f} "
+            f"{'yes' if np.array_equal(ofmap, expected) else 'NO':>8}"
+        )
+
+    print(
+        "\nSwitching dataflows changes ONE constructor argument — the"
+        "\npaper's §VI-C point about iteration cost (SCALE-Sim needs a"
+        "\n410-line rewrite for the same change)."
+    )
+
+
+if __name__ == "__main__":
+    main()

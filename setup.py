@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable installs fail; this shim lets ``pip install -e . --no-build-isolation``
+fall back to the classic develop path.
+"""
+
+from setuptools import setup
+
+setup()

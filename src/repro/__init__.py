@@ -1,0 +1,24 @@
+"""EQueue: compiler-driven simulation of reconfigurable hardware accelerators.
+
+A pure-Python reproduction of the HPCA 2022 paper by Li, Ye, Neuendorffer,
+and Sampson.  The package provides:
+
+* :mod:`repro.ir` — an MLIR-like IR kernel (types, ops, regions, printer,
+  parser, verifier, builder).
+* :mod:`repro.dialects` — the ``arith``, ``memref``, ``affine``, ``linalg``
+  and ``equeue`` dialects.
+* :mod:`repro.sim` — the generic timed discrete-event simulation engine that
+  executes EQueue programs and emits profiling summaries plus Chrome-trace
+  JSON.
+* :mod:`repro.passes` — the reusable lowering passes of §V.
+* :mod:`repro.generators` — the systolic-array and AI Engine FIR program
+  generators of §VI–§VII.
+* :mod:`repro.baselines` — the SCALE-Sim analytical model and AIE simulator
+  reference numbers used in the paper's comparisons.
+* :mod:`repro.analysis` — the dataflow loop-iteration model and
+  design-space-exploration sweep drivers.
+"""
+
+__version__ = "0.1.0"
+
+from . import ir  # noqa: F401  (ensure builtin ops/types register early)

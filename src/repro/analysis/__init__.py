@@ -1,0 +1,28 @@
+"""Analysis utilities: the dataflow iteration-count model, the design-space
+exploration sweep of §VI-E, and source-size measurement for the §VI-C LOC
+comparison."""
+
+from .dataflow_model import (
+    best_array_shape,
+    loop_iterations,
+    predicted_cycles,
+    recommend_dataflow,
+)
+from .dse import DSEPoint, SweepSpec, paper_sweep_spec, run_sweep
+from .export import from_csv, to_csv
+from .loc import generator_loc_report, measure_loc
+
+__all__ = [
+    "best_array_shape",
+    "loop_iterations",
+    "predicted_cycles",
+    "recommend_dataflow",
+    "DSEPoint",
+    "SweepSpec",
+    "paper_sweep_spec",
+    "run_sweep",
+    "from_csv",
+    "to_csv",
+    "generator_loc_report",
+    "measure_loc",
+]

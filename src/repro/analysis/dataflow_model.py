@@ -1,0 +1,102 @@
+"""The §VI-E analytical dataflow model.
+
+The paper observes a general rule from its 4,050-point sweep: cycle count
+is proportional to the loop-iteration count
+
+    iterations = ceil(D1 / Ah) * ceil(D2 / Aw)
+
+with (D1, D2) the fold dimensions of each dataflow, so a designer can pick
+the array shape that minimizes iterations without running a simulation.
+This module provides that law, the resulting cycle prediction (the same
+closed form the DES reproduces), and small decision helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from ..dialects.linalg import ConvDims
+from ..generators.systolic import SystolicConfig
+
+DATAFLOWS = ("WS", "IS", "OS")
+
+
+def fold_dims(dataflow: str, dims: ConvDims) -> Tuple[int, int]:
+    """(D1, D2) as mapped onto array rows/columns for a dataflow."""
+    cfg = SystolicConfig(dataflow=dataflow, array_height=1, array_width=1,
+                         dims=dims)
+    return cfg.d1, cfg.d2
+
+
+def loop_iterations(
+    dataflow: str, dims: ConvDims, array_height: int, array_width: int
+) -> int:
+    """⌈D1/Ah⌉ x ⌈D2/Aw⌉."""
+    d1, d2 = fold_dims(dataflow, dims)
+    return math.ceil(d1 / array_height) * math.ceil(d2 / array_width)
+
+
+def predicted_cycles(
+    dataflow: str, dims: ConvDims, array_height: int, array_width: int
+) -> int:
+    """The closed-form cycle estimate (identical to the DES steady state)."""
+    cfg = SystolicConfig(
+        dataflow=dataflow,
+        array_height=array_height,
+        array_width=array_width,
+        dims=dims,
+    )
+    return cfg.expected_cycles
+
+
+def best_array_shape(
+    dataflow: str,
+    dims: ConvDims,
+    total_pes: int,
+    heights: Iterable[int] = (2, 4, 8, 16, 32),
+) -> Tuple[int, int]:
+    """The (Ah, Aw) with Ah*Aw == total_pes minimizing loop iterations.
+
+    Mirrors the paper's advice: "we can always get the minimal execution
+    time by choosing the array structure that minimizes loop iterations."
+    """
+    candidates: List[Tuple[int, Tuple[int, int]]] = []
+    for height in heights:
+        if total_pes % height:
+            continue
+        width = total_pes // height
+        cycles = predicted_cycles(dataflow, dims, height, width)
+        candidates.append((cycles, (height, width)))
+    if not candidates:
+        raise ValueError(f"no array shape with {total_pes} PEs from {heights}")
+    candidates.sort()
+    return candidates[0][1]
+
+
+def recommend_dataflow(
+    dims: ConvDims, array_height: int, array_width: int
+) -> Dict[str, object]:
+    """Rank dataflows by predicted cycles; include bandwidth trade-offs.
+
+    The paper notes OS often minimizes cycles but has the highest SRAM
+    read-bandwidth demand, so the answer reports both axes.
+    """
+    rows = []
+    for dataflow in DATAFLOWS:
+        cfg = SystolicConfig(
+            dataflow=dataflow,
+            array_height=array_height,
+            array_width=array_width,
+            dims=dims,
+        )
+        rows.append(
+            {
+                "dataflow": dataflow,
+                "cycles": cfg.expected_cycles,
+                "iterations": cfg.loop_iterations,
+                "ofmap_write_bw": cfg.average_ofmap_write_bw(),
+            }
+        )
+    rows.sort(key=lambda r: r["cycles"])
+    return {"ranking": rows, "best": rows[0]["dataflow"]}

@@ -1,0 +1,158 @@
+"""Design-space exploration sweeps (§VI-E, Fig. 12).
+
+The paper sweeps 4,050 combinations of array configuration and convolution
+shape across the three dataflows.  :func:`paper_sweep_spec` reconstructs
+that space; :func:`run_sweep` evaluates points either with the full
+discrete-event simulation (slow, exact) or the analytical model (instant,
+used for the full-space figures — the test suite separately asserts
+DES == analytical on sampled points, which is what justifies the
+substitution).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..dialects.linalg import ConvDims
+from ..generators.systolic import SystolicConfig, build_systolic_program
+from ..sim import simulate
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The cartesian sweep space."""
+
+    array_heights: Sequence[int]
+    total_pes: int
+    image_sizes: Sequence[int]     # H = W
+    filter_sizes: Sequence[int]    # Fh = Fw
+    channels: Sequence[int]        # C
+    filter_counts: Sequence[int]   # N
+    dataflows: Sequence[str] = ("WS", "IS", "OS")
+
+    def points(self) -> Iterable[SystolicConfig]:
+        for dataflow, height, image, filt, chan, count in itertools.product(
+            self.dataflows,
+            self.array_heights,
+            self.image_sizes,
+            self.filter_sizes,
+            self.channels,
+            self.filter_counts,
+        ):
+            if filt > image:
+                continue  # filter larger than the image: not a valid conv
+            width = self.total_pes // height
+            dims = ConvDims(n=count, c=chan, h=image, w=image, fh=filt, fw=filt)
+            yield SystolicConfig(
+                dataflow=dataflow,
+                array_height=height,
+                array_width=width,
+                dims=dims,
+            )
+
+    def count(self) -> int:
+        return sum(1 for _ in self.points())
+
+
+def paper_sweep_spec() -> SweepSpec:
+    """The §VI-E space: Ah ∈ {2..32} with Aw = 64/Ah, H/W ∈ {2..32},
+    Fh/Fw and C ∈ {1,2,4} independently, N ∈ {1..32} — 4,050 nominal
+    combinations over the 3 dataflows (invalid filter>image points are
+    skipped)."""
+    return SweepSpec(
+        array_heights=(2, 4, 8, 16, 32),
+        total_pes=64,
+        image_sizes=(2, 4, 8, 16, 32),
+        filter_sizes=(1, 2, 4),
+        channels=(1, 2, 4),
+        filter_counts=(1, 2, 4, 8, 16, 32),
+    )
+
+
+@dataclass
+class DSEPoint:
+    """One sweep measurement (one Fig. 12 scatter point)."""
+
+    config: SystolicConfig
+    cycles: int
+    loop_iterations: int
+    execution_time_s: float
+    peak_write_bw_x_portion: float
+    simulated: bool  # True = DES, False = analytical model
+
+    @property
+    def dataflow(self) -> str:
+        return self.config.dataflow
+
+
+def evaluate_point(cfg: SystolicConfig, use_des: bool, seed: int = 0) -> DSEPoint:
+    """Evaluate one configuration with the DES or the analytical model."""
+    if not use_des:
+        started = time.perf_counter()
+        cycles = cfg.expected_cycles
+        elapsed = time.perf_counter() - started
+        peak = cfg.average_ofmap_write_bw()
+        return DSEPoint(
+            config=cfg,
+            cycles=cycles,
+            loop_iterations=cfg.loop_iterations,
+            execution_time_s=elapsed,
+            peak_write_bw_x_portion=peak,
+            simulated=False,
+        )
+    rng = np.random.default_rng(seed)
+    dims = cfg.dims
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    program = build_systolic_program(cfg)
+    inputs = program.prepare_inputs(ifmap, weights)
+    started = time.perf_counter()
+    result = simulate(program.module, inputs=inputs)
+    elapsed = time.perf_counter() - started
+    ofmap_report = result.summary.memory_named("ofmap_mem")
+    peak = ofmap_report.avg_write_bandwidth if ofmap_report else 0.0
+    return DSEPoint(
+        config=cfg,
+        cycles=result.cycles,
+        loop_iterations=cfg.loop_iterations,
+        execution_time_s=elapsed,
+        peak_write_bw_x_portion=peak,
+        simulated=True,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    use_des: bool = False,
+    sample: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    seed: int = 0,
+) -> List[DSEPoint]:
+    """Evaluate the sweep.
+
+    ``sample``: evaluate only a deterministic subsample of that many points
+    (used when ``use_des`` to keep bench runtimes reasonable).
+    ``max_cycles``: skip configurations whose analytical estimate exceeds
+    the bound (DES cost control).
+    """
+    points = list(spec.points())
+    if sample is not None and sample < len(points):
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(points), size=sample, replace=False)
+        points = [points[i] for i in sorted(chosen)]
+    results: List[DSEPoint] = []
+    for cfg in points:
+        if max_cycles is not None and cfg.expected_cycles > max_cycles:
+            continue
+        results.append(evaluate_point(cfg, use_des=use_des, seed=seed))
+    return results
+
+
+field  # noqa: B018

@@ -1,0 +1,81 @@
+"""Export sweep results for external plotting.
+
+The paper's Fig. 12 scatter plots are produced from sweep records; this
+module serializes :class:`~repro.analysis.dse.DSEPoint` lists as CSV (one
+row per point, stable column order) so any plotting tool can regenerate
+the figures from bench output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from .dse import DSEPoint
+
+COLUMNS = [
+    "dataflow",
+    "array_height",
+    "array_width",
+    "n", "c", "h", "w", "fh", "fw",
+    "macs",
+    "loop_iterations",
+    "cycles",
+    "execution_time_s",
+    "ofmap_write_bw",
+    "simulated",
+]
+
+
+def point_row(point: DSEPoint) -> List[object]:
+    cfg = point.config
+    dims = cfg.dims
+    return [
+        point.dataflow,
+        cfg.array_height,
+        cfg.array_width,
+        dims.n, dims.c, dims.h, dims.w, dims.fh, dims.fw,
+        dims.macs,
+        point.loop_iterations,
+        point.cycles,
+        f"{point.execution_time_s:.6f}",
+        f"{point.peak_write_bw_x_portion:.4f}",
+        int(point.simulated),
+    ]
+
+
+def to_csv(
+    points: Iterable[DSEPoint],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialize sweep points to CSV; optionally write to ``path``."""
+    output = io.StringIO()
+    writer = csv.writer(output)
+    writer.writerow(COLUMNS)
+    for point in points:
+        writer.writerow(point_row(point))
+    text = output.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def from_csv(path: Union[str, Path]) -> List[dict]:
+    """Read an exported sweep back as a list of typed dicts."""
+    rows: List[dict] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for record in csv.DictReader(handle):
+            rows.append(
+                {
+                    **record,
+                    "cycles": int(record["cycles"]),
+                    "loop_iterations": int(record["loop_iterations"]),
+                    "macs": int(record["macs"]),
+                    "execution_time_s": float(record["execution_time_s"]),
+                    "ofmap_write_bw": float(record["ofmap_write_bw"]),
+                    "simulated": bool(int(record["simulated"])),
+                }
+            )
+    return rows

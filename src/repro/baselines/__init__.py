@@ -1,0 +1,24 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.scalesim` — a reimplementation of SCALE-Sim's
+  analytical systolic-array timing model (the Fig. 9 comparator).
+* :mod:`repro.baselines.aiesim` — reference outputs of Xilinx's
+  closed-source AI Engine simulator, as quoted in §VII.
+"""
+
+from .aiesim import AIE_REFERENCE, compare_with_aie
+from .scalesim import (
+    LOC_COMPARISON,
+    ScaleSimConfig,
+    ScaleSimResult,
+    run_scalesim,
+)
+
+__all__ = [
+    "AIE_REFERENCE",
+    "compare_with_aie",
+    "LOC_COMPARISON",
+    "ScaleSimConfig",
+    "ScaleSimResult",
+    "run_scalesim",
+]

@@ -1,0 +1,9 @@
+"""Dialects: operation vocabularies layered over the IR kernel.
+
+Importing this package registers every dialect's operations and types with
+the global registries, which the parser, verifier, and simulation engine
+consult.
+"""
+
+from . import arith, memref, affine, linalg, scf  # noqa: F401
+from . import equeue  # noqa: F401

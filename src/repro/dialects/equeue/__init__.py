@@ -1,0 +1,42 @@
+"""The EQueue dialect: the paper's core contribution.
+
+Structure ops declare hardware components; data-movement ops express
+explicit transfers; ``launch``/``memcpy`` plus the ``control_*`` family
+express distributed, event-based control (§III).
+"""
+
+from . import ops  # noqa: F401  (registers operations)
+from .builders import EQueueBuilder
+from .types import (
+    COMPONENT_TYPES,
+    ComponentType,
+    ConnectionType,
+    DMAType,
+    EventType,
+    MemoryType,
+    ProcessorType,
+    comp,
+    conn,
+    dma,
+    event,
+    mem,
+    proc,
+)
+
+__all__ = [
+    "EQueueBuilder",
+    "COMPONENT_TYPES",
+    "ComponentType",
+    "ConnectionType",
+    "DMAType",
+    "EventType",
+    "MemoryType",
+    "ProcessorType",
+    "comp",
+    "conn",
+    "dma",
+    "event",
+    "mem",
+    "proc",
+    "ops",
+]

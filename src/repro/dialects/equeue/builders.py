@@ -1,0 +1,294 @@
+"""High-level construction API for EQueue programs.
+
+:class:`EQueueBuilder` wraps an :class:`~repro.ir.builder.Builder` so that
+generator code reads like the paper's listings:
+
+.. code-block:: python
+
+    eq = EQueueBuilder(builder)
+    kernel = eq.create_proc("ARMr5")
+    sram = eq.create_mem("SRAM", 4096, i32, banks=4, ports=2)
+    start = eq.control_start()
+    done, = eq.launch(
+        deps=start, proc=kernel, args=[buf0, buf1],
+        body=lambda b, buf0, buf1: ...,
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from ...ir.block import Block
+from ...ir.builder import Builder, InsertionPoint
+from ...ir.region import Region
+from ...ir.types import IntegerType, MemRefType, TensorType, Type
+from ...ir.values import Value
+from . import types as eqt
+
+
+class EQueueBuilder:
+    """Builds EQueue operations with paper-style convenience methods."""
+
+    def __init__(self, builder: Builder):
+        self.b = builder
+
+    # -- structure -----------------------------------------------------------
+
+    def create_proc(self, kind: str, name: Optional[str] = None) -> Value:
+        op = self.b.create("equeue.create_proc", [], [eqt.proc], {"kind": kind})
+        result = op.result()
+        result.name_hint = name
+        return result
+
+    def create_mem(
+        self,
+        kind: str,
+        size: int,
+        element_type: Type = IntegerType(32),
+        banks: int = 1,
+        ports: int = 1,
+        name: Optional[str] = None,
+    ) -> Value:
+        data_bits = getattr(element_type, "width", 32)
+        op = self.b.create(
+            "equeue.create_mem",
+            [],
+            [eqt.mem],
+            {
+                "kind": kind,
+                "size": size,
+                "data_bits": data_bits,
+                "banks": banks,
+                "ports": ports,
+            },
+        )
+        result = op.result()
+        result.name_hint = name
+        return result
+
+    def create_dma(self, name: Optional[str] = None) -> Value:
+        result = self.b.create("equeue.create_dma", [], [eqt.dma]).result()
+        result.name_hint = name
+        return result
+
+    def create_comp(
+        self, names: str, components: Sequence[Value],
+        name: Optional[str] = None,
+    ) -> Value:
+        result = self.b.create(
+            "equeue.create_comp", list(components), [eqt.comp], {"names": names}
+        ).result()
+        result.name_hint = name
+        return result
+
+    def add_comp(self, comp: Value, names: str, components: Sequence[Value]) -> None:
+        self.b.create(
+            "equeue.add_comp", [comp, *components], [], {"names": names}
+        )
+
+    def get_comp(self, comp: Value, name: str, result_type: Type) -> Value:
+        return self.b.create(
+            "equeue.get_comp", [comp], [result_type], {"name": name}
+        ).result()
+
+    def create_connection(self, kind: str, bandwidth: int = 0) -> Value:
+        return self.b.create(
+            "equeue.create_connection",
+            [],
+            [eqt.conn],
+            {"kind": kind, "bandwidth": bandwidth},
+        ).result()
+
+    # -- data movement ----------------------------------------------------------
+
+    def alloc(
+        self, memory: Value, shape: Sequence[int], element_type: Type,
+        name: Optional[str] = None,
+    ) -> Value:
+        buffer_type = MemRefType(tuple(shape), element_type)
+        result = self.b.create("equeue.alloc", [memory], [buffer_type]).result()
+        result.name_hint = name
+        return result
+
+    def dealloc(self, buffer: Value) -> None:
+        self.b.create("equeue.dealloc", [buffer], [])
+
+    def read(
+        self, buffer: Value, conn: Optional[Value] = None, posted: bool = False
+    ) -> Value:
+        """Whole-buffer read, returning a tensor of the buffer contents."""
+        buffer_type = buffer.type
+        result_type = TensorType(buffer_type.shape, buffer_type.element_type)
+        operands = [buffer] + ([conn] if conn is not None else [])
+        return self.b.create(
+            "equeue.read", operands, [result_type],
+            {"connected": conn is not None, "posted": posted},
+        ).result()
+
+    def read_element(
+        self,
+        buffer: Value,
+        indices: Sequence[Value],
+        conn: Optional[Value] = None,
+        posted: bool = False,
+    ) -> Value:
+        operands = [buffer] + ([conn] if conn is not None else []) + list(indices)
+        return self.b.create(
+            "equeue.read", operands, [buffer.type.element_type],
+            {"connected": conn is not None, "posted": posted},
+        ).result()
+
+    def read_slice(
+        self,
+        buffer: Value,
+        indices: Sequence[Value],
+        conn: Optional[Value] = None,
+        posted: bool = False,
+    ) -> Value:
+        """Partial-index read: returns a tensor of the remaining dims."""
+        buffer_type = buffer.type
+        result_type = TensorType(
+            buffer_type.shape[len(indices):], buffer_type.element_type
+        )
+        operands = [buffer] + ([conn] if conn is not None else []) + list(indices)
+        return self.b.create(
+            "equeue.read", operands, [result_type],
+            {"connected": conn is not None, "posted": posted},
+        ).result()
+
+    def write_slice(
+        self,
+        value: Value,
+        buffer: Value,
+        indices: Sequence[Value],
+        conn: Optional[Value] = None,
+        posted: bool = False,
+    ) -> None:
+        """Partial-index write of a tensor into the remaining dims."""
+        operands = (
+            [value, buffer] + ([conn] if conn is not None else []) + list(indices)
+        )
+        self.b.create(
+            "equeue.write", operands, [],
+            {"connected": conn is not None, "posted": posted},
+        )
+
+    def write(
+        self,
+        value: Value,
+        buffer: Value,
+        conn: Optional[Value] = None,
+        posted: bool = False,
+    ) -> None:
+        operands = [value, buffer] + ([conn] if conn is not None else [])
+        self.b.create(
+            "equeue.write", operands, [],
+            {"connected": conn is not None, "posted": posted},
+        )
+
+    def write_element(
+        self,
+        value: Value,
+        buffer: Value,
+        indices: Sequence[Value],
+        conn: Optional[Value] = None,
+        posted: bool = False,
+    ) -> None:
+        operands = (
+            [value, buffer] + ([conn] if conn is not None else []) + list(indices)
+        )
+        self.b.create(
+            "equeue.write", operands, [],
+            {"connected": conn is not None, "posted": posted},
+        )
+
+    def memcpy(
+        self,
+        dep: Value,
+        source: Value,
+        destination: Value,
+        dma: Value,
+        conn: Optional[Value] = None,
+        offsets: Optional[Sequence[Value]] = None,
+        count: Optional[int] = None,
+    ) -> Value:
+        """Whole-buffer copy, or a strided slice copy when ``offsets`` (a
+        (src_offset, dst_offset) pair of index values) and ``count`` are
+        given."""
+        operands = [dep, source, destination, dma] + (
+            [conn] if conn is not None else []
+        )
+        attributes = {"connected": conn is not None}
+        if offsets is not None:
+            operands.extend(offsets)
+            attributes["offset_operands"] = True
+            attributes["count"] = int(count)
+        return self.b.create(
+            "equeue.memcpy", operands, [eqt.event], attributes
+        ).result()
+
+    # -- control ------------------------------------------------------------------
+
+    def control_start(self) -> Value:
+        return self.b.create("equeue.control_start", [], [eqt.event]).result()
+
+    def control_and(self, deps: Iterable[Value]) -> Value:
+        return self.b.create("equeue.control_and", list(deps), [eqt.event]).result()
+
+    def control_or(self, deps: Iterable[Value]) -> Value:
+        return self.b.create("equeue.control_or", list(deps), [eqt.event]).result()
+
+    def await_(self, deps: Union[Value, Iterable[Value]]) -> None:
+        if isinstance(deps, Value):
+            deps = [deps]
+        self.b.create("equeue.await", list(deps), [])
+
+    def launch(
+        self,
+        dep: Value,
+        proc: Value,
+        args: Sequence[Value] = (),
+        body: Optional[Callable[..., Optional[Sequence[Value]]]] = None,
+        label: Optional[str] = None,
+    ) -> List[Value]:
+        """Create ``equeue.launch``; returns ``[done_event, returns...]``.
+
+        ``body(builder, *block_args)`` populates the launch block and may
+        return a list of values to pass out; the terminator is appended
+        automatically.  ``label`` names the launch in traces.
+        """
+        block = Block(arg_types=[a.type for a in args])
+        for outer, inner in zip(args, block.arguments):
+            inner.name_hint = outer.name_hint
+        region = Region([block])
+        returned: Sequence[Value] = ()
+        if body is not None:
+            nested = Builder(InsertionPoint.at_end(block))
+            result = body(nested, *block.arguments)
+            if result is not None:
+                returned = list(result)
+        Builder(InsertionPoint.at_end(block)).create(
+            "equeue.return_values", list(returned), []
+        )
+        result_types = [eqt.event] + [v.type for v in returned]
+        attributes = {"label": label} if label else {}
+        op = self.b.create(
+            "equeue.launch",
+            [dep, proc, *args],
+            result_types,
+            attributes,
+            [region],
+        )
+        return list(op.results)
+
+    def op(
+        self,
+        signature: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+    ) -> List[Value]:
+        created = self.b.create(
+            "equeue.op", list(operands), list(result_types), {"signature": signature}
+        )
+        return list(created.results)

@@ -1,0 +1,556 @@
+"""EQueue dialect operations (§III of the paper).
+
+Operand encodings (fixed so the engine and passes agree):
+
+* ``equeue.launch``: operands ``[dep, proc, captured...]``; one region whose
+  entry-block arguments correspond 1:1 to the captured operands (the op is
+  isolated-from-above — resources must be passed explicitly, which is what
+  lets the engine ship the body to another processor).  Results:
+  ``[event, returned values...]``.
+* ``equeue.memcpy``: operands ``[dep, src, dst, dma]`` plus a trailing
+  connection when the ``connected`` attribute is true.  Result: ``[event]``.
+* ``equeue.read``: operands ``[buffer]`` (+``conn`` if ``connected``)
+  (+indices).  With no indices the whole buffer is read and the result is a
+  tensor; with ``rank`` indices a single element is read.
+* ``equeue.write``: operands ``[value, buffer]`` (+``conn``) (+indices),
+  mirroring ``read``.
+"""
+
+from __future__ import annotations
+
+from ...ir.diagnostics import VerificationError
+from ...ir.operation import Operation, OpTrait, register_op
+from ...ir.types import IndexType, MemRefType, TensorType
+from .types import (
+    COMPONENT_TYPES,
+    ConnectionType,
+    DMAType,
+    EventType,
+    MemoryType,
+    ProcessorType,
+)
+
+#: Connection kinds (§III-A): Streaming allows simultaneous read/write;
+#: Window models an exclusively locked buffer.
+CONNECTION_KINDS = ("Streaming", "Window")
+
+
+def _expect_type(op: Operation, value, expected, what: str) -> None:
+    if not isinstance(value.type, expected):
+        names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise VerificationError(f"{what} must be {names}, got {value.type}", op)
+
+
+# ---------------------------------------------------------------------------
+# Structure ops (§III-A)
+# ---------------------------------------------------------------------------
+
+
+@register_op
+class CreateProcOp(Operation):
+    """``equeue.create_proc {kind}`` — instantiate a processor component."""
+
+    op_name = "equeue.create_proc"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        self.expect_attr("kind")
+        _expect_type(self, self.result(), ProcessorType, "result")
+
+    @property
+    def kind(self) -> str:
+        return self.get_attr("kind")
+
+
+@register_op
+class CreateMemOp(Operation):
+    """``equeue.create_mem {kind, size, data_bits, banks, ports}``."""
+
+    op_name = "equeue.create_mem"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        for attr in ("kind", "size", "data_bits"):
+            self.expect_attr(attr)
+        _expect_type(self, self.result(), MemoryType, "result")
+        if self.get_attr("size") <= 0:
+            raise VerificationError("memory size must be positive", self)
+        if self.get_attr("banks", 1) <= 0 or self.get_attr("ports", 1) <= 0:
+            raise VerificationError("banks/ports must be positive", self)
+
+    @property
+    def kind(self) -> str:
+        return self.get_attr("kind")
+
+
+@register_op
+class CreateDMAOp(Operation):
+    """``equeue.create_dma`` — a data-movement processor."""
+
+    op_name = "equeue.create_dma"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        _expect_type(self, self.result(), DMAType, "result")
+
+
+@register_op
+class CreateCompOp(Operation):
+    """``equeue.create_comp {names}`` — compose components hierarchically.
+
+    ``names`` is a space-separated list naming each operand, mirroring the
+    paper's ``create_comp("Memory Kernel DMA", mem, kernel, dma)``.
+    """
+
+    op_name = "equeue.create_comp"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        self.expect_attr("names")
+        names = self.get_attr("names").split()
+        if len(names) != len(self.operands):
+            raise VerificationError(
+                f"{len(names)} names for {len(self.operands)} subcomponents", self
+            )
+        for operand in self.operands:
+            _expect_type(self, operand.value, COMPONENT_TYPES, "subcomponent")
+
+    @property
+    def names(self):
+        return self.get_attr("names").split()
+
+
+@register_op
+class AddCompOp(Operation):
+    """``equeue.add_comp {names}`` (comp, sub...) — extend a hierarchy."""
+
+    op_name = "equeue.add_comp"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+        self.expect_attr("names")
+        if not self.operands:
+            raise VerificationError("add_comp needs a target component", self)
+        names = self.get_attr("names").split()
+        if len(names) != len(self.operands) - 1:
+            raise VerificationError(
+                f"{len(names)} names for {len(self.operands) - 1} subcomponents", self
+            )
+
+    @property
+    def names(self):
+        return self.get_attr("names").split()
+
+
+@register_op
+class GetCompOp(Operation):
+    """``equeue.get_comp {name}`` (comp) — look up a subcomponent by path.
+
+    ``name`` may be a dotted path (``"PE0.Reg"``) navigating nested
+    components.  Alternatively a ``name_template`` attribute with ``{0}``,
+    ``{1}``, ... placeholders plus index operands denotes a *vector-form*
+    reference (``"PE_{0}_{1}"``); the ``--lower-extraction`` pass folds
+    these to concrete names once indices are constant.
+    """
+
+    op_name = "equeue.get_comp"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        if not self.operands:
+            raise VerificationError("get_comp needs a component operand", self)
+        _expect_type(self, self.operand(0), COMPONENT_TYPES, "component")
+        if self.has_attr("name_template"):
+            for operand in self.operand_values[1:]:
+                if not isinstance(operand.type, IndexType):
+                    raise VerificationError(
+                        "get_comp template indices must be index-typed", self
+                    )
+        else:
+            self.expect_attr("name")
+            self.expect_num_operands(1)
+
+
+@register_op
+class CreateConnectionOp(Operation):
+    """``equeue.create_connection {kind, bandwidth}``.
+
+    ``bandwidth`` is in bytes per cycle; ``0`` means unconstrained (the
+    engine still collects traffic statistics, §III-A).
+    """
+
+    op_name = "equeue.create_connection"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        self.expect_attr("kind")
+        if self.get_attr("kind") not in CONNECTION_KINDS:
+            raise VerificationError(
+                f"connection kind must be one of {CONNECTION_KINDS}", self
+            )
+        if self.get_attr("bandwidth", 0) < 0:
+            raise VerificationError("bandwidth must be >= 0", self)
+        _expect_type(self, self.result(), ConnectionType, "result")
+
+
+# ---------------------------------------------------------------------------
+# Data movement ops (§III-B)
+# ---------------------------------------------------------------------------
+
+
+@register_op
+class AllocOp(Operation):
+    """``equeue.alloc`` (mem) — associate a buffer with a memory component."""
+
+    op_name = "equeue.alloc"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(1)
+        self.expect_num_results(1)
+        _expect_type(self, self.operand(0), MemoryType, "memory")
+        if not isinstance(self.result().type, MemRefType):
+            raise VerificationError("alloc result must be a memref", self)
+
+
+@register_op
+class DeallocOp(Operation):
+    """``equeue.dealloc`` (buffer) — release a buffer."""
+
+    op_name = "equeue.dealloc"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(1)
+        self.expect_num_results(0)
+        _expect_type(self, self.operand(0), MemRefType, "buffer")
+
+
+class _AccessOp(Operation):
+    """Shared operand decoding for ``read``/``write``."""
+
+    _leading = 1  # number of operands before the buffer
+
+    @property
+    def connected(self) -> bool:
+        return bool(self.get_attr("connected", False))
+
+    @property
+    def buffer(self):
+        return self.operand(self._leading - 1)
+
+    @property
+    def connection(self):
+        return self.operand(self._leading) if self.connected else None
+
+    @property
+    def indices(self):
+        start = self._leading + (1 if self.connected else 0)
+        return self.operand_values[start:]
+
+    def _verify_access(self) -> None:
+        _expect_type(self, self.buffer, MemRefType, "buffer")
+        if self.connected:
+            _expect_type(self, self.connection, ConnectionType, "connection")
+        indices = self.indices
+        rank = self.buffer.type.rank
+        if len(indices) > rank:
+            raise VerificationError(
+                f"expected at most {rank} indices, got {len(indices)}", self
+            )
+        for index_value in indices:
+            if not isinstance(index_value.type, IndexType):
+                raise VerificationError("indices must be index-typed", self)
+
+    def _accessed_type(self):
+        """The type produced/consumed: element for full indexing, a tensor
+        of the remaining dimensions for partial indexing."""
+        buffer_type = self.buffer.type
+        indices = self.indices
+        if len(indices) == buffer_type.rank:
+            return buffer_type.element_type
+        return TensorType(
+            buffer_type.shape[len(indices):], buffer_type.element_type
+        )
+
+
+@register_op
+class ReadOp(_AccessOp):
+    """``equeue.read`` (buffer[, conn][, indices...]).
+
+    Whole-buffer reads produce a tensor; indexed reads produce an element.
+    """
+
+    op_name = "equeue.read"
+    _leading = 1
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        self._verify_access()
+        expected = self._accessed_type()
+        if self.result().type != expected:
+            raise VerificationError(
+                f"read must return {expected}, got {self.result().type}", self
+            )
+
+
+@register_op
+class WriteOp(_AccessOp):
+    """``equeue.write`` (value, buffer[, conn][, indices...])."""
+
+    op_name = "equeue.write"
+    _leading = 2
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+        if len(self.operands) < 2:
+            raise VerificationError("write needs value and buffer", self)
+        self._verify_access()
+        value_type = self.operand(0).type
+        expected = self._accessed_type()
+        scalar_broadcast = (
+            not isinstance(expected, TensorType)
+            or value_type == expected.element_type
+        )
+        if value_type != expected and not scalar_broadcast:
+            raise VerificationError(
+                f"write takes {expected} (or a scalar to broadcast), "
+                f"got {value_type}",
+                self,
+            )
+
+
+@register_op
+class MemcpyOp(Operation):
+    """``equeue.memcpy`` (dep, src, dst, dma[, conn]) — DMA block transfer.
+
+    Syntactic sugar for a launch on the DMA that reads ``src`` and writes
+    ``dst`` (§III-C); the ``--memcpy-to-launch`` pass performs exactly that
+    expansion.
+    """
+
+    op_name = "equeue.memcpy"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        expected = 5 if self.connected else 4
+        if self.has_offsets:
+            expected += 2
+        self.expect_num_operands(expected)
+        _expect_type(self, self.operand(0), EventType, "dependency")
+        _expect_type(self, self.operand(1), MemRefType, "source")
+        _expect_type(self, self.operand(2), MemRefType, "destination")
+        _expect_type(self, self.operand(3), (DMAType, ProcessorType), "dma")
+        if self.connected:
+            _expect_type(self, self.operand(4), ConnectionType, "connection")
+        if self.has_offsets:
+            base = 5 if self.connected else 4
+            for operand in self.operand_values[base : base + 2]:
+                if not isinstance(operand.type, IndexType):
+                    raise VerificationError(
+                        "memcpy offsets must be index-typed", self
+                    )
+            if self.get_attr("count", 0) <= 0:
+                raise VerificationError(
+                    "strided memcpy requires a positive 'count' attribute", self
+                )
+        _expect_type(self, self.result(), EventType, "result")
+        src = self.operand(1).type
+        dst = self.operand(2).type
+        if src.element_type != dst.element_type:
+            raise VerificationError("memcpy element types differ", self)
+
+    @property
+    def connected(self) -> bool:
+        return bool(self.get_attr("connected", False))
+
+    @property
+    def has_offsets(self) -> bool:
+        """Strided form: trailing (src_offset, dst_offset) index operands
+        plus a ``count`` attribute giving the number of elements moved."""
+        return bool(self.get_attr("offset_operands", False))
+
+    @property
+    def dep(self):
+        return self.operand(0)
+
+    @property
+    def source(self):
+        return self.operand(1)
+
+    @property
+    def destination(self):
+        return self.operand(2)
+
+    @property
+    def dma(self):
+        return self.operand(3)
+
+    @property
+    def connection(self):
+        return self.operand(4) if self.connected else None
+
+    @property
+    def offsets(self):
+        if not self.has_offsets:
+            return None
+        base = 5 if self.connected else 4
+        return self.operand_values[base], self.operand_values[base + 1]
+
+
+# ---------------------------------------------------------------------------
+# Control ops (§III-C, §III-D)
+# ---------------------------------------------------------------------------
+
+
+@register_op
+class LaunchOp(Operation):
+    """``equeue.launch`` (dep, proc, captured...) — enqueue a code block.
+
+    The block executes sequentially on ``proc`` once ``dep`` triggers.
+    Result 0 is the completion event; further results forward the values
+    passed to the body's ``equeue.return_values``.
+    """
+
+    op_name = "equeue.launch"
+    traits = frozenset({OpTrait.ISOLATED_FROM_ABOVE, OpTrait.SINGLE_BLOCK})
+
+    def verify_op(self) -> None:
+        self.expect_num_regions(1)
+        if len(self.operands) < 2:
+            raise VerificationError("launch needs (dep, proc, ...) operands", self)
+        _expect_type(self, self.operand(0), EventType, "dependency")
+        _expect_type(self, self.operand(1), (ProcessorType, DMAType), "processor")
+        if not self.results or not isinstance(self.result(0).type, EventType):
+            raise VerificationError("launch result 0 must be an event", self)
+        captured = self.operand_values[2:]
+        block = self.regions[0].entry_block
+        if len(block.arguments) != len(captured):
+            raise VerificationError(
+                f"{len(captured)} captured operands but "
+                f"{len(block.arguments)} block arguments",
+                self,
+            )
+        for operand, arg in zip(captured, block.arguments):
+            if operand.type != arg.type:
+                raise VerificationError(
+                    f"captured operand type {operand.type} != block arg {arg.type}",
+                    self,
+                )
+        terminator = block.terminator
+        if terminator is None or terminator.name != "equeue.return_values":
+            raise VerificationError(
+                "launch body must end with equeue.return_values", self
+            )
+        returned = terminator.operand_values
+        if len(returned) != len(self.results) - 1:
+            raise VerificationError(
+                f"body returns {len(returned)} values but launch has "
+                f"{len(self.results) - 1} forwarded results",
+                self,
+            )
+        for value, result in zip(returned, self.results[1:]):
+            if value.type != result.type:
+                raise VerificationError("returned value type mismatch", self)
+
+    @property
+    def dep(self):
+        return self.operand(0)
+
+    @property
+    def proc(self):
+        return self.operand(1)
+
+    @property
+    def captured(self):
+        return self.operand_values[2:]
+
+    @property
+    def done(self):
+        return self.result(0)
+
+
+@register_op
+class ReturnValuesOp(Operation):
+    """``equeue.return_values`` — terminator passing values out of a launch."""
+
+    op_name = "equeue.return_values"
+    traits = frozenset({OpTrait.TERMINATOR})
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+
+
+@register_op
+class AwaitOp(Operation):
+    """``equeue.await`` (events...) — block until all events complete."""
+
+    op_name = "equeue.await"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+        for operand in self.operands:
+            _expect_type(self, operand.value, EventType, "awaited value")
+
+
+@register_op
+class ControlStartOp(Operation):
+    """``equeue.control_start`` — an immediately-ready event."""
+
+    op_name = "equeue.control_start"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        _expect_type(self, self.result(), EventType, "result")
+
+
+@register_op
+class ControlAndOp(Operation):
+    """``equeue.control_and`` — ready when all dependencies finish."""
+
+    op_name = "equeue.control_and"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        _expect_type(self, self.result(), EventType, "result")
+        for operand in self.operands:
+            _expect_type(self, operand.value, EventType, "dependency")
+
+
+@register_op
+class ControlOrOp(Operation):
+    """``equeue.control_or`` — ready when any dependency finishes."""
+
+    op_name = "equeue.control_or"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        _expect_type(self, self.result(), EventType, "result")
+        for operand in self.operands:
+            _expect_type(self, operand.value, EventType, "dependency")
+
+
+@register_op
+class ExternalOp(Operation):
+    """``equeue.op {signature}`` — an operation modeled by the simulator
+    library (§III-E), e.g. ``"mac"``, ``"mul4"``, ``"mac4"``.
+
+    The engine looks the signature up in :mod:`repro.sim.oplib` for its
+    cycle count and functional behaviour.
+    """
+
+    op_name = "equeue.op"
+
+    def verify_op(self) -> None:
+        self.expect_attr("signature")
+
+    @property
+    def signature(self) -> str:
+        return self.get_attr("signature")

@@ -1,0 +1,67 @@
+"""EQueue dialect types: handles for hardware components and events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...ir.types import DialectType
+
+
+@dataclass(frozen=True)
+class ProcessorType(DialectType):
+    """``!equeue.proc`` — a processor that executes launched code blocks."""
+
+    dialect = "equeue"
+    mnemonic = "proc"
+
+
+@dataclass(frozen=True)
+class MemoryType(DialectType):
+    """``!equeue.mem`` — a memory component holding buffers."""
+
+    dialect = "equeue"
+    mnemonic = "mem"
+
+
+@dataclass(frozen=True)
+class DMAType(DialectType):
+    """``!equeue.dma`` — a specialized processor for data movement."""
+
+    dialect = "equeue"
+    mnemonic = "dma"
+
+
+@dataclass(frozen=True)
+class ComponentType(DialectType):
+    """``!equeue.comp`` — a hierarchical grouping of components."""
+
+    dialect = "equeue"
+    mnemonic = "comp"
+
+
+@dataclass(frozen=True)
+class ConnectionType(DialectType):
+    """``!equeue.conn`` — a bandwidth-constrained link."""
+
+    dialect = "equeue"
+    mnemonic = "conn"
+
+
+@dataclass(frozen=True)
+class EventType(DialectType):
+    """``!equeue.event`` — a dependency token in the event graph."""
+
+    dialect = "equeue"
+    mnemonic = "event"
+
+
+# Singletons for convenience.
+proc = ProcessorType()
+mem = MemoryType()
+dma = DMAType()
+comp = ComponentType()
+conn = ConnectionType()
+event = EventType()
+
+#: Types acceptable wherever "a component" is expected (hierarchy ops).
+COMPONENT_TYPES = (ProcessorType, MemoryType, DMAType, ComponentType)

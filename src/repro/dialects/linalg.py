@@ -1,0 +1,162 @@
+"""The ``linalg`` dialect subset: named tensor computations on buffers.
+
+Only the operations the paper's case studies need: 2-D convolution (the
+systolic-array workload), matrix multiplication, and fill.  All operate on
+memref-typed buffers with output-parameter semantics, matching MLIR's
+"linalg on buffers" form that the lowering pipeline of §VI-D starts from.
+
+Convolution convention (single batch):
+
+* ifmap:  ``memref<C  x H  x W  x dtype>``
+* weight: ``memref<N  x C  x Fh x Fw x dtype>``
+* ofmap:  ``memref<N  x Eh x Ew x dtype>`` with ``Eh = H-Fh+1``, ``Ew = W-Fw+1``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.builder import Builder
+from ..ir.diagnostics import VerificationError
+from ..ir.operation import Operation, register_op
+from ..ir.types import MemRefType
+from ..ir.values import Value
+
+
+@dataclass(frozen=True)
+class ConvDims:
+    """The six convolution dimensions the paper names (§VI-A)."""
+
+    n: int  # number of filters (N)
+    c: int  # channels (C)
+    h: int  # ifmap height (H)
+    w: int  # ifmap width (W)
+    fh: int  # filter height (Fh)
+    fw: int  # filter width (Fw)
+
+    @property
+    def eh(self) -> int:
+        return self.h - self.fh + 1
+
+    @property
+    def ew(self) -> int:
+        return self.w - self.fw + 1
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates in the convolution."""
+        return self.n * self.c * self.fh * self.fw * self.eh * self.ew
+
+    def validate(self) -> None:
+        if min(self.n, self.c, self.h, self.w, self.fh, self.fw) <= 0:
+            raise ValueError(f"all conv dimensions must be positive: {self}")
+        if self.eh <= 0 or self.ew <= 0:
+            raise ValueError(
+                f"filter {self.fh}x{self.fw} larger than ifmap {self.h}x{self.w}"
+            )
+
+
+def _memref_or_fail(op: Operation, value, what: str) -> MemRefType:
+    if not isinstance(value.type, MemRefType):
+        raise VerificationError(f"{what} must be a memref, got {value.type}", op)
+    return value.type
+
+
+@register_op
+class Conv2DOp(Operation):
+    """``linalg.conv2d`` — single-batch multi-channel 2-D convolution."""
+
+    op_name = "linalg.conv2d"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(3)
+        self.expect_num_results(0)
+        ifmap = _memref_or_fail(self, self.operand(0), "ifmap")
+        weight = _memref_or_fail(self, self.operand(1), "weight")
+        ofmap = _memref_or_fail(self, self.operand(2), "ofmap")
+        if ifmap.rank != 3 or weight.rank != 4 or ofmap.rank != 3:
+            raise VerificationError(
+                "conv2d expects ifmap rank 3 (CxHxW), weight rank 4 (NxCxFhxFw), "
+                "ofmap rank 3 (NxEhxEw)",
+                self,
+            )
+        dims = self.conv_dims
+        if weight.shape[1] != dims.c:
+            raise VerificationError(
+                f"weight channels {weight.shape[1]} != ifmap channels {dims.c}", self
+            )
+        expected = (dims.n, dims.eh, dims.ew)
+        if tuple(ofmap.shape) != expected:
+            raise VerificationError(
+                f"ofmap shape {tuple(ofmap.shape)} != expected {expected}", self
+            )
+
+    @property
+    def conv_dims(self) -> ConvDims:
+        ifmap = self.operand(0).type
+        weight = self.operand(1).type
+        return ConvDims(
+            n=weight.shape[0],
+            c=ifmap.shape[0],
+            h=ifmap.shape[1],
+            w=ifmap.shape[2],
+            fh=weight.shape[2],
+            fw=weight.shape[3],
+        )
+
+
+@register_op
+class MatmulOp(Operation):
+    """``linalg.matmul`` — C += A @ B on rank-2 memrefs."""
+
+    op_name = "linalg.matmul"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(3)
+        self.expect_num_results(0)
+        a = _memref_or_fail(self, self.operand(0), "A")
+        b = _memref_or_fail(self, self.operand(1), "B")
+        c = _memref_or_fail(self, self.operand(2), "C")
+        if a.rank != 2 or b.rank != 2 or c.rank != 2:
+            raise VerificationError("matmul operands must be rank-2", self)
+        if a.shape[1] != b.shape[0]:
+            raise VerificationError(
+                f"contraction mismatch: {a.shape} @ {b.shape}", self
+            )
+        if (a.shape[0], b.shape[1]) != tuple(c.shape):
+            raise VerificationError(
+                f"result shape {tuple(c.shape)} != {(a.shape[0], b.shape[1])}", self
+            )
+
+
+@register_op
+class FillOp(Operation):
+    """``linalg.fill`` — set every element of a buffer to a scalar."""
+
+    op_name = "linalg.fill"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(2)
+        self.expect_num_results(0)
+        _memref_or_fail(self, self.operand(1), "fill target")
+
+
+# -- builders --------------------------------------------------------------
+
+
+def conv2d(builder: Builder, ifmap: Value, weight: Value, ofmap: Value) -> Conv2DOp:
+    op = builder.create("linalg.conv2d", [ifmap, weight, ofmap], [])
+    assert isinstance(op, Conv2DOp)
+    return op
+
+
+def matmul(builder: Builder, a: Value, b: Value, c: Value) -> MatmulOp:
+    op = builder.create("linalg.matmul", [a, b, c], [])
+    assert isinstance(op, MatmulOp)
+    return op
+
+
+def fill(builder: Builder, value: Value, target: Value) -> FillOp:
+    op = builder.create("linalg.fill", [value, target], [])
+    assert isinstance(op, FillOp)
+    return op

@@ -1,0 +1,140 @@
+"""The ``memref`` dialect subset: ideal (untimed) buffers.
+
+``memref.alloc`` buffers exist before the ``--allocate-buffer`` pass assigns
+them to a concrete EQueue memory component; the simulation engine treats
+them as ideal zero-latency storage, which is exactly the "fast, abstract,
+less accurate" end of the paper's Fig. 1 spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import Builder
+from ..ir.diagnostics import VerificationError
+from ..ir.operation import Operation, register_op
+from ..ir.types import IndexType, MemRefType, Type
+from ..ir.values import Value
+
+
+def _check_memref(op: Operation, value, what: str) -> MemRefType:
+    if not isinstance(value.type, MemRefType):
+        raise VerificationError(f"{what} must be a memref, got {value.type}", op)
+    return value.type
+
+
+def _check_indices(op: Operation, memref_type: MemRefType, indices) -> None:
+    if len(indices) != memref_type.rank:
+        raise VerificationError(
+            f"expected {memref_type.rank} indices, got {len(indices)}", op
+        )
+    for value in indices:
+        if not isinstance(value.type, IndexType):
+            raise VerificationError(
+                f"indices must be index-typed, got {value.type}", op
+            )
+
+
+@register_op
+class AllocOp(Operation):
+    """``memref.alloc`` — allocate an ideal buffer of the result type."""
+
+    op_name = "memref.alloc"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(0)
+        self.expect_num_results(1)
+        if not isinstance(self.result().type, MemRefType):
+            raise VerificationError("alloc result must be a memref", self)
+
+
+@register_op
+class DeallocOp(Operation):
+    """``memref.dealloc`` — free a buffer."""
+
+    op_name = "memref.dealloc"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(1)
+        self.expect_num_results(0)
+        _check_memref(self, self.operand(0), "dealloc operand")
+
+
+@register_op
+class LoadOp(Operation):
+    """``memref.load`` — read one element at the given indices."""
+
+    op_name = "memref.load"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(1)
+        memref_type = _check_memref(self, self.operand(0), "load base")
+        _check_indices(self, memref_type, self.operand_values[1:])
+        if self.result().type != memref_type.element_type:
+            raise VerificationError(
+                f"load result {self.result().type} != element type "
+                f"{memref_type.element_type}",
+                self,
+            )
+
+
+@register_op
+class StoreOp(Operation):
+    """``memref.store`` — write one element at the given indices."""
+
+    op_name = "memref.store"
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+        if len(self.operands) < 2:
+            raise VerificationError("store needs value and base operands", self)
+        memref_type = _check_memref(self, self.operand(1), "store base")
+        _check_indices(self, memref_type, self.operand_values[2:])
+        if self.operand(0).type != memref_type.element_type:
+            raise VerificationError(
+                f"stored value {self.operand(0).type} != element type "
+                f"{memref_type.element_type}",
+                self,
+            )
+
+
+@register_op
+class CopyOp(Operation):
+    """``memref.copy`` — whole-buffer copy between same-shaped memrefs."""
+
+    op_name = "memref.copy"
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(2)
+        self.expect_num_results(0)
+        src = _check_memref(self, self.operand(0), "copy source")
+        dst = _check_memref(self, self.operand(1), "copy destination")
+        if src.shape != dst.shape or src.element_type != dst.element_type:
+            raise VerificationError(f"copy type mismatch: {src} vs {dst}", self)
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def alloc(builder: Builder, shape: Sequence[int], element_type: Type) -> Value:
+    memref_type = MemRefType(tuple(shape), element_type)
+    return builder.create("memref.alloc", [], [memref_type]).result()
+
+
+def dealloc(builder: Builder, buffer: Value) -> None:
+    builder.create("memref.dealloc", [buffer], [])
+
+
+def load(builder: Builder, buffer: Value, indices: Sequence[Value]) -> Value:
+    element = buffer.type.element_type
+    return builder.create(
+        "memref.load", [buffer, *indices], [element]
+    ).result()
+
+
+def store(builder: Builder, value: Value, buffer: Value, indices: Sequence[Value]) -> None:
+    builder.create("memref.store", [value, buffer, *indices], [])
+
+
+def copy(builder: Builder, source: Value, destination: Value) -> None:
+    builder.create("memref.copy", [source, destination], [])

@@ -1,0 +1,85 @@
+"""The ``scf`` dialect subset: structured conditional execution.
+
+Only ``scf.if`` (without results) is needed: launch bodies use it to guard
+boundary behaviour — e.g. a systolic PE is idle on warm-up/cool-down steps,
+and edge PEs read from SRAM while interior PEs read neighbour registers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..ir.block import Block
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.diagnostics import VerificationError
+from ..ir.operation import Operation, OpTrait, register_op
+from ..ir.region import Region
+from ..ir.types import IntegerType
+from ..ir.values import Value
+
+
+@register_op
+class IfOp(Operation):
+    """``scf.if`` (cond: i1) — execute the body when cond is nonzero.
+
+    An optional second region is the else branch.  No results: state flows
+    through buffers, matching the EQueue style.
+    """
+
+    op_name = "scf.if"
+    traits = frozenset({OpTrait.SINGLE_BLOCK})
+
+    def verify_op(self) -> None:
+        self.expect_num_operands(1)
+        self.expect_num_results(0)
+        cond = self.operand(0).type
+        if not (isinstance(cond, IntegerType) and cond.width == 1):
+            raise VerificationError(f"scf.if condition must be i1, got {cond}", self)
+        if len(self.regions) not in (1, 2):
+            raise VerificationError("scf.if takes one or two regions", self)
+        for region in self.regions:
+            if len(region.blocks) != 1:
+                raise VerificationError("scf.if regions must have one block", self)
+            terminator = region.entry_block.terminator
+            if terminator is None or terminator.name != "scf.yield":
+                raise VerificationError("scf.if body must end with scf.yield", self)
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        return self.regions[1].entry_block if len(self.regions) == 2 else None
+
+
+@register_op
+class SCFYieldOp(Operation):
+    """``scf.yield`` — terminator for scf regions."""
+
+    op_name = "scf.yield"
+    traits = frozenset({OpTrait.TERMINATOR})
+
+    def verify_op(self) -> None:
+        self.expect_num_results(0)
+
+
+def if_op(
+    builder: Builder,
+    cond: Value,
+    then_body: Callable[[Builder], None],
+    else_body: Optional[Callable[[Builder], None]] = None,
+) -> IfOp:
+    """Create ``scf.if``; the callbacks populate the branch blocks."""
+    then_block = Block()
+    then_body(Builder(InsertionPoint.at_end(then_block)))
+    Builder(InsertionPoint.at_end(then_block)).create("scf.yield", [], [])
+    regions = [Region([then_block])]
+    if else_body is not None:
+        else_block = Block()
+        else_body(Builder(InsertionPoint.at_end(else_block)))
+        Builder(InsertionPoint.at_end(else_block)).create("scf.yield", [], [])
+        regions.append(Region([else_block]))
+    op = builder.create("scf.if", [cond], [], {}, regions)
+    assert isinstance(op, IfOp)
+    return op

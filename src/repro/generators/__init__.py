@@ -1,0 +1,23 @@
+"""EQueue program generators: the paper's case studies.
+
+* :mod:`repro.generators.systolic` — WS/IS/OS systolic convolution arrays
+  (§VI).
+* :mod:`repro.generators.fir` — AI Engine FIR filter pipelines (§VII).
+* :mod:`repro.generators.pipeline` — the Linalg→Affine→Reassign→Systolic
+  lowering pipeline driver (§VI-D, Fig. 11).
+"""
+
+from .systolic import SystolicConfig, SystolicProgram, build_systolic_program
+from .fir import FIRConfig, FIRProgram, build_fir_program
+from .pipeline import LoweringPipeline, StageResult
+
+__all__ = [
+    "SystolicConfig",
+    "SystolicProgram",
+    "build_systolic_program",
+    "FIRConfig",
+    "FIRProgram",
+    "build_fir_program",
+    "LoweringPipeline",
+    "StageResult",
+]

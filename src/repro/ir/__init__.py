@@ -1,0 +1,82 @@
+"""``repro.ir`` — a compact MLIR-like IR kernel.
+
+Public surface:
+
+* Types: :class:`IntegerType`, :class:`FloatType`, :class:`IndexType`,
+  :class:`MemRefType`, :class:`TensorType`, :class:`FunctionType`,
+  :class:`NoneType`, plus dialect-defined types via :class:`DialectType`.
+* Attributes: integer/float/bool/string/array/dict/type/unit attributes with
+  conversions to and from plain Python values.
+* Structure: :class:`Operation`, :class:`Block`, :class:`Region`,
+  :class:`ModuleOp`, SSA :class:`Value` kinds.
+* Tooling: :class:`Builder`, :func:`print_op`, :func:`parse_module`,
+  :func:`verify`.
+"""
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+    UnitAttr,
+    attr_from_python,
+    attr_to_python,
+)
+from .block import Block
+from .builder import Builder, InsertionPoint
+from .diagnostics import IRError, ParseError, PassError, VerificationError
+from .module import ModuleOp, create_module
+from .operation import (
+    Operation,
+    OpTrait,
+    lookup_op_class,
+    register_op,
+    registered_ops,
+)
+from .parser import parse_module, parse_op
+from .printer import Printer, print_op
+from .region import Region
+from .types import (
+    DYNAMIC,
+    DialectType,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    ShapedType,
+    TensorType,
+    Type,
+    f32,
+    f64,
+    i1,
+    i8,
+    i32,
+    i64,
+    index,
+    none,
+)
+from .values import BlockArgument, OpOperand, OpResult, Value
+from .verifier import verify, verify_value_integrity
+
+__all__ = [
+    "ArrayAttr", "Attribute", "BoolAttr", "DictAttr", "FloatAttr",
+    "IntegerAttr", "StringAttr", "TypeAttr", "UnitAttr",
+    "attr_from_python", "attr_to_python",
+    "Block", "Builder", "InsertionPoint",
+    "IRError", "ParseError", "PassError", "VerificationError",
+    "ModuleOp", "create_module",
+    "Operation", "OpTrait", "lookup_op_class", "register_op", "registered_ops",
+    "parse_module", "parse_op", "Printer", "print_op",
+    "Region",
+    "DYNAMIC", "DialectType", "FloatType", "FunctionType", "IndexType",
+    "IntegerType", "MemRefType", "NoneType", "ShapedType", "TensorType",
+    "Type", "f32", "f64", "i1", "i8", "i32", "i64", "index", "none",
+    "BlockArgument", "OpOperand", "OpResult", "Value",
+    "verify", "verify_value_integrity",
+]

@@ -1,0 +1,124 @@
+"""The op builder: a cursor for constructing IR.
+
+Mirrors MLIR's ``OpBuilder``: the builder holds an insertion point (a block
+and an index within it) and every ``create`` call inserts the new operation
+there.  The paper's generators (§VI-B) are written against this API.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence
+
+from .block import Block
+from .diagnostics import IRError
+from .operation import Operation
+from .region import Region
+from .types import Type
+from .values import Value
+
+
+class InsertionPoint:
+    """A position inside a block where new ops are inserted."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(self, block: Block, index: Optional[int] = None):
+        self.block = block
+        self.index = len(block.ops) if index is None else index
+
+    @staticmethod
+    def at_end(block: Block) -> "InsertionPoint":
+        return InsertionPoint(block, len(block.ops))
+
+    @staticmethod
+    def at_begin(block: Block) -> "InsertionPoint":
+        return InsertionPoint(block, 0)
+
+    @staticmethod
+    def before(op: Operation) -> "InsertionPoint":
+        block = op.parent
+        if block is None:
+            raise IRError("operation has no parent block")
+        return InsertionPoint(block, block.index_of(op))
+
+    @staticmethod
+    def after(op: Operation) -> "InsertionPoint":
+        block = op.parent
+        if block is None:
+            raise IRError("operation has no parent block")
+        return InsertionPoint(block, block.index_of(op) + 1)
+
+
+class Builder:
+    """Creates operations at a movable insertion point."""
+
+    def __init__(self, insertion_point: Optional[InsertionPoint] = None):
+        self._ip = insertion_point
+
+    # -- insertion point management -----------------------------------------
+
+    @property
+    def insertion_point(self) -> InsertionPoint:
+        if self._ip is None:
+            raise IRError("builder has no insertion point")
+        return self._ip
+
+    def set_insertion_point(self, ip: InsertionPoint) -> None:
+        self._ip = ip
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_end(block)
+
+    def set_insertion_point_to_start(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_begin(block)
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        self._ip = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        self._ip = InsertionPoint.after(op)
+
+    @contextmanager
+    def at(self, ip: InsertionPoint):
+        """Temporarily move the insertion point (restores on exit)."""
+        saved = self._ip
+        self._ip = ip
+        try:
+            yield self
+        finally:
+            self._ip = saved
+
+    @contextmanager
+    def at_end(self, block: Block):
+        with self.at(InsertionPoint.at_end(block)):
+            yield self
+
+    # -- op construction -----------------------------------------------------
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert an already-created op at the insertion point."""
+        ip = self.insertion_point
+        ip.block.insert(ip.index, op)
+        ip.index += 1
+        return op
+
+    def create(
+        self,
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: Optional[Dict[str, object]] = None,
+        regions: Sequence[Region] = (),
+    ) -> Operation:
+        """Create an op by name and insert it at the insertion point."""
+        op = Operation.create(name, operands, result_types, attributes, regions)
+        return self.insert(op)
+
+    # -- region helpers ---------------------------------------------------------
+
+    def create_block(
+        self, region: Region, arg_types: Sequence[Type] = ()
+    ) -> Block:
+        """Append a new block to ``region`` and return it."""
+        return region.append(Block(arg_types=arg_types))

@@ -1,0 +1,37 @@
+"""Error types shared by the IR infrastructure.
+
+The IR layer reports problems through a small set of exception classes so
+that callers can distinguish malformed programs (user error) from internal
+invariant violations (library bugs).
+"""
+
+from __future__ import annotations
+
+
+class IRError(Exception):
+    """Base class for all IR-related errors."""
+
+
+class VerificationError(IRError):
+    """Raised when an operation or module fails structural verification."""
+
+    def __init__(self, message: str, op=None):
+        self.op = op
+        if op is not None:
+            message = f"{message}\n  in operation: {op.name}"
+        super().__init__(message)
+
+
+class ParseError(IRError):
+    """Raised by the textual IR parser on malformed input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class PassError(IRError):
+    """Raised when a compiler pass cannot be applied."""

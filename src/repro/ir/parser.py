@@ -1,0 +1,449 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+A hand-written lexer + recursive-descent parser for the generic op syntax.
+``parse_module(print_op(m))`` reconstructs an isomorphic module; the
+round-trip property is enforced by the test suite (including a
+hypothesis-driven random-program test).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from .block import Block
+from .diagnostics import ParseError
+from .module import ModuleOp
+from .operation import Operation
+from .region import Region
+from .types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    Type,
+    lookup_dialect_type,
+)
+from .values import Value
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"//[^\n]*"),
+    ("ARROW", r"->"),
+    ("NUMBER", r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+|inf|nan)"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("PERCENT", r"%[A-Za-z0-9_.$-]+"),
+    ("CARET", r"\^[A-Za-z0-9_.$-]+"),
+    ("BANG", r"![A-Za-z_][A-Za-z0-9_.$]*"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_.$]*"),
+    ("PUNCT", r"[(){}\[\]<>,=:]"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{n}>{p})" for n, p in _TOKEN_SPEC))
+
+_SHAPED_HEADS = {"memref", "tensor"}
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _MASTER_RE.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        kind = match.lastgroup
+        text = match.group()
+        col = pos - line_start + 1
+        if kind not in ("WS", "COMMENT"):
+            # Merge shaped-type heads with their balanced <...> payload into a
+            # single TYPE_LITERAL token so `memref<4x4xi32>` lexes atomically.
+            if kind == "IDENT" and text in _SHAPED_HEADS and match.end() < len(
+                source
+            ) and source[match.end()] == "<":
+                end = _scan_balanced_angles(source, match.end(), line, col)
+                text = source[pos:end]
+                tokens.append(Token("TYPE_LITERAL", text, line, col))
+                pos = end
+                continue
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+def _scan_balanced_angles(source: str, start: int, line: int, col: int) -> int:
+    depth = 0
+    for i in range(start, len(source)):
+        ch = source[i]
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    raise ParseError("unbalanced '<' in type literal", line, col)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        # Stack of value scopes: innermost last.  Block arguments shadow
+        # outer names; scopes pop when their region finishes.
+        self.scopes: List[Dict[str, Value]] = [{}]
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            token = self.current
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    # -- value scoping ---------------------------------------------------------
+
+    def define_value(self, name: str, value: Value) -> None:
+        value.name_hint = name
+        self.scopes[-1][name] = value
+
+    def lookup_value(self, name: str, token: Token) -> Value:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise ParseError(f"use of undefined value %{name}", token.line, token.column)
+
+    # -- entry point --------------------------------------------------------------
+
+    def parse_module(self) -> ModuleOp:
+        op = self.parse_operation()
+        self.expect("EOF")
+        if not isinstance(op, ModuleOp):
+            raise ParseError(f"expected builtin.module at top level, got {op.name}")
+        return op
+
+    # -- operations ------------------------------------------------------------------
+
+    def parse_operation(self) -> Operation:
+        result_names: List[str] = []
+        if self.check("PERCENT"):
+            result_names.append(self.advance().text[1:])
+            while self.accept("PUNCT", ","):
+                result_names.append(self.expect("PERCENT").text[1:])
+            self.expect("PUNCT", "=")
+        name_token = self.expect("IDENT")
+        op_name = name_token.text
+        self.expect("PUNCT", "(")
+        operands: List[Value] = []
+        if not self.check("PUNCT", ")"):
+            operands.append(self._parse_value_use())
+            while self.accept("PUNCT", ","):
+                operands.append(self._parse_value_use())
+        self.expect("PUNCT", ")")
+
+        regions: List[Region] = []
+        if self.check("PUNCT", "(") and self._peek_is_region_list():
+            self.expect("PUNCT", "(")
+            regions.append(self.parse_region())
+            while self.accept("PUNCT", ","):
+                regions.append(self.parse_region())
+            self.expect("PUNCT", ")")
+
+        attributes: Dict[str, Attribute] = {}
+        if self.check("PUNCT", "{"):
+            attributes = self.parse_attr_dict()
+
+        self.expect("PUNCT", ":")
+        in_types, out_types = self.parse_functional_type()
+        if len(in_types) != len(operands):
+            raise ParseError(
+                f"op {op_name}: {len(operands)} operands but "
+                f"{len(in_types)} operand types",
+                name_token.line,
+                name_token.column,
+            )
+        if result_names and len(result_names) != len(out_types):
+            raise ParseError(
+                f"op {op_name}: {len(result_names)} results named but "
+                f"{len(out_types)} result types",
+                name_token.line,
+                name_token.column,
+            )
+
+        op = Operation.create(op_name, operands, out_types, {}, regions)
+        op.attributes = attributes
+        for result, rname in zip(op.results, result_names):
+            self.define_value(rname, result)
+        return op
+
+    def _parse_value_use(self) -> Value:
+        token = self.expect("PERCENT")
+        return self.lookup_value(token.text[1:], token)
+
+    def _peek_is_region_list(self) -> bool:
+        # An opening '(' introduces a region list iff the next token is '{'.
+        return self.tokens[self.pos + 1].kind == "PUNCT" and (
+            self.tokens[self.pos + 1].text == "{"
+        )
+
+    # -- regions & blocks ----------------------------------------------------------------
+
+    def parse_region(self) -> Region:
+        self.expect("PUNCT", "{")
+        region = Region()
+        self.scopes.append({})
+        try:
+            first = True
+            while not self.check("PUNCT", "}"):
+                block = self.parse_block(implicit_label=first)
+                region.append(block)
+                first = False
+            self.expect("PUNCT", "}")
+        finally:
+            self.scopes.pop()
+        return region
+
+    def parse_block(self, implicit_label: bool) -> Block:
+        block = Block()
+        if self.check("CARET"):
+            label_token = self.advance()
+            block.label = label_token.text[1:]
+            self.expect("PUNCT", "(")
+            if not self.check("PUNCT", ")"):
+                self._parse_block_arg(block)
+                while self.accept("PUNCT", ","):
+                    self._parse_block_arg(block)
+            self.expect("PUNCT", ")")
+            self.expect("PUNCT", ":")
+        elif not implicit_label:
+            token = self.current
+            raise ParseError(
+                "expected block label", token.line, token.column
+            )
+        while not self.check("PUNCT", "}") and not self.check("CARET"):
+            block.append(self.parse_operation())
+        return block
+
+    def _parse_block_arg(self, block: Block) -> None:
+        token = self.expect("PERCENT")
+        self.expect("PUNCT", ":")
+        arg_type = self.parse_type()
+        arg = block.add_argument(arg_type)
+        self.define_value(token.text[1:], arg)
+
+    # -- attributes -----------------------------------------------------------------------
+
+    def parse_attr_dict(self) -> Dict[str, Attribute]:
+        self.expect("PUNCT", "{")
+        attrs: Dict[str, Attribute] = {}
+        if not self.check("PUNCT", "}"):
+            key, value = self._parse_attr_entry()
+            attrs[key] = value
+            while self.accept("PUNCT", ","):
+                key, value = self._parse_attr_entry()
+                attrs[key] = value
+        self.expect("PUNCT", "}")
+        return attrs
+
+    def _parse_attr_entry(self) -> Tuple[str, Attribute]:
+        key = self.expect("IDENT").text
+        self.expect("PUNCT", "=")
+        return key, self.parse_attr()
+
+    def parse_attr(self) -> Attribute:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            is_float = any(c in token.text for c in ".eE") and not token.text.lstrip(
+                "-"
+            ).startswith(("inf", "nan"))
+            is_float = is_float or token.text.lstrip("-") in ("inf", "nan")
+            if self.accept("PUNCT", ":"):
+                attr_type = self.parse_type()
+                if isinstance(attr_type, FloatType):
+                    return FloatAttr(float(token.text), attr_type)
+                return IntegerAttr(int(token.text), attr_type)
+            if is_float:
+                return FloatAttr(float(token.text))
+            return IntegerAttr(int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            body = token.text[1:-1]
+            body = body.replace('\\"', '"').replace("\\\\", "\\")
+            return StringAttr(body)
+        if token.kind == "IDENT" and token.text in ("true", "false"):
+            self.advance()
+            return BoolAttr(token.text == "true")
+        if token.kind == "IDENT" and token.text == "unit":
+            self.advance()
+            return UnitAttr()
+        if self.check("PUNCT", "["):
+            self.advance()
+            elements: List[Attribute] = []
+            if not self.check("PUNCT", "]"):
+                elements.append(self.parse_attr())
+                while self.accept("PUNCT", ","):
+                    elements.append(self.parse_attr())
+            self.expect("PUNCT", "]")
+            return ArrayAttr(tuple(elements))
+        if self.check("PUNCT", "{"):
+            inner = self.parse_attr_dict()
+            return DictAttr(tuple(inner.items()))
+        # Fall back to a type attribute.
+        return TypeAttr(self.parse_type())
+
+    # -- types ------------------------------------------------------------------------------
+
+    def parse_functional_type(self) -> Tuple[List[Type], List[Type]]:
+        self.expect("PUNCT", "(")
+        in_types: List[Type] = []
+        if not self.check("PUNCT", ")"):
+            in_types.append(self.parse_type())
+            while self.accept("PUNCT", ","):
+                in_types.append(self.parse_type())
+        self.expect("PUNCT", ")")
+        self.expect("ARROW")
+        out_types: List[Type] = []
+        if self.accept("PUNCT", "("):
+            if not self.check("PUNCT", ")"):
+                out_types.append(self.parse_type())
+                while self.accept("PUNCT", ","):
+                    out_types.append(self.parse_type())
+            self.expect("PUNCT", ")")
+        else:
+            out_types.append(self.parse_type())
+        return in_types, out_types
+
+    def parse_type(self) -> Type:
+        token = self.current
+        if token.kind == "TYPE_LITERAL":
+            self.advance()
+            return parse_type_literal(token.text, token.line, token.column)
+        if token.kind == "BANG":
+            self.advance()
+            return lookup_dialect_type(token.text[1:])()
+        if token.kind == "IDENT":
+            text = token.text
+            if text == "index":
+                self.advance()
+                return IndexType()
+            if text == "none":
+                self.advance()
+                return NoneType()
+            match = re.fullmatch(r"i(\d+)", text)
+            if match:
+                self.advance()
+                return IntegerType(int(match.group(1)))
+            match = re.fullmatch(r"f(16|32|64)", text)
+            if match:
+                self.advance()
+                return FloatType(int(match.group(1)))
+        if self.check("PUNCT", "("):
+            in_types, out_types = self.parse_functional_type()
+            return FunctionType(tuple(in_types), tuple(out_types))
+        raise ParseError(
+            f"expected a type, found {token.text!r}", token.line, token.column
+        )
+
+
+def parse_type_literal(text: str, line: int = 0, column: int = 0) -> Type:
+    """Parse a shaped type literal such as ``memref<4x?xi32>``."""
+    match = re.fullmatch(r"(memref|tensor)<(.*)>", text, re.S)
+    if match is None:
+        raise ParseError(f"malformed shaped type {text!r}", line, column)
+    head, body = match.groups()
+    shape: List[int] = []
+    while True:
+        dim_match = re.match(r"(\d+|\?)x", body)
+        if dim_match is None:
+            break
+        dim = dim_match.group(1)
+        shape.append(DYNAMIC if dim == "?" else int(dim))
+        body = body[dim_match.end():]
+    sub_parser = Parser(body)
+    element = sub_parser.parse_type()
+    sub_parser.expect("EOF")
+    if head == "memref":
+        return MemRefType(tuple(shape), element)
+    return TensorType(tuple(shape), element)
+
+
+def parse_module(source: str) -> ModuleOp:
+    """Parse a full module from its textual form."""
+    return Parser(source).parse_module()
+
+
+def parse_op(source: str) -> Operation:
+    """Parse a single (possibly nested) operation."""
+    parser = Parser(source)
+    op = parser.parse_operation()
+    parser.expect("EOF")
+    return op

@@ -1,0 +1,157 @@
+"""Textual IR printer.
+
+The syntax is a compact MLIR-like generic form that the companion parser
+(:mod:`repro.ir.parser`) round-trips exactly:
+
+.. code-block:: text
+
+    builtin.module() ({
+      %kernel = equeue.create_proc() {kind = "ARMr5"} : () -> !equeue.proc
+      %done = equeue.launch(%start, %kernel) ({
+      ^bb0(%buf: memref<4xi32>):
+        equeue.return_values() : () -> ()
+      }) : (!equeue.event, !equeue.proc) -> !equeue.event
+    }) : () -> ()
+
+Every op prints its operands, optional regions, optional attribute
+dictionary, and a functional type from which result types are recovered.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from .block import Block
+from .operation import Operation
+from .region import Region
+from .values import Value
+
+_INDENT = "  "
+
+
+class Printer:
+    """Stateful printer assigning stable names to SSA values."""
+
+    def __init__(self):
+        self._names: Dict[Value, str] = {}
+        self._used_names: set = set()
+        self._counter = 0
+
+    # -- value naming ---------------------------------------------------------
+
+    def name_of(self, value: Value) -> str:
+        name = self._names.get(value)
+        if name is None:
+            name = self._fresh_name(value.name_hint)
+            self._names[value] = name
+        return name
+
+    def _fresh_name(self, hint: Optional[str]) -> str:
+        if hint:
+            candidate = hint
+            suffix = 0
+            while candidate in self._used_names:
+                candidate = f"{hint}_{suffix}"
+                suffix += 1
+        else:
+            candidate = str(self._counter)
+            self._counter += 1
+            while candidate in self._used_names:
+                candidate = str(self._counter)
+                self._counter += 1
+        self._used_names.add(candidate)
+        return candidate
+
+    # -- entry points ---------------------------------------------------------
+
+    def print_op(self, op: Operation, indent: int = 0) -> str:
+        out = io.StringIO()
+        self._write_op(out, op, indent)
+        return out.getvalue()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _write_op(self, out: io.StringIO, op: Operation, indent: int) -> None:
+        pad = _INDENT * indent
+        out.write(pad)
+        if op.results:
+            names = ", ".join("%" + self.name_of(r) for r in op.results)
+            out.write(f"{names} = ")
+        out.write(op.name)
+        operands = ", ".join("%" + self.name_of(o.value) for o in op.operands)
+        out.write(f"({operands})")
+        if op.regions:
+            out.write(" (")
+            for i, region in enumerate(op.regions):
+                if i:
+                    out.write(", ")
+                self._write_region(out, region, indent)
+            out.write(")")
+        if op.attributes:
+            out.write(" " + self._format_attr_dict(op.attributes))
+        in_types = ", ".join(str(o.value.type) for o in op.operands)
+        result_types = [str(r.type) for r in op.results]
+        if len(result_types) == 1:
+            out_types = result_types[0]
+        else:
+            out_types = "(" + ", ".join(result_types) + ")"
+        out.write(f" : ({in_types}) -> {out_types}")
+        out.write("\n")
+
+    def _write_region(self, out: io.StringIO, region: Region, indent: int) -> None:
+        out.write("{\n")
+        for i, block in enumerate(region.blocks):
+            self._write_block(out, block, i, len(region.blocks), indent + 1)
+        out.write(_INDENT * indent + "}")
+
+    def _write_block(
+        self, out: io.StringIO, block: Block, index: int, total: int, indent: int
+    ) -> None:
+        needs_label = bool(block.arguments) or total > 1
+        if needs_label:
+            label = block.label or f"bb{index}"
+            args = ", ".join(
+                f"%{self.name_of(a)}: {a.type}" for a in block.arguments
+            )
+            out.write(_INDENT * (indent - 1) + f"^{label}({args}):\n")
+        for op in block.ops:
+            self._write_op(out, op, indent)
+
+    # -- attributes --------------------------------------------------------------
+
+    def _format_attr_dict(self, attrs: Dict[str, Attribute]) -> str:
+        inner = ", ".join(
+            f"{key} = {self.format_attr(value)}" for key, value in sorted(attrs.items())
+        )
+        return "{" + inner + "}"
+
+    def format_attr(self, attr: Attribute) -> str:
+        if isinstance(attr, (IntegerAttr, FloatAttr, BoolAttr, StringAttr, UnitAttr)):
+            return str(attr)
+        if isinstance(attr, TypeAttr):
+            return str(attr.value)
+        if isinstance(attr, ArrayAttr):
+            return "[" + ", ".join(self.format_attr(a) for a in attr.value) + "]"
+        if isinstance(attr, DictAttr):
+            inner = ", ".join(
+                f"{k} = {self.format_attr(v)}" for k, v in attr.value
+            )
+            return "{" + inner + "}"
+        raise TypeError(f"unprintable attribute {attr!r}")
+
+
+def print_op(op: Operation) -> str:
+    """Print an operation (typically a module) to a string."""
+    return Printer().print_op(op)

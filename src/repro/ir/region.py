@@ -1,0 +1,77 @@
+"""Regions: ordered lists of blocks nested under an operation."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import Block
+    from .operation import Operation
+    from .values import Value
+
+
+class Region:
+    """A list of blocks owned by a parent operation."""
+
+    __slots__ = ("blocks", "parent")
+
+    def __init__(self, blocks: Optional[List["Block"]] = None):
+        self.blocks: List["Block"] = []
+        self.parent: Optional["Operation"] = None
+        for block in blocks or []:
+            self.append(block)
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> "Block":
+        return self.blocks[0]
+
+    def append(self, block: "Block") -> "Block":
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def insert(self, index: int, block: "Block") -> "Block":
+        block.parent = self
+        self.blocks.insert(index, block)
+        return block
+
+    def remove(self, block: "Block") -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def clone(self, value_map: Optional[Dict["Value", "Value"]] = None) -> "Region":
+        """Deep-copy all blocks, remapping block arguments and results."""
+        from .block import Block
+
+        value_map = value_map if value_map is not None else {}
+        new_region = Region()
+        # First create all blocks and their arguments so forward references
+        # between blocks (if any) resolve.
+        for block in self.blocks:
+            new_block = Block(arg_types=[a.type for a in block.arguments])
+            for old_arg, new_arg in zip(block.arguments, new_block.arguments):
+                new_arg.name_hint = old_arg.name_hint
+                value_map[old_arg] = new_arg
+            new_region.append(new_block)
+        for block, new_block in zip(self.blocks, new_region.blocks):
+            for op in block.ops:
+                new_block.append(op.clone(value_map))
+        return new_region
+
+    def walk(self):
+        for block in self.blocks:
+            for op in list(block.ops):
+                yield from op.walk()
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} block(s)>"

@@ -1,0 +1,109 @@
+"""Structural verification of IR modules.
+
+Checks, in order:
+
+* SSA dominance — every operand is defined earlier in the same block or in a
+  lexically enclosing block (subject to isolation, below).
+* Isolation — ops with the ``ISOLATED_FROM_ABOVE`` trait (e.g.
+  ``equeue.launch``) may not implicitly capture values from enclosing
+  regions; resources must be passed through operands/block arguments, which
+  is precisely the property the EQueue simulation engine relies on when it
+  dispatches a launch body to another processor.
+* Trait checks — terminators are last, single-block regions have one block.
+* Per-op checks — each registered op's ``verify_op``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .block import Block
+from .diagnostics import VerificationError
+from .operation import Operation, OpTrait
+from .region import Region
+from .values import BlockArgument, OpResult, Value
+
+
+def verify(op: Operation) -> None:
+    """Verify ``op`` and everything nested inside it.
+
+    Raises :class:`VerificationError` on the first problem found.
+    """
+    _Verifier().verify_op_tree(op, visible=set())
+
+
+class _Verifier:
+    def verify_op_tree(self, op: Operation, visible: Set[Value]) -> None:
+        for operand in op.operands:
+            if operand.value not in visible:
+                raise VerificationError(
+                    f"operand #{operand.index} does not dominate its use "
+                    f"(value {operand.value!r})",
+                    op,
+                )
+        op.verify_op()
+        self._check_traits(op)
+
+        isolated = OpTrait.ISOLATED_FROM_ABOVE in op.traits
+        inner_visible: Set[Value] = set() if isolated else set(visible)
+        for region in op.regions:
+            self._verify_region(region, set(inner_visible))
+
+    def _check_traits(self, op: Operation) -> None:
+        if OpTrait.TERMINATOR in op.traits and op.parent is not None:
+            if op.parent.ops[-1] is not op:
+                raise VerificationError(
+                    "terminator op is not the last operation in its block", op
+                )
+        if OpTrait.SINGLE_BLOCK in op.traits:
+            for region in op.regions:
+                if len(region.blocks) > 1:
+                    raise VerificationError(
+                        "op requires single-block regions", op
+                    )
+
+    def _verify_region(self, region: Region, visible: Set[Value]) -> None:
+        for block in region.blocks:
+            block_visible = set(visible)
+            for arg in block.arguments:
+                block_visible.add(arg)
+            for operation in block.ops:
+                self.verify_op_tree(operation, block_visible)
+                for result in operation.results:
+                    block_visible.add(result)
+
+
+def verify_value_integrity(op: Operation) -> None:
+    """Check use-def bookkeeping invariants across an op tree.
+
+    Every operand must appear in its value's use list, and every recorded
+    use must point back at an operand that exists.  This is a debugging aid
+    for pass authors; :func:`verify` does not need it on well-formed IR.
+    """
+    operands_seen: Dict[int, int] = {}
+    for nested in op.walk():
+        for operand in nested.operands:
+            if operand not in operand.value.uses:
+                raise VerificationError(
+                    f"operand of {nested.name} missing from value use-list", nested
+                )
+            operands_seen[id(operand)] = 1
+    for nested in op.walk():
+        for result in nested.results:
+            for use in result.uses:
+                if id(use) not in operands_seen:
+                    # The use may be held by an op outside this tree; only
+                    # flag uses whose owner claims to be inside the tree.
+                    owner_root = use.owner
+                    while owner_root.parent_op is not None:
+                        owner_root = owner_root.parent_op
+                    if owner_root is op:
+                        raise VerificationError(
+                            f"stale use of result of {nested.name}", nested
+                        )
+
+
+__all__ = ["verify", "verify_value_integrity", "VerificationError"]
+
+# Re-exported for convenience in tests.
+_ = (Block, BlockArgument, OpResult)

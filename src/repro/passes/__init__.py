@@ -1,0 +1,32 @@
+"""Compiler passes: the reusable lowering toolbox of §V.
+
+Importing this package registers every pass with the global registry used
+by :class:`~repro.passes.manager.PassManager` and the ``equeue-opt`` tool.
+"""
+
+from . import equeue_passes, linalg_to_affine  # noqa: F401
+from .equeue_passes import (
+    find_buffer,
+    find_launch,
+    find_memory,
+    find_processor,
+    outline_ops,
+    split_launch,
+)
+from .manager import (
+    Pass,
+    PassManager,
+    lookup_pass,
+    parse_pipeline,
+    register_pass,
+    registered_passes,
+)
+from .rewrite import PatternRewriter, RewritePattern, apply_patterns
+
+__all__ = [
+    "Pass", "PassManager", "lookup_pass", "parse_pipeline", "register_pass",
+    "registered_passes",
+    "PatternRewriter", "RewritePattern", "apply_patterns",
+    "find_buffer", "find_launch", "find_memory", "find_processor",
+    "outline_ops", "split_launch",
+]

@@ -1,0 +1,158 @@
+"""``--convert-linalg-to-affine-loops``: expand named linalg ops into
+explicit affine loop nests (§VI-D.1).
+
+``linalg.conv2d`` becomes the canonical six-deep nest over
+``(N, Eh, Ew, C, Fh, Fw)``.  With ``flatten=true`` the pass instead emits
+the three-deep nest of §VI-D.2 — ``(Eh*Ew, N, Fh*Fw*C)`` — recovering the
+original coordinates with index ``divsi``/``remsi`` arithmetic; this is the
+form the buffer-reassign stage of the lowering pipeline consumes, because
+the flattened dimensions are exactly the stationary/streaming dimensions of
+the three dataflows.
+"""
+
+from __future__ import annotations
+
+from ..dialects import affine, arith
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.module import ModuleOp
+from ..ir.types import IndexType
+from ..ir.values import Value
+from .manager import Pass, register_pass
+
+index = IndexType()
+
+
+def _iconst(builder: Builder, value: int) -> Value:
+    return arith.constant(builder, value, index)
+
+
+@register_pass
+class ConvertLinalgToAffineLoops(Pass):
+    """Expand linalg named ops into affine loops with loads/stores."""
+
+    pass_name = "convert-linalg-to-affine-loops"
+
+    def run(self, module: ModuleOp) -> None:
+        flatten = bool(self.option("flatten", False))
+        for op in list(module.walk()):
+            if op.name == "linalg.conv2d":
+                self._lower_conv(op, flatten)
+            elif op.name == "linalg.matmul":
+                self._lower_matmul(op)
+            elif op.name == "linalg.fill":
+                self._lower_fill(op)
+
+    # -- conv2d -------------------------------------------------------------
+
+    def _lower_conv(self, op, flatten: bool) -> None:
+        builder = Builder(InsertionPoint.before(op))
+        ifmap, weight, ofmap = op.operand_values
+        dims = op.conv_dims
+        if flatten:
+            self._conv_flat(builder, ifmap, weight, ofmap, dims)
+        else:
+            self._conv_six(builder, ifmap, weight, ofmap, dims)
+        op.erase()
+
+    def _conv_body(self, body, ifmap, weight, ofmap, n, y, x, c, dy, dx):
+        """Shared innermost statement: ofmap[n,y,x] += ifmap*weight."""
+        iy = arith.addi(body, y, dy)
+        ix = arith.addi(body, x, dx)
+        in_val = affine.load(body, ifmap, [c, iy, ix])
+        w_val = affine.load(body, weight, [n, c, dy, dx])
+        out_val = affine.load(body, ofmap, [n, y, x])
+        product = arith.muli(body, in_val, w_val)
+        total = arith.addi(body, out_val, product)
+        affine.store(body, total, ofmap, [n, y, x])
+
+    def _conv_six(self, builder, ifmap, weight, ofmap, dims) -> None:
+        def loop_n(b, n):
+            def loop_y(b, y):
+                def loop_x(b, x):
+                    def loop_c(b, c):
+                        def loop_dy(b, dy):
+                            def loop_dx(b, dx):
+                                self._conv_body(
+                                    b, ifmap, weight, ofmap, n, y, x, c, dy, dx
+                                )
+
+                            affine.for_loop(b, 0, dims.fw, body=loop_dx)
+
+                        affine.for_loop(b, 0, dims.fh, body=loop_dy)
+
+                    affine.for_loop(b, 0, dims.c, body=loop_c)
+
+                affine.for_loop(b, 0, dims.ew, body=loop_x)
+
+            affine.for_loop(b, 0, dims.eh, body=loop_y)
+
+        affine.for_loop(builder, 0, dims.n, body=loop_n)
+
+    def _conv_flat(self, builder, ifmap, weight, ofmap, dims) -> None:
+        """Three flattened loops: e in Eh*Ew, n in N, k in Fh*Fw*C."""
+        fhw = dims.fh * dims.fw
+
+        def loop_e(b, e):
+            ew_const = _iconst(b, dims.ew)
+            y = arith.divsi(b, e, ew_const)
+            x = arith.remsi(b, e, ew_const)
+
+            def loop_n(b, n):
+                def loop_k(b, k):
+                    fhw_const = _iconst(b, fhw)
+                    fw_const = _iconst(b, dims.fw)
+                    c = arith.divsi(b, k, fhw_const)
+                    rem = arith.remsi(b, k, fhw_const)
+                    dy = arith.divsi(b, rem, fw_const)
+                    dx = arith.remsi(b, rem, fw_const)
+                    self._conv_body(b, ifmap, weight, ofmap, n, y, x, c, dy, dx)
+
+                affine.for_loop(b, 0, fhw * dims.c, body=loop_k)
+
+            affine.for_loop(b, 0, dims.n, body=loop_n)
+
+        affine.for_loop(builder, 0, dims.eh * dims.ew, body=loop_e)
+
+    # -- matmul -------------------------------------------------------------------
+
+    def _lower_matmul(self, op) -> None:
+        builder = Builder(InsertionPoint.before(op))
+        a, b_val, c_val = op.operand_values
+        m_dim, k_dim = a.type.shape
+        _, n_dim = b_val.type.shape
+
+        def loop_i(b, i):
+            def loop_j(b, j):
+                def loop_k(b, k):
+                    a_ik = affine.load(b, a, [i, k])
+                    b_kj = affine.load(b, b_val, [k, j])
+                    c_ij = affine.load(b, c_val, [i, j])
+                    product = arith.muli(b, a_ik, b_kj)
+                    total = arith.addi(b, c_ij, product)
+                    affine.store(b, total, c_val, [i, j])
+
+                affine.for_loop(b, 0, k_dim, body=loop_k)
+
+            affine.for_loop(b, 0, n_dim, body=loop_j)
+
+        affine.for_loop(builder, 0, m_dim, body=loop_i)
+        op.erase()
+
+    # -- fill ------------------------------------------------------------------------
+
+    def _lower_fill(self, op) -> None:
+        builder = Builder(InsertionPoint.before(op))
+        value, target = op.operand_values
+        shape = target.type.shape
+
+        def emit(b, coords):
+            if len(coords) == len(shape):
+                affine.store(b, value, target, list(coords))
+                return
+            affine.for_loop(
+                b, 0, shape[len(coords)],
+                body=lambda bb, iv: emit(bb, coords + [iv]),
+            )
+
+        emit(builder, [])
+        op.erase()

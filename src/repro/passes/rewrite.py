@@ -1,0 +1,83 @@
+"""Pattern-rewrite infrastructure: small, greedy, fixpoint-driven.
+
+A :class:`RewritePattern` matches a single operation and mutates the IR
+through a :class:`PatternRewriter` (which tracks whether anything changed).
+:func:`apply_patterns` walks the module repeatedly until no pattern fires,
+with a safety bound on iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.diagnostics import PassError
+from ..ir.operation import Operation
+from ..ir.values import Value
+
+
+class PatternRewriter:
+    """Mutation helper handed to patterns."""
+
+    def __init__(self):
+        self.changed = False
+
+    def builder_before(self, op: Operation) -> Builder:
+        return Builder(InsertionPoint.before(op))
+
+    def builder_after(self, op: Operation) -> Builder:
+        return Builder(InsertionPoint.after(op))
+
+    def replace_op(self, op: Operation, replacements: Sequence[Value]) -> None:
+        """Replace ``op``'s results with ``replacements`` and erase it."""
+        op.replace_all_uses_with(list(replacements))
+        op.erase()
+        self.changed = True
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.changed = True
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class: override :meth:`match_and_rewrite`."""
+
+    #: Restrict matching to this op name (None = all ops).
+    root_name: Optional[str] = None
+
+    def match_and_rewrite(
+        self, op: Operation, rewriter: PatternRewriter
+    ) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def apply_patterns(
+    root: Operation,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 100,
+) -> bool:
+    """Greedily apply patterns to fixpoint; returns True if IR changed."""
+    patterns = list(patterns)
+    changed_any = False
+    for _ in range(max_iterations):
+        rewriter = PatternRewriter()
+        # Snapshot the op list: patterns may mutate while we walk.
+        worklist: List[Operation] = list(root.walk())
+        for op in worklist:
+            if op.parent is None and op is not root:
+                continue  # already erased/detached
+            for pattern in patterns:
+                if pattern.root_name is not None and op.name != pattern.root_name:
+                    continue
+                if pattern.match_and_rewrite(op, rewriter):
+                    rewriter.changed = True
+                    break
+        if not rewriter.changed:
+            return changed_any
+        changed_any = True
+    raise PassError(
+        f"pattern application did not converge after {max_iterations} iterations"
+    )

@@ -1,0 +1,58 @@
+"""The generic timed discrete-event simulation engine for EQueue programs."""
+
+from .components import (
+    Buffer,
+    CacheModel,
+    Component,
+    ComponentError,
+    ComponentGroup,
+    ConnectionModel,
+    DMAModel,
+    EventEntry,
+    MemoryModel,
+    MemorySpec,
+    ProcessorModel,
+    ProcessorSpec,
+    memory_spec,
+    processor_spec,
+    register_memory_kind,
+    register_processor_kind,
+)
+from .engine import (
+    Engine,
+    EngineError,
+    EngineOptions,
+    Future,
+    SimulationResult,
+    simulate,
+)
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Process,
+    ScheduleQueue,
+    SimEvent,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+from .oplib import OpFunction, OpLibError, lookup, register_op_function
+from .profiling import ConnectionReport, MemoryReport, ProfilingSummary
+from .tracing import TraceRecord, TraceRecorder
+from .visualize import render_lanes, render_trace, utilization
+
+__all__ = [
+    "Buffer", "CacheModel", "Component", "ComponentError", "ComponentGroup",
+    "ConnectionModel", "DMAModel", "EventEntry", "MemoryModel", "MemorySpec",
+    "ProcessorModel", "ProcessorSpec", "memory_spec", "processor_spec",
+    "register_memory_kind", "register_processor_kind",
+    "Engine", "EngineError", "EngineOptions", "Future", "SimulationResult",
+    "simulate",
+    "AllOf", "AnyOf", "Process", "ScheduleQueue", "SimEvent",
+    "SimulationError", "Simulator", "all_of", "any_of",
+    "OpFunction", "OpLibError", "lookup", "register_op_function",
+    "ConnectionReport", "MemoryReport", "ProfilingSummary",
+    "TraceRecord", "TraceRecorder",
+    "render_lanes", "render_trace", "utilization",
+]

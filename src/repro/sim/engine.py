@@ -1,0 +1,1196 @@
+"""The generic EQueue simulation engine (§IV).
+
+The engine executes a verified EQueue module:
+
+1. **Elaboration** — top-level structure ops (``create_*``, ``alloc``,
+   hierarchy ops) are evaluated once, building the component model.
+2. **Simulation** — the top-level block runs as an implicit host process;
+   every processor/DMA runs its own event-queue loop (the paper's
+   setup-entry / check-queue / schedule / finish stages map onto the loop
+   in :meth:`Engine._proc_loop`).
+3. **Reporting** — profiling summary (§IV-B) plus an optional Chrome trace.
+
+Timing and function are separated: op handlers compute real values (NumPy)
+while charging cycles to processors, memories, and connections.  Handlers
+for purely local ops return an integer cost that accumulates into a pending
+counter; the counter is flushed into the DES kernel only when an op needs
+an accurate global timestamp (launch/memcpy issue, contended memory or
+connection access, events).  This keeps tight compute loops cheap without
+changing observable timing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dialects.affine import ForOp, ParallelOp
+from ..ir.diagnostics import IRError
+from ..ir.module import ModuleOp
+from ..ir.operation import Operation
+from ..ir.types import IndexType, MemRefType, TensorType
+from ..ir.values import Value
+from ..ir.verifier import verify
+from . import interp, oplib
+from .components import (
+    Buffer,
+    ComponentGroup,
+    ConnectionModel,
+    DMAModel,
+    EventEntry,
+    MemoryModel,
+    MemorySpec,
+    ProcessorModel,
+    memory_spec,
+    register_memory_kind,
+)
+from .kernel import AllOf, SimEvent, Simulator
+from .profiling import ConnectionReport, MemoryReport, ProfilingSummary
+from .tracing import TraceRecorder
+
+
+class EngineError(Exception):
+    """Raised for runtime simulation errors (deadlock, unresolved values)."""
+
+
+@dataclass
+class EngineOptions:
+    """Knobs for the simulation engine."""
+
+    #: Record a Chrome trace (adds overhead; off by default).
+    trace: bool = False
+    #: Also trace every timed op inside launch bodies, not just launches.
+    detailed_trace: bool = False
+    #: Error when allocations exceed a memory's declared capacity.
+    strict_capacity: bool = False
+    #: Coarse per-MAC cost for unlowered ``linalg`` ops (the deliberately
+    #: conservative first-order model at the top of the Fig. 1 abstraction
+    #: ladder: 3 reads + 1 write on a serialized SRAM + multiply + add +
+    #: one addressing cycle).  Finer stages reveal the overlap this model
+    #: ignores, which is why simulated runtime drops along the pipeline
+    #: (Fig. 11b).
+    linalg_mac_cycles: int = 7
+    #: Cycles per element for ``linalg.fill``.
+    fill_cycles_per_element: int = 1
+    #: Stop the simulation after this many cycles (0 = unlimited).
+    max_cycles: int = 0
+
+
+class Future:
+    """A launch result that materializes when the launch completes."""
+
+    __slots__ = ("done", "index")
+
+    def __init__(self, done: SimEvent, index: int):
+        self.done = done
+        self.index = index
+
+    @property
+    def resolved(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def value(self):
+        if not self.done.triggered:
+            raise EngineError(
+                "use of a launch result before the launch finished — "
+                "missing await or event dependency"
+            )
+        returns = self.done.value
+        return returns[self.index]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation produces."""
+
+    cycles: int
+    summary: ProfilingSummary
+    trace: TraceRecorder
+    buffers: Dict[str, Buffer]
+    #: True when the run stopped at ``max_cycles`` before completing.
+    truncated: bool = False
+    _env: Dict[Value, object] = field(default_factory=dict, repr=False)
+
+    def buffer(self, name: str) -> np.ndarray:
+        """The final contents of a named top-level buffer."""
+        try:
+            return self.buffers[name].array
+        except KeyError:
+            raise EngineError(
+                f"no buffer named {name!r}; known: {sorted(self.buffers)}"
+            ) from None
+
+    def value_of(self, value: Value):
+        """The runtime value bound to a top-level SSA value."""
+        runtime = self._env.get(value)
+        if isinstance(runtime, Future):
+            return runtime.value
+        return runtime
+
+
+class _BodyExec:
+    """Per-running-block execution state (the pending-cycles accumulator)."""
+
+    __slots__ = ("proc", "pending")
+
+    def __init__(self, proc: ProcessorModel):
+        self.proc = proc
+        self.pending = 0
+
+
+_STRUCTURE_OPS = frozenset(
+    {
+        "equeue.create_proc",
+        "equeue.create_mem",
+        "equeue.create_dma",
+        "equeue.create_comp",
+        "equeue.add_comp",
+        "equeue.create_connection",
+    }
+)
+
+#: Ops whose handlers read or publish global simulation time and therefore
+#: require the locally-accumulated cycles to be flushed first.
+_NEEDS_FLUSH = frozenset(
+    {
+        "equeue.launch",
+        "equeue.memcpy",
+        "equeue.read",
+        "equeue.write",
+        "equeue.await",
+        "equeue.control_start",
+        "equeue.control_and",
+        "equeue.control_or",
+        "affine.load",
+        "affine.store",
+        "memref.load",
+        "memref.store",
+    }
+)
+
+
+class Engine:
+    """Executes one EQueue module."""
+
+    def __init__(
+        self,
+        module: ModuleOp,
+        options: Optional[EngineOptions] = None,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self.module = module
+        self.options = options or EngineOptions()
+        self.inputs = dict(inputs or {})
+        self.sim = Simulator()
+        self.env: Dict[Value, object] = {}
+        self.processors: List[ProcessorModel] = []
+        self.memories: List[MemoryModel] = []
+        self.connections: List[ConnectionModel] = []
+        self.buffers: Dict[str, Buffer] = {}
+        self.trace = TraceRecorder(enabled=self.options.trace)
+        self.launches_executed = 0
+        self._elaborated: set = set()
+        self._name_counter = 0
+        self._ideal_memory: Optional[MemoryModel] = None
+        self._handlers: Dict[str, Callable] = self._build_handler_table()
+        # Memoized per-op static facts (attributes don't change during
+        # simulation); keyed by id(op).  This matters because interpreted
+        # loops execute the same ops millions of times.
+        self._static: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        started = _time.perf_counter()
+        verify(self.module)
+        self._elaborate()
+        for name, data in self.inputs.items():
+            if name not in self.buffers:
+                raise EngineError(
+                    f"input {name!r} does not match any buffer; "
+                    f"known: {sorted(self.buffers)}"
+                )
+            target = self.buffers[name].array
+            target[...] = np.asarray(data).reshape(target.shape)
+        host = self._make_processor("host", "Host")
+        top_dep = self.sim.event("top.start")
+        top_dep.trigger(None)
+        top_done = self.sim.event("top.done")
+        entry = EventEntry(
+            kind="launch",
+            dep=top_dep,
+            done=top_done,
+            # The top block shares the engine env so top-level results
+            # (e.g. awaited launch returns) are observable afterwards.
+            payload=(self.module.body, self.env, []),
+            label="top",
+        )
+        host.enqueue(entry)
+        for proc in self.processors:
+            self.sim.process(self._proc_loop(proc), name=f"loop:{proc.name}")
+        until = self.options.max_cycles or None
+        self.sim.run(until=until)
+        truncated = until is not None and not top_done.triggered
+        if not truncated:
+            self._check_deadlock()
+        elapsed = _time.perf_counter() - started
+        cycles = self.sim.now
+        summary = self._build_summary(elapsed, cycles)
+        return SimulationResult(
+            cycles=cycles,
+            summary=summary,
+            trace=self.trace,
+            buffers=dict(self.buffers),
+            truncated=truncated,
+            _env=self.env,
+        )
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+
+    def _elaborate(self) -> None:
+        for op in self.module.body.ops:
+            if op.name in _STRUCTURE_OPS or op.name in (
+                "equeue.alloc",
+                "equeue.get_comp",
+                "arith.constant",
+            ):
+                self._elaborate_op(op)
+
+    def _elaborate_op(self, op: Operation) -> None:
+        name = op.name
+        if name == "equeue.create_proc":
+            proc = self._make_processor(self._hint(op, "proc"), op.get_attr("kind"))
+            self.env[op.result()] = proc
+        elif name == "equeue.create_mem":
+            self.env[op.result()] = self._make_memory(op)
+        elif name == "equeue.create_dma":
+            dma = DMAModel(self._hint(op, "dma"))
+            self.processors.append(dma)
+            self.env[op.result()] = dma
+        elif name == "equeue.create_comp":
+            group = ComponentGroup(self._hint(op, "comp"))
+            for comp_name, operand in zip(op.names, op.operand_values):
+                group.add(comp_name, self._value_of(operand))
+            self.env[op.result()] = group
+        elif name == "equeue.add_comp":
+            group = self._value_of(op.operand(0))
+            if not isinstance(group, ComponentGroup):
+                raise EngineError("add_comp target is not a composite component")
+            for comp_name, operand in zip(op.names, op.operand_values[1:]):
+                group.add(comp_name, self._value_of(operand))
+        elif name == "equeue.get_comp":
+            group = self._value_of(op.operand(0))
+            self.env[op.result()] = group.lookup(self._comp_path(op, self.env))
+        elif name == "equeue.create_connection":
+            conn = ConnectionModel(
+                self._hint(op, "conn"),
+                op.get_attr("kind"),
+                op.get_attr("bandwidth", 0),
+            )
+            conn.attach(self.sim)
+            self.connections.append(conn)
+            self.env[op.result()] = conn
+        elif name == "equeue.alloc":
+            self.env[op.result()] = self._make_buffer(op)
+        elif name == "arith.constant":
+            self.env[op.result()] = op.get_attr("value")
+        else:  # pragma: no cover - guarded by caller
+            raise EngineError(f"cannot elaborate {name}")
+        self._elaborated.add(id(op))
+
+    def _make_processor(self, name: str, kind: str) -> ProcessorModel:
+        proc = ProcessorModel(name, kind)
+        self.processors.append(proc)
+        return proc
+
+    def _make_memory(self, op: Operation) -> MemoryModel:
+        kind = op.get_attr("kind")
+        spec = memory_spec(kind)
+        name = self._hint(op, "mem")
+        size = op.get_attr("size")
+        data_bits = op.get_attr("data_bits")
+        banks = op.get_attr("banks", 1)
+        ports = op.get_attr("ports", 1)
+        if spec.factory is not None:
+            memory = spec.factory(name, size, data_bits, banks, ports)
+        else:
+            memory = MemoryModel(name, kind, size, data_bits, banks, ports)
+        memory.attach(self.sim)
+        self.memories.append(memory)
+        return memory
+
+    def _make_buffer(self, op: Operation) -> Buffer:
+        memory = self._value_of(op.operand(0))
+        if not isinstance(memory, MemoryModel):
+            raise EngineError("equeue.alloc target is not a memory")
+        buffer_type: MemRefType = op.result().type
+        dtype = interp.numpy_dtype_for(buffer_type.element_type)
+        bits = getattr(buffer_type.element_type, "width", 32)
+        name = self._hint(op, "buffer")
+        buffer = Buffer(
+            name,
+            memory,
+            tuple(buffer_type.shape),
+            dtype,
+            bits,
+            base_address=memory.allocated_elements,
+        )
+        memory.allocate(buffer.num_elements, strict=self.options.strict_capacity)
+        self.buffers[name] = buffer
+        return buffer
+
+    def _hint(self, op: Operation, default: str) -> str:
+        if op.results and op.results[0].name_hint:
+            return op.results[0].name_hint
+        label = op.get_attr("label")
+        if label:
+            return label
+        self._name_counter += 1
+        return f"{default}{self._name_counter}"
+
+    @property
+    def ideal_memory(self) -> MemoryModel:
+        """Backing store for plain ``memref`` buffers (zero-latency)."""
+        if self._ideal_memory is None:
+            try:
+                memory_spec("Ideal")
+            except Exception:
+                register_memory_kind("Ideal", MemorySpec(cycles_per_access=0))
+            self._ideal_memory = MemoryModel(
+                "ideal", "Ideal", size=1 << 62, data_bits=32, banks=1, ports=1
+            )
+            self._ideal_memory.attach(self.sim)
+            self.memories.append(self._ideal_memory)
+        return self._ideal_memory
+
+    # ------------------------------------------------------------------
+    # Processor event loops (the paper's four-stage engine loop)
+    # ------------------------------------------------------------------
+
+    def _proc_loop(self, proc: ProcessorModel):
+        while True:
+            # Stage 1/2: set up the entry and check the queue head.
+            while not proc.queue:
+                proc.wake = self.sim.event(f"{proc.name}.wake")
+                yield proc.wake
+            entry: EventEntry = proc.queue[0]
+            if not entry.dep.triggered:
+                yield entry.dep
+                continue
+            proc.queue.pop(0)
+            entry.ready_time = (
+                entry.dep.time if entry.dep.time is not None else self.sim.now
+            )
+            entry.start_time = self.sim.now
+            # Stage 3: schedule (execute) the operation.
+            if entry.kind == "launch":
+                returns = yield from self._exec_launch(proc, entry)
+            elif entry.kind == "memcpy":
+                returns = yield from self._exec_memcpy(proc, entry)
+            else:  # pragma: no cover
+                raise EngineError(f"unknown entry kind {entry.kind}")
+            # Stage 4: finish the operation.
+            entry.end_time = self.sim.now
+            proc.busy_cycles += entry.end_time - entry.start_time
+            proc.executed_events += 1
+            self.launches_executed += 1
+            if self.options.trace:
+                self.trace.record(
+                    entry.label or entry.kind,
+                    "operation",
+                    "Processor",
+                    proc.path,
+                    entry.start_time,
+                    entry.end_time - entry.start_time,
+                )
+            entry.done.trigger(returns)
+
+    def _exec_launch(self, proc: ProcessorModel, entry: EventEntry):
+        block, env, captured = entry.payload
+        # Launch entries get a fresh env (isolation); the top entry shares
+        # the engine env so top-level bindings persist into the result.
+        local_env = env if env is not None else {}
+        for arg, value in zip(block.arguments, captured):
+            if isinstance(value, Future):
+                value = value.value  # dep guarantees resolution
+            local_env[arg] = value
+        ex = _BodyExec(proc)
+        returns = yield from self._run_block(ex, block, local_env)
+        yield from self._flush(ex)
+        return returns
+
+    def _exec_memcpy(self, proc: ProcessorModel, entry: EventEntry):
+        source, destination, conn, src_offset, dst_offset, count = entry.payload
+        if isinstance(source, Future):
+            source = source.value
+        if isinstance(destination, Future):
+            destination = destination.value
+        elements = count if count is not None else source.num_elements
+        nbytes = elements * source.element_bits // 8
+        now = self.sim.now
+        read_cycles = source.memory.access_cycles(
+            elements, False, source.base_address + (src_offset or 0)
+        )
+        write_cycles = destination.memory.access_cycles(
+            elements, True, destination.base_address + (dst_offset or 0)
+        )
+        end = now
+        if read_cycles and source.memory.queue is not None:
+            _, end_r = source.memory.queue.book(read_cycles)
+            end = max(end, end_r)
+        if conn is not None:
+            transfer = conn.transfer_cycles(nbytes)
+            if transfer and conn.write_queue is not None:
+                _, end_c = conn.write_queue.book(transfer, at=now)
+                end = max(end, end_c)
+            conn.record(nbytes, transfer, is_write=True)
+            conn.record(nbytes, transfer, is_write=False)
+        if write_cycles and destination.memory.queue is not None:
+            _, end_w = destination.memory.queue.book(write_cycles)
+            end = max(end, end_w)
+        source.memory.record_read(nbytes)
+        destination.memory.record_write(nbytes)
+        duration = end - now
+        if duration:
+            yield duration
+        # Functional effect: copy (shapes may differ; flat slice semantics).
+        src_flat = source.array.ravel()
+        dst_flat = destination.array.ravel()
+        src_base = src_offset or 0
+        dst_base = dst_offset or 0
+        dst_flat[dst_base : dst_base + elements] = src_flat[
+            src_base : src_base + elements
+        ]
+        return []
+
+    # ------------------------------------------------------------------
+    # Block execution
+    # ------------------------------------------------------------------
+
+    def _run_block(self, ex: _BodyExec, block, env: Dict[Value, object]):
+        """Execute a block's ops; returns the terminator's operand values."""
+        returns: List[object] = []
+        for op in block.ops:
+            name = op.name
+            if name == "equeue.return_values":
+                yield from self._flush(ex)
+                returns = [self._resolve(env, v) for v in op.operand_values]
+                break
+            if name in ("affine.yield", "scf.yield"):
+                break
+            handler = self._handlers.get(name)
+            if handler is None:
+                raise EngineError(f"no simulation handler for op {name!r}")
+            result = handler(ex, op, env)
+            if result is None:
+                continue
+            if isinstance(result, int):
+                if self.options.trace and self.options.detailed_trace and result:
+                    self.trace.record(
+                        op.get_attr("signature", name),
+                        "operation",
+                        "Processor",
+                        ex.proc.path,
+                        self.sim.now + ex.pending,
+                        result,
+                    )
+                ex.pending += result
+                continue
+            # Generator handler.  Ops that observe or publish global time
+            # (events, queue bookings) need the pending cycles flushed
+            # first; structured control flow does not — its inner ops flush
+            # themselves on demand.
+            if name in _NEEDS_FLUSH:
+                yield from self._flush(ex)
+            yield from result
+        return returns
+
+    def _flush(self, ex: _BodyExec):
+        if ex.pending:
+            pending, ex.pending = ex.pending, 0
+            yield pending
+
+    # ------------------------------------------------------------------
+    # Value plumbing
+    # ------------------------------------------------------------------
+
+    def _value_of(self, value: Value):
+        try:
+            runtime = self.env[value]
+        except KeyError:
+            raise EngineError(
+                f"value {value!r} has no runtime binding (is the module "
+                "structured with all components at top level?)"
+            ) from None
+        return runtime
+
+    @staticmethod
+    def _resolve(env: Dict[Value, object], value: Value):
+        try:
+            runtime = env[value]
+        except KeyError:
+            raise EngineError(f"unbound SSA value {value!r} during simulation")
+        if isinstance(runtime, Future):
+            return runtime.value
+        return runtime
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _build_handler_table(self) -> Dict[str, Callable]:
+        table: Dict[str, Callable] = {
+            "arith.constant": self._h_constant,
+            "arith.cmpi": self._h_arith,
+            "arith.select": self._h_arith,
+            "arith.index_cast": self._h_arith,
+            "equeue.control_start": self._h_control_start,
+            "equeue.control_and": self._h_control_and,
+            "equeue.control_or": self._h_control_or,
+            "equeue.await": self._h_await,
+            "equeue.launch": self._h_launch,
+            "equeue.memcpy": self._h_memcpy,
+            "equeue.read": self._h_read,
+            "equeue.write": self._h_write,
+            "equeue.alloc": self._h_alloc_runtime,
+            "equeue.dealloc": self._h_dealloc,
+            "equeue.get_comp": self._h_get_comp_runtime,
+            "equeue.op": self._h_external_op,
+            "affine.for": self._h_for,
+            "affine.parallel": self._h_parallel,
+            "scf.if": self._h_if,
+            "affine.load": self._h_memref_load,
+            "affine.store": self._h_memref_store,
+            "memref.alloc": self._h_memref_alloc,
+            "memref.dealloc": self._h_dealloc,
+            "memref.load": self._h_memref_load,
+            "memref.store": self._h_memref_store,
+            "memref.copy": self._h_memref_copy,
+            "linalg.conv2d": self._h_conv2d,
+            "linalg.matmul": self._h_matmul,
+            "linalg.fill": self._h_fill,
+        }
+        for arith_name in (
+            "arith.addi", "arith.subi", "arith.muli", "arith.divsi",
+            "arith.remsi", "arith.addf", "arith.subf", "arith.mulf",
+            "arith.divf", "arith.maxsi", "arith.minsi", "arith.andi",
+            "arith.ori", "arith.xori", "arith.shli", "arith.shrsi",
+        ):
+            table[arith_name] = self._h_arith
+        for structure_name in _STRUCTURE_OPS:
+            table[structure_name] = self._h_structure_noop
+        return table
+
+    # -- structure ops encountered during execution -------------------------
+
+    def _h_structure_noop(self, ex, op, env):
+        if id(op) not in self._elaborated:
+            raise EngineError(
+                f"{op.name} must appear at module top level (found inside a "
+                "launch body)"
+            )
+        return 0
+
+    def _h_alloc_runtime(self, ex, op, env):
+        if id(op) not in self._elaborated:
+            self._elaborate_op(op)
+        env[op.result()] = self.env[op.result()]
+        return 0
+
+    def _h_get_comp_runtime(self, ex, op, env):
+        if id(op) in self._elaborated:
+            env[op.result()] = self.env[op.result()]
+            return 0
+        group = self._resolve(env, op.operand(0))
+        env[op.result()] = group.lookup(self._comp_path(op, env))
+        return 0
+
+    def _comp_path(self, op, env) -> str:
+        """Resolve a get_comp name, expanding vector-form templates."""
+        template = op.get_attr("name_template")
+        if template is None:
+            return op.get_attr("name")
+        indices = [int(self._resolve(env, v)) for v in op.operand_values[1:]]
+        return template.format(*indices)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _h_constant(self, ex, op, env):
+        cached = self._static.get(id(op))
+        if cached is None:
+            cached = (op.result(), op.get_attr("value"))
+            self._static[id(op)] = cached
+        env[cached[0]] = cached[1]
+        return 0
+
+    def _h_arith(self, ex, op, env):
+        cached = self._static.get(id(op))
+        if cached is None:
+            from ..ir.attributes import attr_to_python
+
+            attrs = {k: attr_to_python(v) for k, v in op.attributes.items()}
+            is_free = (
+                isinstance(op.result().type, IndexType)
+                or any(
+                    isinstance(v.type, IndexType) for v in op.operand_values
+                )
+                or op.name == "arith.index_cast"
+            )
+            operand_ssa = tuple(o.value for o in op.operands)
+            cached = (attrs, is_free, op.result(), operand_ssa, op.name)
+            self._static[id(op)] = cached
+        attrs, is_free, result_ssa, operand_ssa, name = cached
+        operands = [self._resolve(env, v) for v in operand_ssa]
+        env[result_ssa] = interp.evaluate_arith(name, operands, attrs)
+        return 0 if is_free else ex.proc.spec.arith_cycles
+
+    # -- events -----------------------------------------------------------------
+
+    def _h_control_start(self, ex, op, env):
+        def gen():
+            event = self.sim.event("control_start")
+            event.trigger(None)
+            env[op.result()] = event
+            return
+            yield  # pragma: no cover
+
+        return gen()
+
+    def _h_control_and(self, ex, op, env):
+        def gen():
+            from .kernel import all_of
+
+            deps = [self._resolve(env, v) for v in op.operand_values]
+            env[op.result()] = all_of(self.sim, deps, "control_and")
+            return
+            yield  # pragma: no cover
+
+        return gen()
+
+    def _h_control_or(self, ex, op, env):
+        def gen():
+            from .kernel import any_of
+
+            deps = [self._resolve(env, v) for v in op.operand_values]
+            env[op.result()] = any_of(self.sim, deps, "control_or")
+            return
+            yield  # pragma: no cover
+
+        return gen()
+
+    def _h_await(self, ex, op, env):
+        def gen():
+            deps = [self._resolve(env, v) for v in op.operand_values]
+            pending = [d for d in deps if not d.triggered]
+            if pending:
+                yield AllOf(pending)
+
+        return gen()
+
+    # -- launch / memcpy -----------------------------------------------------------
+
+    def _h_launch(self, ex, op, env):
+        def gen():
+            dep = self._resolve(env, op.operand(0))
+            target = self._resolve(env, op.operand(1))
+            if not isinstance(target, ProcessorModel):
+                raise EngineError("launch target is not a processor")
+            captured = [env.get(v, self.env.get(v)) for v in op.operand_values[2:]]
+            for value, ssa in zip(captured, op.operand_values[2:]):
+                if value is None:
+                    raise EngineError(f"unbound captured value {ssa!r}")
+            done = self.sim.event("launch.done")
+            entry = EventEntry(
+                kind="launch",
+                dep=dep,
+                done=done,
+                payload=(op.regions[0].entry_block, None, captured),
+                label=op.get_attr("label", "launch"),
+                issue_time=self.sim.now,
+            )
+            target.enqueue(entry)
+            env[op.results[0]] = done
+            for i, result in enumerate(op.results[1:]):
+                env[result] = Future(done, i)
+            return
+            yield  # pragma: no cover
+
+        return gen()
+
+    def _h_memcpy(self, ex, op, env):
+        def gen():
+            dep = self._resolve(env, op.operand(0))
+            source = env.get(op.operand(1), self.env.get(op.operand(1)))
+            destination = env.get(op.operand(2), self.env.get(op.operand(2)))
+            dma = self._resolve(env, op.operand(3))
+            conn = (
+                self._resolve(env, op.operand(4))
+                if op.get_attr("connected", False)
+                else None
+            )
+            src_offset = dst_offset = None
+            count = None
+            if op.get_attr("offset_operands", False):
+                offset_values = op.offsets
+                src_offset = int(self._resolve(env, offset_values[0]))
+                dst_offset = int(self._resolve(env, offset_values[1]))
+                count = op.get_attr("count")
+            if not isinstance(dma, ProcessorModel):
+                raise EngineError("memcpy executor is not a DMA/processor")
+            done = self.sim.event("memcpy.done")
+            entry = EventEntry(
+                kind="memcpy",
+                dep=dep,
+                done=done,
+                payload=(source, destination, conn, src_offset, dst_offset, count),
+                label=op.get_attr("label", "memcpy"),
+                issue_time=self.sim.now,
+            )
+            dma.enqueue(entry)
+            env[op.result()] = done
+            return
+            yield  # pragma: no cover
+
+        return gen()
+
+    # -- reads and writes --------------------------------------------------------------
+
+    def _linear_index(self, buffer: Buffer, indices: Sequence[int]) -> int:
+        if not indices:
+            return buffer.base_address
+        strides = buffer.element_strides
+        offset = buffer.base_address
+        for i, stride in zip(indices, strides):
+            offset += int(i) * stride
+        return offset
+
+    def _read_write_static(self, op, leading: int):
+        """Memoized operand decomposition for read/write ops."""
+        cached = self._static.get(id(op))
+        if cached is None:
+            connected = bool(op.get_attr("connected", False))
+            posted = bool(op.get_attr("posted", False))
+            values = op.operand_values
+            buffer_ssa = values[leading - 1]
+            conn_ssa = values[leading] if connected else None
+            index_start = leading + (1 if connected else 0)
+            indices_ssa = tuple(values[index_start:])
+            cached = (posted, buffer_ssa, conn_ssa, indices_ssa)
+            self._static[id(op)] = cached
+        return cached
+
+    def _h_read(self, ex, op, env):
+        posted, buffer_ssa, conn_ssa, indices_ssa = self._read_write_static(
+            op, 1
+        )
+        buffer = self._resolve(env, buffer_ssa)
+        conn = self._resolve(env, conn_ssa) if conn_ssa is not None else None
+        indices = [self._resolve(env, v) for v in indices_ssa]
+        if indices:
+            value = buffer.array[tuple(int(i) for i in indices)]
+            if isinstance(value, np.ndarray):
+                value = value.copy()
+                elements = int(value.size)
+            else:
+                value = value.item() if hasattr(value, "item") else value
+                elements = 1
+            nbytes = elements * buffer.element_bits // 8
+        else:
+            elements = buffer.num_elements
+            value = buffer.array.copy()
+            nbytes = buffer.nbytes
+        buffer.memory.record_read(nbytes)
+        address = self._linear_index(buffer, indices)
+        mem_cycles = buffer.memory.access_cycles(elements, False, address)
+        if posted:
+            # Posted/prefetched access: charges the resources (so busy-time
+            # and bandwidth statistics stay honest) without stalling the
+            # issuing processor — modeling double-buffered edge registers.
+            if mem_cycles and buffer.memory.queue is not None:
+                buffer.memory.queue.posted_busy_cycles += mem_cycles
+            if conn is not None:
+                transfer = conn.transfer_cycles(nbytes)
+                conn.record(nbytes, transfer, is_write=False)
+                if transfer and conn.read_queue is not None:
+                    conn.read_queue.posted_busy_cycles += transfer
+            env[op.result()] = value
+            return 0
+        fast = mem_cycles == 0 and (conn is None or conn.bandwidth <= 0)
+        if fast:
+            if conn is not None:
+                conn.record(nbytes, 0, is_write=False)
+            env[op.result()] = value
+            return 0
+
+        def gen():
+            now = self.sim.now
+            end = now
+            if mem_cycles and buffer.memory.queue is not None:
+                _, end = buffer.memory.queue.book(mem_cycles)
+            if conn is not None:
+                transfer = conn.transfer_cycles(nbytes)
+                conn.record(nbytes, transfer, is_write=False)
+                if transfer and conn.read_queue is not None:
+                    _, end_c = conn.read_queue.book(transfer, at=end)
+                    end = max(end, end_c)
+            env[op.result()] = value
+            wait = end - now
+            if wait:
+                if self.options.trace and self.options.detailed_trace:
+                    self.trace.record(
+                        "read", "operation", "Processor", ex.proc.path, now, wait
+                    )
+                yield wait
+
+        return gen()
+
+    def _h_write(self, ex, op, env):
+        posted, buffer_ssa, conn_ssa, indices_ssa = self._read_write_static(
+            op, 2
+        )
+        value = self._resolve(env, op.operands[0].value)
+        buffer = self._resolve(env, buffer_ssa)
+        conn = self._resolve(env, conn_ssa) if conn_ssa is not None else None
+        indices = [self._resolve(env, v) for v in indices_ssa]
+        if indices:
+            remaining = buffer.array.shape[len(indices):]
+            elements = int(np.prod(remaining)) if remaining else 1
+            nbytes = elements * buffer.element_bits // 8
+        else:
+            elements = buffer.num_elements
+            nbytes = buffer.nbytes
+        buffer.memory.record_write(nbytes)
+        address = self._linear_index(buffer, indices)
+        mem_cycles = buffer.memory.access_cycles(elements, True, address)
+
+        def apply():
+            if indices:
+                target = tuple(int(i) for i in indices)
+                if isinstance(value, np.ndarray):
+                    buffer.array[target] = np.asarray(value).reshape(
+                        buffer.array[target].shape
+                    )
+                else:
+                    buffer.array[target] = value
+            elif isinstance(value, np.ndarray):
+                buffer.array.ravel()[:] = np.asarray(value).ravel()
+            else:
+                buffer.array[...] = value
+
+        if posted:
+            if mem_cycles and buffer.memory.queue is not None:
+                buffer.memory.queue.posted_busy_cycles += mem_cycles
+            if conn is not None:
+                transfer = conn.transfer_cycles(nbytes)
+                conn.record(nbytes, transfer, is_write=True)
+                if transfer and conn.write_queue is not None:
+                    conn.write_queue.posted_busy_cycles += transfer
+            apply()
+            return 0
+
+        fast = mem_cycles == 0 and (conn is None or conn.bandwidth <= 0)
+        if fast:
+            if conn is not None:
+                conn.record(nbytes, 0, is_write=True)
+            apply()
+            return 0
+
+        def gen():
+            now = self.sim.now
+            end = now
+            if conn is not None:
+                transfer = conn.transfer_cycles(nbytes)
+                conn.record(nbytes, transfer, is_write=True)
+                if transfer and conn.write_queue is not None:
+                    _, end = conn.write_queue.book(transfer, at=now)
+            if mem_cycles and buffer.memory.queue is not None:
+                _, end_m = buffer.memory.queue.book(mem_cycles, at=end)
+                end = max(end, end_m)
+            apply()
+            wait = end - now
+            if wait:
+                if self.options.trace and self.options.detailed_trace:
+                    self.trace.record(
+                        "write", "operation", "Processor", ex.proc.path, now, wait
+                    )
+                yield wait
+
+        return gen()
+
+    def _h_dealloc(self, ex, op, env):
+        buffer = self._resolve(env, op.operand(0))
+        if isinstance(buffer, Buffer):
+            buffer.memory.deallocate(buffer.num_elements)
+        return 0
+
+    # -- external ops -------------------------------------------------------------------
+
+    def _h_external_op(self, ex, op, env):
+        cached = self._static.get(id(op))
+        if cached is None:
+            op_function = oplib.lookup(op.get_attr("signature"))
+            cached = (
+                op_function,
+                tuple(o.value for o in op.operands),
+                tuple(op.results),
+            )
+            self._static[id(op)] = cached
+        op_function, operand_ssa, result_ssa = cached
+        operands = [self._resolve(env, v) for v in operand_ssa]
+        results = op_function.func(*operands)
+        if results is None:
+            results = ()
+        for ssa, result in zip(result_ssa, results):
+            env[ssa] = result
+        return op_function.cycle_count(operands)
+
+    # -- loops ------------------------------------------------------------------------------
+
+    def _h_for(self, ex, op: ForOp, env):
+        body = op.regions[0].entry_block
+        induction = body.arguments[0]
+
+        def gen():
+            for i in range(op.lower_bound, op.upper_bound, op.step):
+                env[induction] = i
+                yield from self._run_block(ex, body, env)
+
+        return gen()
+
+    def _h_if(self, ex, op, env):
+        cond = self._resolve(env, op.operand(0))
+        taken = bool(int(cond)) if not isinstance(cond, np.ndarray) else bool(
+            cond.any()
+        )
+        block = None
+        if taken:
+            block = op.regions[0].entry_block
+        elif len(op.regions) == 2:
+            block = op.regions[1].entry_block
+        if block is None or not block.ops:
+            return 0
+
+        def gen():
+            yield from self._run_block(ex, block, env)
+
+        return gen()
+
+    def _h_parallel(self, ex, op: ParallelOp, env):
+        # Unlowered affine.parallel executes sequentially on the current
+        # processor; --parallel-to-equeue turns it into concurrent launches.
+        body = op.regions[0].entry_block
+        args = body.arguments
+        ranges = op.ranges
+
+        def gen():
+            import itertools
+
+            spaces = [range(lb, ub, st) for lb, ub, st in ranges]
+            for point in itertools.product(*spaces):
+                for arg, coordinate in zip(args, point):
+                    env[arg] = coordinate
+                yield from self._run_block(ex, body, env)
+
+        return gen()
+
+    # -- ideal memref ops ----------------------------------------------------------------------
+
+    def _h_memref_alloc(self, ex, op, env):
+        buffer_type: MemRefType = op.result().type
+        dtype = interp.numpy_dtype_for(buffer_type.element_type)
+        bits = getattr(buffer_type.element_type, "width", 32)
+        name = self._hint(op, "ideal_buf")
+        buffer = Buffer(
+            name, self.ideal_memory, tuple(buffer_type.shape), dtype, bits
+        )
+        self.buffers.setdefault(name, buffer)
+        env[op.result()] = buffer
+        return 0
+
+    def _h_memref_load(self, ex, op, env):
+        buffer = self._resolve(env, op.operand(0))
+        indices = tuple(int(self._resolve(env, v)) for v in op.operand_values[1:])
+        value = buffer.array[indices]
+        env[op.result()] = value.item() if hasattr(value, "item") else value
+        buffer.memory.record_read(buffer.element_bits // 8)
+        cycles = buffer.memory.access_cycles(1, False, self._linear_index(buffer, indices))
+        if cycles == 0:
+            return 0
+
+        def gen():
+            _, end = buffer.memory.queue.book(cycles)
+            wait = end - self.sim.now
+            if wait:
+                yield wait
+
+        return gen()
+
+    def _h_memref_store(self, ex, op, env):
+        value = self._resolve(env, op.operand(0))
+        buffer = self._resolve(env, op.operand(1))
+        indices = tuple(int(self._resolve(env, v)) for v in op.operand_values[2:])
+        buffer.array[indices] = value
+        buffer.memory.record_write(buffer.element_bits // 8)
+        cycles = buffer.memory.access_cycles(1, True, self._linear_index(buffer, indices))
+        if cycles == 0:
+            return 0
+
+        def gen():
+            _, end = buffer.memory.queue.book(cycles)
+            wait = end - self.sim.now
+            if wait:
+                yield wait
+
+        return gen()
+
+    def _h_memref_copy(self, ex, op, env):
+        source = self._resolve(env, op.operand(0))
+        destination = self._resolve(env, op.operand(1))
+        destination.array[...] = source.array
+        source.memory.record_read(source.nbytes)
+        destination.memory.record_write(destination.nbytes)
+        return 0
+
+    # -- linalg (coarse models) ----------------------------------------------------------------
+
+    def _h_conv2d(self, ex, op, env):
+        from ..dialects.linalg import Conv2DOp
+
+        assert isinstance(op, Conv2DOp)
+        ifmap = self._resolve(env, op.operand(0))
+        weight = self._resolve(env, op.operand(1))
+        ofmap = self._resolve(env, op.operand(2))
+        dims = op.conv_dims
+        result = _conv2d_reference(ifmap.array, weight.array)
+        ofmap.array[...] = ofmap.array + result
+        element_bytes = ifmap.element_bits // 8
+        # Coarse traffic model: every MAC touches ifmap, weight, and the
+        # output partial sum (read + write).
+        ifmap.memory.record_read(dims.macs * element_bytes)
+        weight.memory.record_read(dims.macs * element_bytes)
+        ofmap.memory.record_read(dims.macs * element_bytes)
+        ofmap.memory.record_write(dims.macs * element_bytes)
+        return dims.macs * self.options.linalg_mac_cycles
+
+    def _h_matmul(self, ex, op, env):
+        a = self._resolve(env, op.operand(0))
+        b = self._resolve(env, op.operand(1))
+        c = self._resolve(env, op.operand(2))
+        c.array[...] = c.array + a.array @ b.array
+        macs = a.array.shape[0] * a.array.shape[1] * b.array.shape[1]
+        element_bytes = a.element_bits // 8
+        a.memory.record_read(macs * element_bytes)
+        b.memory.record_read(macs * element_bytes)
+        c.memory.record_read(macs * element_bytes)
+        c.memory.record_write(macs * element_bytes)
+        return macs * self.options.linalg_mac_cycles
+
+    def _h_fill(self, ex, op, env):
+        value = self._resolve(env, op.operand(0))
+        target = self._resolve(env, op.operand(1))
+        target.array[...] = value
+        target.memory.record_write(target.nbytes)
+        return target.num_elements * self.options.fill_cycles_per_element
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _check_deadlock(self) -> None:
+        stuck: List[str] = []
+        for proc in self.processors:
+            for entry in proc.queue:
+                stuck.append(f"{entry.label or entry.kind} on {proc.name}")
+        if stuck:
+            raise EngineError(
+                "simulation deadlocked; events never became ready: "
+                + ", ".join(stuck[:10])
+                + (" ..." if len(stuck) > 10 else "")
+            )
+
+    def _build_summary(self, elapsed: float, cycles: int) -> ProfilingSummary:
+        connections = {
+            c.path: ConnectionReport(
+                name=c.path,
+                kind=c.kind,
+                bandwidth=c.bandwidth,
+                bytes_read=c.bytes_read,
+                bytes_written=c.bytes_written,
+                busy_read_cycles=(
+                    c.read_queue.total_busy_cycles
+                    if c.read_queue is not None
+                    else 0
+                ),
+                busy_write_cycles=(
+                    c.write_queue.total_busy_cycles
+                    if c.write_queue is not None
+                    else 0
+                ),
+                peak_bandwidth=c.peak_bandwidth,
+                total_cycles=cycles,
+            )
+            for c in self.connections
+        }
+        memories = {
+            m.path: MemoryReport(
+                name=m.path,
+                kind=m.kind,
+                bytes_read=m.bytes_read,
+                bytes_written=m.bytes_written,
+                reads=m.reads,
+                writes=m.writes,
+                total_cycles=cycles,
+            )
+            for m in self.memories
+        }
+        return ProfilingSummary(
+            execution_time_s=elapsed,
+            cycles=cycles,
+            connections=connections,
+            memories=memories,
+            scheduler_events=self.sim.processed_events,
+            launches_executed=self.launches_executed,
+        )
+
+
+def _conv2d_reference(ifmap: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Direct convolution, the functional ground truth for linalg.conv2d."""
+    c, h, w = ifmap.shape
+    n, wc, fh, fw = weight.shape
+    if wc != c:
+        raise EngineError("conv2d channel mismatch")
+    eh, ew = h - fh + 1, w - fw + 1
+    out = np.zeros((n, eh, ew), dtype=ifmap.dtype)
+    for filter_index in range(n):
+        for dy in range(fh):
+            for dx in range(fw):
+                patch = ifmap[:, dy : dy + eh, dx : dx + ew]
+                out[filter_index] += np.tensordot(
+                    weight[filter_index, :, dy, dx], patch, axes=(0, 0)
+                )
+    return out
+
+
+def simulate(
+    module: ModuleOp,
+    options: Optional[EngineOptions] = None,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build an engine and run it.
+
+    ``inputs`` maps top-level buffer names to arrays loaded into them after
+    elaboration, before simulation starts.
+    """
+    return Engine(module, options, inputs).run()
+
+
+IRError  # noqa: B018  (re-export for callers catching both error kinds)
+TensorType  # noqa: B018

@@ -1,0 +1,138 @@
+"""Profiling summary (§IV-B).
+
+After a simulation the engine produces a :class:`ProfilingSummary` with:
+
+* wall-clock execution time of the simulation itself,
+* simulated runtime in cycles,
+* per-connection read/write bandwidth, the maximum bandwidth, and the
+  *max-bandwidth portion* — the fraction of simulated time a channel spent
+  at its bandwidth limit (the statistic the paper recommends for sizing
+  interfaces),
+* total bytes read/written per memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ConnectionReport:
+    name: str
+    kind: str
+    bandwidth: int  # bytes/cycle; 0 = unconstrained
+    bytes_read: int
+    bytes_written: int
+    busy_read_cycles: int
+    busy_write_cycles: int
+    peak_bandwidth: float
+    total_cycles: int
+
+    @property
+    def avg_read_bandwidth(self) -> float:
+        return self.bytes_read / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def avg_write_bandwidth(self) -> float:
+        return self.bytes_written / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def max_bandwidth_portion_read(self) -> float:
+        """Fraction of simulated time spent at max read bandwidth."""
+        if self.total_cycles == 0 or self.bandwidth <= 0:
+            return 0.0
+        return min(1.0, self.busy_read_cycles / self.total_cycles)
+
+    @property
+    def max_bandwidth_portion_write(self) -> float:
+        if self.total_cycles == 0 or self.bandwidth <= 0:
+            return 0.0
+        return min(1.0, self.busy_write_cycles / self.total_cycles)
+
+
+@dataclass
+class MemoryReport:
+    name: str
+    kind: str
+    bytes_read: int
+    bytes_written: int
+    reads: int
+    writes: int
+    total_cycles: int
+
+    @property
+    def avg_read_bandwidth(self) -> float:
+        return self.bytes_read / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def avg_write_bandwidth(self) -> float:
+        return self.bytes_written / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclass
+class ProfilingSummary:
+    """Everything §IV-B says the engine reports."""
+
+    execution_time_s: float
+    cycles: int
+    connections: Dict[str, ConnectionReport] = field(default_factory=dict)
+    memories: Dict[str, MemoryReport] = field(default_factory=dict)
+    scheduler_events: int = 0
+    launches_executed: int = 0
+
+    # -- aggregate helpers (used by the Fig. 11 benches) ---------------------
+
+    def bandwidth_by_memory_kind(self, kind: str, write: bool = False) -> float:
+        """Aggregate average bandwidth over all memories of ``kind``."""
+        total = 0
+        for report in self.memories.values():
+            if report.kind == kind:
+                total += report.bytes_written if write else report.bytes_read
+        return total / self.cycles if self.cycles else 0.0
+
+    def memory_named(self, name: str) -> Optional[MemoryReport]:
+        for key, report in self.memories.items():
+            if key == name or key.endswith("." + name) or report.name == name:
+                return report
+        return None
+
+    def format(self) -> str:
+        """Human-readable summary table."""
+        lines: List[str] = []
+        lines.append("=== EQueue simulation summary ===")
+        lines.append(f"simulator execution time: {self.execution_time_s:.4f} s")
+        lines.append(f"simulated runtime:        {self.cycles} cycles")
+        lines.append(f"scheduler events:         {self.scheduler_events}")
+        lines.append(f"launches executed:        {self.launches_executed}")
+        if self.connections:
+            lines.append("-- connections (bytes/cycle) --")
+            header = (
+                f"{'name':24} {'kind':10} {'bw':>6} {'rd BW':>8} {'wr BW':>8} "
+                f"{'rd@max':>7} {'wr@max':>7}"
+            )
+            lines.append(header)
+            for name in sorted(self.connections):
+                c = self.connections[name]
+                bw = "inf" if c.bandwidth <= 0 else str(c.bandwidth)
+                lines.append(
+                    f"{name:24} {c.kind:10} {bw:>6} "
+                    f"{c.avg_read_bandwidth:8.3f} {c.avg_write_bandwidth:8.3f} "
+                    f"{c.max_bandwidth_portion_read:7.2%} "
+                    f"{c.max_bandwidth_portion_write:7.2%}"
+                )
+        if self.memories:
+            lines.append("-- memories --")
+            header = (
+                f"{'name':24} {'kind':10} {'bytes rd':>10} {'bytes wr':>10} "
+                f"{'rd BW':>8} {'wr BW':>8}"
+            )
+            lines.append(header)
+            for name in sorted(self.memories):
+                m = self.memories[name]
+                lines.append(
+                    f"{name:24} {m.kind:10} {m.bytes_read:>10} "
+                    f"{m.bytes_written:>10} {m.avg_read_bandwidth:8.3f} "
+                    f"{m.avg_write_bandwidth:8.3f}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Chrome Trace Event Format output (§IV-B).
+
+The engine records per-operation begin/end pairs; :meth:`TraceRecorder.to_json`
+serializes them in the JSON array form that ``chrome://tracing`` and Perfetto
+load directly.  As in the paper's Fig. 13, one simulated cycle is mapped to
+one microsecond on the trace timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One completed operation slice."""
+
+    name: str
+    category: str
+    pid: str  # component group, e.g. "Processor"
+    tid: str  # component instance, e.g. "ARMr5"
+    start: int  # cycles
+    duration: int  # cycles
+
+    def to_events(self) -> List[dict]:
+        begin = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "B",
+            "ts": self.start,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        end = dict(begin)
+        end["ph"] = "E"
+        end["ts"] = self.start + self.duration
+        return [begin, end]
+
+
+class TraceRecorder:
+    """Collects trace records during simulation."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        pid: str,
+        tid: str,
+        start: int,
+        duration: int,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(name, category, pid, tid, start, duration)
+        )
+
+    def to_events(self) -> List[dict]:
+        events: List[dict] = []
+        for record in sorted(self.records, key=lambda r: (r.start, r.tid)):
+            events.extend(record.to_events())
+        return events
+
+    def to_json(self, path: Optional[str] = None, indent: int = 1) -> str:
+        """Serialize; optionally also write to ``path``."""
+        text = json.dumps(self.to_events(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def slices_for(self, tid: str) -> List[TraceRecord]:
+        """All records for one component (handy for stall analysis)."""
+        return [r for r in self.records if r.tid == tid]
+
+    def __len__(self) -> int:
+        return len(self.records)

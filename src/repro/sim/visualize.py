@@ -1,0 +1,104 @@
+"""Terminal rendering of operation traces.
+
+The paper visualizes traces in the Chrome browser (Fig. 13/14); for
+terminal workflows this module renders the same records as ASCII lanes —
+one row per component, one column per cycle bucket — so a designer can
+spot stalls without leaving the shell.
+
+Example (FIR case 3, §VII-E: each core busy 1 of every 4 cycles)::
+
+    aie_0    |####............|
+    stream_0 |.####...####....|
+    aie_1    |.....#...#...#..|
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .tracing import TraceRecord, TraceRecorder
+
+FULL = "#"
+EMPTY = "."
+
+
+def render_lanes(
+    records: Sequence[TraceRecord],
+    width: int = 72,
+    lanes: Optional[Sequence[str]] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> str:
+    """Render trace records as fixed-width ASCII lanes.
+
+    ``width`` columns span the time range [start, end); each column shows
+    ``#`` when the lane's component was busy during any cycle mapped to
+    that column.  ``lanes`` selects and orders components (default: all,
+    in first-appearance order).
+    """
+    records = list(records)
+    if not records:
+        return "(empty trace)"
+    if end is None:
+        end = max(r.start + r.duration for r in records)
+    end = max(end, start + 1)
+    span = end - start
+
+    if lanes is None:
+        lanes = []
+        for record in records:
+            if record.tid not in lanes:
+                lanes.append(record.tid)
+
+    by_lane: Dict[str, List[TraceRecord]] = {name: [] for name in lanes}
+    for record in records:
+        if record.tid in by_lane:
+            by_lane[record.tid].append(record)
+
+    label_width = max(len(name) for name in lanes)
+    lines: List[str] = []
+    scale = span / width
+    for name in lanes:
+        cells = [False] * width
+        for record in by_lane[name]:
+            busy_start = max(record.start, start)
+            busy_end = min(record.start + max(record.duration, 1), end)
+            if busy_end <= busy_start:
+                continue
+            first = int((busy_start - start) / scale)
+            last = int((busy_end - start - 1) / scale)
+            for column in range(first, min(last + 1, width)):
+                cells[column] = True
+        body = "".join(FULL if cell else EMPTY for cell in cells)
+        lines.append(f"{name:<{label_width}} |{body}|")
+    header = (
+        f"{'':<{label_width}}  cycles {start}..{end} "
+        f"({scale:.1f} cycles/column)"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_trace(
+    trace: TraceRecorder,
+    width: int = 72,
+    lanes: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a recorder's contents (see :func:`render_lanes`)."""
+    return render_lanes(trace.records, width=width, lanes=lanes)
+
+
+def utilization(trace: TraceRecorder, tid: str, end: Optional[int] = None) -> float:
+    """Fraction of [0, end) during which ``tid`` was busy.
+
+    Useful for the §VII-F style analysis ("75% of the hardware's
+    computation power is wasted").
+    """
+    slices = trace.slices_for(tid)
+    if not slices:
+        return 0.0
+    if end is None:
+        end = max(r.start + r.duration for r in trace.records)
+    if end <= 0:
+        return 0.0
+    busy = sum(min(r.duration, end - r.start) for r in slices if r.start < end)
+    return min(1.0, busy / end)

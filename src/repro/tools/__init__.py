@@ -1,0 +1,3 @@
+"""Command-line drivers: ``equeue-opt`` (pass pipelines over textual IR)
+and ``equeue-sim`` (simulate a textual EQueue program), mirroring the
+mlir-opt-style workflow of Fig. 7."""

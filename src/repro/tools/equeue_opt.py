@@ -1,0 +1,82 @@
+"""``equeue-opt``: run pass pipelines over textual EQueue IR.
+
+Usage::
+
+    equeue-opt input.mlir --pipeline "convert-linalg-to-affine-loops,\
+equeue-read-write,allocate-buffer{memory=sram},launch{proc=kernel}"
+    equeue-opt input.mlir --verify-only
+    equeue-opt --list-passes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import dialects  # noqa: F401  (register dialects)
+from ..ir import parse_module, print_op, verify
+from ..passes import PassManager, registered_passes
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="equeue-opt",
+        description="Apply EQueue compiler passes to a textual IR module.",
+    )
+    parser.add_argument(
+        "input", nargs="?", default="-",
+        help="input .mlir file ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--pipeline", default="",
+        help="comma-separated pass pipeline, e.g. 'equeue-read-write,"
+             "allocate-buffer{memory=sram}'",
+    )
+    parser.add_argument(
+        "--verify-only", action="store_true",
+        help="parse and verify without printing the module",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="list registered passes"
+    )
+    parser.add_argument(
+        "-o", "--output", default="-", help="output file ('-' for stdout)"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.list_passes:
+        for name in sorted(registered_passes()):
+            print(name)
+        return 0
+
+    if args.input == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    try:
+        module = parse_module(source)
+        verify(module)
+        if args.pipeline:
+            PassManager.parse(args.pipeline).run(module)
+    except Exception as error:  # CLI boundary: report, don't traceback
+        print(f"equeue-opt: error: {error}", file=sys.stderr)
+        return 1
+
+    if args.verify_only:
+        return 0
+    text = print_op(module)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""``equeue-sim``: simulate a textual EQueue program (Fig. 7's flow).
+
+Usage::
+
+    equeue-sim program.mlir --trace trace.json
+    equeue-sim program.mlir --pipeline "equeue-read-write,..." --max-cycles 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import dialects  # noqa: F401  (register dialects)
+from ..ir import parse_module, verify
+from ..passes import PassManager
+from ..sim import EngineOptions, simulate
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="equeue-sim",
+        description="Simulate an EQueue program and print the profiling "
+        "summary (§IV-B).",
+    )
+    parser.add_argument(
+        "input", nargs="?", default="-",
+        help="input .mlir file ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--pipeline", default="",
+        help="pass pipeline to apply before simulation",
+    )
+    parser.add_argument(
+        "--trace", default="",
+        help="write a Chrome Trace Event JSON file to this path",
+    )
+    parser.add_argument(
+        "--inputs", default="",
+        help="an .npz file whose arrays initialize same-named buffers",
+    )
+    parser.add_argument(
+        "--dump-buffer", action="append", default=[],
+        help="print a named buffer's final contents (repeatable)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=0,
+        help="stop the simulation after this many cycles (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--strict-capacity", action="store_true",
+        help="error if allocations exceed declared memory sizes",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.input == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            source = handle.read()
+
+    try:
+        module = parse_module(source)
+        verify(module)
+        if args.pipeline:
+            PassManager.parse(args.pipeline).run(module)
+        options = EngineOptions(
+            trace=bool(args.trace),
+            detailed_trace=bool(args.trace),
+            max_cycles=args.max_cycles,
+            strict_capacity=args.strict_capacity,
+        )
+        inputs = None
+        if args.inputs:
+            import numpy as np
+
+            with np.load(args.inputs) as data:
+                inputs = {name: data[name] for name in data.files}
+        result = simulate(module, options, inputs=inputs)
+    except Exception as error:  # CLI boundary: report, don't traceback
+        print(f"equeue-sim: error: {error}", file=sys.stderr)
+        return 1
+
+    print(result.summary.format())
+    for name in args.dump_buffer:
+        try:
+            print(f"{name} = {result.buffer(name).tolist()}")
+        except Exception as error:
+            print(f"equeue-sim: error: {error}", file=sys.stderr)
+            return 1
+    if args.trace:
+        result.trace.to_json(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(result.trace)} records)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

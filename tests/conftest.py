@@ -1,0 +1,37 @@
+"""Shared fixtures and reference implementations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.dialects  # noqa: F401  (register all dialects)
+
+
+def conv2d_reference(ifmap: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Direct convolution: the functional ground truth."""
+    n, c, fh, fw = weights.shape
+    _, h, w = ifmap.shape
+    eh, ew = h - fh + 1, w - fw + 1
+    out = np.zeros((n, eh, ew), dtype=ifmap.dtype)
+    for filt in range(n):
+        for y in range(eh):
+            for x in range(ew):
+                out[filt, y, x] = np.sum(
+                    ifmap[:, y : y + fh, x : x + fw] * weights[filt]
+                )
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def module_and_builder():
+    from repro import ir
+
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    return module, builder

@@ -1,0 +1,120 @@
+"""Tests for the affine, memref, and scf dialect subsets."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import affine, arith, memref, scf
+from repro.ir import VerificationError, verify
+
+
+class TestAffineFor:
+    def test_builder_creates_iv_and_yield(self, module_and_builder):
+        module, builder = module_and_builder
+        seen = []
+        loop = affine.for_loop(builder, 0, 10, 2, body=lambda b, iv: seen.append(iv))
+        assert loop.lower_bound == 0
+        assert loop.upper_bound == 10
+        assert loop.step == 2
+        assert loop.trip_count == 5
+        assert seen[0].type == ir.index
+        assert loop.body.terminator.name == "affine.yield"
+        verify(module)
+
+    def test_trip_count_empty_loop(self, module_and_builder):
+        _, builder = module_and_builder
+        loop = affine.for_loop(builder, 5, 5, body=lambda b, iv: None)
+        assert loop.trip_count == 0
+
+    def test_nonpositive_step_rejected(self, module_and_builder):
+        module, builder = module_and_builder
+        loop = affine.for_loop(builder, 0, 4, body=lambda b, iv: None)
+        loop.set_attr("step", 0)
+        with pytest.raises(VerificationError, match="step"):
+            verify(module)
+
+    def test_body_missing_yield_rejected(self, module_and_builder):
+        module, builder = module_and_builder
+        loop = affine.for_loop(builder, 0, 4, body=lambda b, iv: None)
+        loop.body.ops[-1].erase()
+        with pytest.raises(VerificationError, match="yield"):
+            verify(module)
+
+
+class TestAffineParallel:
+    def test_builder(self, module_and_builder):
+        module, builder = module_and_builder
+        op = affine.parallel(
+            builder, [0, 0], [4, 4], body=lambda b, i, j: None
+        )
+        assert op.ranges == [(0, 4, 1), (0, 4, 1)]
+        verify(module)
+
+    def test_dim_mismatch_rejected(self, module_and_builder):
+        module, builder = module_and_builder
+        op = affine.parallel(builder, [0], [4], body=lambda b, i: None)
+        op.set_attr("upper_bounds", [4, 5])
+        with pytest.raises(VerificationError):
+            verify(module)
+
+
+class TestMemrefOps:
+    def test_alloc_load_store(self, module_and_builder):
+        module, builder = module_and_builder
+        buf = memref.alloc(builder, [4, 4], ir.i32)
+        i = arith.constant(builder, 1, ir.index)
+        j = arith.constant(builder, 2, ir.index)
+        value = memref.load(builder, buf, [i, j])
+        memref.store(builder, value, buf, [i, j])
+        memref.dealloc(builder, buf)
+        verify(module)
+
+    def test_load_wrong_arity(self, module_and_builder):
+        module, builder = module_and_builder
+        buf = memref.alloc(builder, [4, 4], ir.i32)
+        i = arith.constant(builder, 0, ir.index)
+        builder.create("memref.load", [buf, i], [ir.i32])
+        with pytest.raises(VerificationError, match="indices"):
+            verify(module)
+
+    def test_copy_shape_mismatch(self, module_and_builder):
+        module, builder = module_and_builder
+        a = memref.alloc(builder, [4], ir.i32)
+        b = memref.alloc(builder, [8], ir.i32)
+        builder.create("memref.copy", [a, b], [])
+        with pytest.raises(VerificationError, match="mismatch"):
+            verify(module)
+
+    def test_affine_load_store(self, module_and_builder):
+        module, builder = module_and_builder
+        buf = memref.alloc(builder, [8], ir.i32)
+        i = arith.constant(builder, 3, ir.index)
+        value = affine.load(builder, buf, [i])
+        affine.store(builder, value, buf, [i])
+        verify(module)
+
+
+class TestScfIf:
+    def test_then_only(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        cond = arith.cmpi(builder, "eq", a, a)
+        op = scf.if_op(builder, cond, lambda b: None)
+        assert op.else_block is None
+        assert op.then_block.terminator.name == "scf.yield"
+        verify(module)
+
+    def test_then_else(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        cond = arith.cmpi(builder, "ne", a, a)
+        op = scf.if_op(builder, cond, lambda b: None, lambda b: None)
+        assert op.else_block is not None
+        verify(module)
+
+    def test_condition_must_be_i1(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        bad = scf.if_op(builder, a, lambda b: None)
+        assert bad is not None
+        with pytest.raises(VerificationError, match="i1"):
+            verify(module)

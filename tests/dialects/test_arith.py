@@ -1,0 +1,91 @@
+"""Tests for the arith dialect ops and builders."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import arith
+from repro.ir import VerificationError, verify
+
+
+class TestBuilders:
+    def test_constant(self, module_and_builder):
+        module, builder = module_and_builder
+        value = arith.constant(builder, 42, ir.i32)
+        assert value.type == ir.i32
+        assert value.owner.get_attr("value") == 42
+        verify(module)
+
+    def test_float_constant(self, module_and_builder):
+        module, builder = module_and_builder
+        value = arith.constant(builder, 1.5, ir.f32)
+        assert value.owner.get_attr("value") == 1.5
+        verify(module)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["addi", "subi", "muli", "divsi", "remsi", "maxsi", "minsi",
+         "andi", "ori", "xori", "shli", "shrsi"],
+    )
+    def test_integer_binaries(self, module_and_builder, name):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 3, ir.i32)
+        b = arith.constant(builder, 4, ir.i32)
+        result = getattr(arith, name)(builder, a, b)
+        assert result.type == ir.i32
+        verify(module)
+
+    @pytest.mark.parametrize("name", ["addf", "subf", "mulf", "divf"])
+    def test_float_binaries(self, module_and_builder, name):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1.0, ir.f64)
+        b = arith.constant(builder, 2.0, ir.f64)
+        result = getattr(arith, name)(builder, a, b)
+        assert result.type == ir.f64
+        verify(module)
+
+    def test_cmpi_and_select(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 3, ir.i32)
+        b = arith.constant(builder, 4, ir.i32)
+        cond = arith.cmpi(builder, "slt", a, b)
+        assert cond.type == ir.i1
+        picked = arith.select(builder, cond, a, b)
+        assert picked.type == ir.i32
+        verify(module)
+
+
+class TestVerification:
+    def test_integer_op_rejects_floats(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1.0, ir.f32)
+        builder.create("arith.addi", [a, a], [ir.f32])
+        with pytest.raises(VerificationError, match="integer"):
+            verify(module)
+
+    def test_float_op_rejects_ints(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        builder.create("arith.addf", [a, a], [ir.i32])
+        with pytest.raises(VerificationError, match="float"):
+            verify(module)
+
+    def test_result_type_must_match(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        builder.create("arith.addi", [a, a], [ir.i64])
+        with pytest.raises(VerificationError, match="result type"):
+            verify(module)
+
+    def test_elementwise_on_tensors_allowed(self, module_and_builder):
+        module, builder = module_and_builder
+        tensor_type = ir.TensorType((4,), ir.i32)
+        a = builder.create("test.make", [], [tensor_type]).result()
+        builder.create("arith.muli", [a, a], [tensor_type])
+        verify(module)
+
+    def test_select_requires_i1(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        builder.create("arith.select", [a, a, a], [ir.i32])
+        with pytest.raises(VerificationError, match="i1"):
+            verify(module)

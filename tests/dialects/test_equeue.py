@@ -1,0 +1,256 @@
+"""Tests for the EQueue dialect: ops, types, and the high-level builder."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import arith
+from repro.dialects.equeue import EQueueBuilder, types as eqt
+from repro.ir import VerificationError, verify
+
+
+@pytest.fixture
+def eq(module_and_builder):
+    module, builder = module_and_builder
+    return module, builder, EQueueBuilder(builder)
+
+
+class TestStructureOps:
+    def test_create_proc(self, eq):
+        module, _, builder = eq
+        proc = builder.create_proc("ARMr5", name="kernel")
+        assert proc.type == eqt.proc
+        assert proc.owner.kind == "ARMr5"
+        verify(module)
+
+    def test_create_mem_attrs(self, eq):
+        module, _, builder = eq
+        mem = builder.create_mem("SRAM", 4096, ir.i32, banks=4, ports=2)
+        op = mem.owner
+        assert op.get_attr("size") == 4096
+        assert op.get_attr("data_bits") == 32
+        assert op.get_attr("banks") == 4
+        assert op.get_attr("ports") == 2
+        verify(module)
+
+    def test_create_mem_bad_size(self, eq):
+        module, raw, builder = eq
+        raw.create(
+            "equeue.create_mem", [], [eqt.mem],
+            {"kind": "SRAM", "size": 0, "data_bits": 32},
+        )
+        with pytest.raises(VerificationError, match="size"):
+            verify(module)
+
+    def test_comp_hierarchy(self, eq):
+        module, _, builder = eq
+        kernel = builder.create_proc("ARMr5")
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        dma = builder.create_dma()
+        comp = builder.create_comp("Kernel Mem DMA", [kernel, mem, dma])
+        looked_up = builder.get_comp(comp, "DMA", eqt.dma)
+        assert looked_up.type == eqt.dma
+        verify(module)
+
+    def test_create_comp_name_count_mismatch(self, eq):
+        module, raw, builder = eq
+        kernel = builder.create_proc("ARMr5")
+        raw.create(
+            "equeue.create_comp", [kernel], [eqt.comp], {"names": "A B"}
+        )
+        with pytest.raises(VerificationError, match="names"):
+            verify(module)
+
+    def test_add_comp(self, eq):
+        module, _, builder = eq
+        kernel = builder.create_proc("ARMr5")
+        comp = builder.create_comp("Kernel", [kernel])
+        pe = builder.create_proc("MAC")
+        builder.add_comp(comp, "PE0", [pe])
+        verify(module)
+
+    def test_connection_kinds(self, eq):
+        module, _, builder = eq
+        builder.create_connection("Streaming", 32)
+        builder.create_connection("Window", 16)
+        verify(module)
+
+    def test_connection_bad_kind(self, eq):
+        module, raw, builder = eq
+        raw.create(
+            "equeue.create_connection", [], [eqt.conn],
+            {"kind": "Bogus", "bandwidth": 8},
+        )
+        with pytest.raises(VerificationError, match="kind"):
+            verify(module)
+
+
+class TestDataMovementOps:
+    def test_alloc_read_write(self, eq):
+        module, _, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        buf = builder.alloc(mem, [8], ir.i32)
+        assert buf.type == ir.MemRefType((8,), ir.i32)
+        data = builder.read(buf)
+        assert data.type == ir.TensorType((8,), ir.i32)
+        builder.write(data, buf)
+        builder.dealloc(buf)
+        verify(module)
+
+    def test_indexed_read_returns_element(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("Register", 64, ir.i32)
+        buf = builder.alloc(mem, [4, 4], ir.i32)
+        i = arith.constant(raw, 1, ir.index)
+        j = arith.constant(raw, 2, ir.index)
+        value = builder.read_element(buf, [i, j])
+        assert value.type == ir.i32
+        builder.write_element(value, buf, [i, j])
+        verify(module)
+
+    def test_partial_index_read_slice(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("Register", 64, ir.i32)
+        buf = builder.alloc(mem, [4, 4], ir.i32)
+        i = arith.constant(raw, 1, ir.index)
+        row = builder.read_slice(buf, [i])
+        assert row.type == ir.TensorType((4,), ir.i32)
+        builder.write_slice(row, buf, [i])
+        verify(module)
+
+    def test_read_with_connection(self, eq):
+        module, _, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        conn = builder.create_connection("Streaming", 8)
+        buf = builder.alloc(mem, [8], ir.i32)
+        data = builder.read(buf, conn=conn)
+        builder.write(data, buf, conn=conn)
+        verify(module)
+
+    def test_too_many_indices_rejected(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("Register", 64, ir.i32)
+        buf = builder.alloc(mem, [4], ir.i32)
+        i = arith.constant(raw, 0, ir.index)
+        raw.create(
+            "equeue.read", [buf, i, i], [ir.i32], {"connected": False}
+        )
+        with pytest.raises(VerificationError, match="indices"):
+            verify(module)
+
+    def test_memcpy(self, eq):
+        module, _, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        dma = builder.create_dma()
+        a = builder.alloc(mem, [8], ir.i32)
+        b = builder.alloc(mem, [8], ir.i32)
+        start = builder.control_start()
+        done = builder.memcpy(start, a, b, dma)
+        assert done.type == eqt.event
+        verify(module)
+
+    def test_strided_memcpy(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        dma = builder.create_dma()
+        a = builder.alloc(mem, [16], ir.i32)
+        b = builder.alloc(mem, [4], ir.i32)
+        start = builder.control_start()
+        off = arith.constant(raw, 8, ir.index)
+        zero = arith.constant(raw, 0, ir.index)
+        builder.memcpy(start, a, b, dma, offsets=[off, zero], count=4)
+        verify(module)
+
+    def test_memcpy_element_type_mismatch(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        dma = builder.create_dma()
+        a = builder.alloc(mem, [8], ir.i32)
+        b = builder.alloc(mem, [8], ir.i64)
+        start = builder.control_start()
+        raw.create(
+            "equeue.memcpy", [start, a, b, dma], [eqt.event],
+            {"connected": False},
+        )
+        with pytest.raises(VerificationError, match="element types"):
+            verify(module)
+
+
+class TestControlOps:
+    def test_launch_returns(self, eq):
+        module, _, builder = eq
+        kernel = builder.create_proc("ARMr5")
+        value = arith_const = None
+        start = builder.control_start()
+
+        def body(b, ):
+            return []
+
+        done, = builder.launch(start, kernel, body=lambda b: None)
+        assert done.type == eqt.event
+        verify(module)
+        del value, arith_const
+
+    def test_launch_forwards_values(self, eq):
+        module, raw, builder = eq
+        kernel = builder.create_proc("ARMr5")
+        start = builder.control_start()
+        outer = arith.constant(raw, 3, ir.i32)
+
+        def body(b, captured):
+            return [captured]
+
+        done, forwarded = builder.launch(start, kernel, args=[outer], body=body)
+        assert forwarded.type == ir.i32
+        verify(module)
+
+    def test_control_and_or(self, eq):
+        module, _, builder = eq
+        a = builder.control_start()
+        b = builder.control_start()
+        joined = builder.control_and([a, b])
+        either = builder.control_or([a, b])
+        builder.await_([joined, either])
+        verify(module)
+
+    def test_await_rejects_non_events(self, eq):
+        module, raw, builder = eq
+        value = arith.constant(raw, 1, ir.i32)
+        raw.create("equeue.await", [value], [])
+        with pytest.raises(VerificationError, match="await"):
+            verify(module)
+
+    def test_external_op(self, eq):
+        module, _, builder = eq
+        tensor = ir.TensorType((4,), ir.i32)
+        mem = builder.create_mem("Register", 16, ir.i32)
+        buf = builder.alloc(mem, [4], ir.i32)
+        data = builder.read(buf)
+        out, = builder.op("mac", [data, data, data], [tensor])
+        assert out.type == tensor
+        verify(module)
+
+    def test_launch_on_non_processor_rejected(self, eq):
+        module, raw, builder = eq
+        mem = builder.create_mem("SRAM", 64, ir.i32)
+        start = builder.control_start()
+        block = ir.Block()
+        ir.Builder(ir.InsertionPoint.at_end(block)).create(
+            "equeue.return_values", [], []
+        )
+        raw.create(
+            "equeue.launch", [start, mem], [eqt.event], {},
+            [ir.Region([block])],
+        )
+        with pytest.raises(VerificationError, match="processor"):
+            verify(module)
+
+    def test_get_comp_template(self, eq):
+        module, raw, builder = eq
+        pe = builder.create_proc("MAC", name="pe_0")
+        comp = builder.create_comp("pe_0", [pe])
+        i = arith.constant(raw, 0, ir.index)
+        raw.create(
+            "equeue.get_comp", [comp, i], [eqt.proc],
+            {"name_template": "pe_{0}"},
+        )
+        verify(module)

@@ -1,0 +1,99 @@
+"""Tests for the linalg dialect subset and ConvDims."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import linalg, memref
+from repro.dialects.linalg import ConvDims
+from repro.ir import VerificationError, verify
+
+
+class TestConvDims:
+    def test_output_dims(self):
+        dims = ConvDims(n=4, c=3, h=8, w=10, fh=3, fw=3)
+        assert dims.eh == 6
+        assert dims.ew == 8
+
+    def test_macs(self):
+        dims = ConvDims(n=2, c=3, h=4, w=4, fh=2, fw=2)
+        assert dims.macs == 2 * 3 * 2 * 2 * 3 * 3
+
+    def test_validate_rejects_large_filter(self):
+        with pytest.raises(ValueError, match="larger"):
+            ConvDims(n=1, c=1, h=2, w=2, fh=3, fw=3).validate()
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConvDims(n=0, c=1, h=2, w=2, fh=1, fw=1).validate()
+
+
+class TestConv2DOp:
+    def _buffers(self, builder, dims):
+        ifmap = memref.alloc(builder, [dims.c, dims.h, dims.w], ir.i32)
+        weight = memref.alloc(
+            builder, [dims.n, dims.c, dims.fh, dims.fw], ir.i32
+        )
+        ofmap = memref.alloc(builder, [dims.n, dims.eh, dims.ew], ir.i32)
+        return ifmap, weight, ofmap
+
+    def test_valid_conv(self, module_and_builder):
+        module, builder = module_and_builder
+        dims = ConvDims(n=2, c=3, h=6, w=6, fh=3, fw=3)
+        op = linalg.conv2d(builder, *self._buffers(builder, dims))
+        assert op.conv_dims == dims
+        verify(module)
+
+    def test_channel_mismatch_rejected(self, module_and_builder):
+        module, builder = module_and_builder
+        ifmap = memref.alloc(builder, [3, 6, 6], ir.i32)
+        weight = memref.alloc(builder, [2, 4, 3, 3], ir.i32)  # wrong C
+        ofmap = memref.alloc(builder, [2, 4, 4], ir.i32)
+        builder.create("linalg.conv2d", [ifmap, weight, ofmap], [])
+        with pytest.raises(VerificationError, match="channels"):
+            verify(module)
+
+    def test_wrong_ofmap_shape_rejected(self, module_and_builder):
+        module, builder = module_and_builder
+        ifmap = memref.alloc(builder, [3, 6, 6], ir.i32)
+        weight = memref.alloc(builder, [2, 3, 3, 3], ir.i32)
+        ofmap = memref.alloc(builder, [2, 5, 5], ir.i32)  # should be 4x4
+        builder.create("linalg.conv2d", [ifmap, weight, ofmap], [])
+        with pytest.raises(VerificationError, match="ofmap"):
+            verify(module)
+
+    def test_rank_check(self, module_and_builder):
+        module, builder = module_and_builder
+        bad = memref.alloc(builder, [6, 6], ir.i32)
+        weight = memref.alloc(builder, [2, 3, 3, 3], ir.i32)
+        ofmap = memref.alloc(builder, [2, 4, 4], ir.i32)
+        builder.create("linalg.conv2d", [bad, weight, ofmap], [])
+        with pytest.raises(VerificationError, match="rank"):
+            verify(module)
+
+
+class TestMatmulFill:
+    def test_matmul_ok(self, module_and_builder):
+        module, builder = module_and_builder
+        a = memref.alloc(builder, [3, 4], ir.i32)
+        b = memref.alloc(builder, [4, 5], ir.i32)
+        c = memref.alloc(builder, [3, 5], ir.i32)
+        linalg.matmul(builder, a, b, c)
+        verify(module)
+
+    def test_matmul_contraction_mismatch(self, module_and_builder):
+        module, builder = module_and_builder
+        a = memref.alloc(builder, [3, 4], ir.i32)
+        b = memref.alloc(builder, [5, 5], ir.i32)
+        c = memref.alloc(builder, [3, 5], ir.i32)
+        builder.create("linalg.matmul", [a, b, c], [])
+        with pytest.raises(VerificationError, match="contraction"):
+            verify(module)
+
+    def test_fill(self, module_and_builder):
+        module, builder = module_and_builder
+        from repro.dialects import arith
+
+        value = arith.constant(builder, 0, ir.i32)
+        target = memref.alloc(builder, [4, 4], ir.i32)
+        linalg.fill(builder, value, target)
+        verify(module)

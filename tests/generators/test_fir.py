@@ -1,0 +1,137 @@
+"""FIR generator tests: functional correctness + paper-case timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.fir import (
+    FIRConfig,
+    PAPER_CASES,
+    build_fir_program,
+    fir_reference,
+)
+from repro.sim import EngineOptions, simulate
+
+
+def run_fir(cfg, seed=7):
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32)
+    coeffs = rng.integers(-4, 5, cfg.taps).astype(np.int32)
+    program = build_fir_program(cfg)
+    result = simulate(program.module, inputs=program.prepare_inputs(samples, coeffs))
+    return result, program.extract_output(result), fir_reference(
+        samples, coeffs, cfg.samples
+    )
+
+
+class TestConfigMath:
+    def test_paper_case_constants(self):
+        assert PAPER_CASES["case1"].expected_cycles == 2048
+        assert PAPER_CASES["case2"].expected_cycles == 143
+        assert PAPER_CASES["case3"].expected_cycles == 588
+        assert PAPER_CASES["case4"].expected_cycles == 540
+
+    def test_chunks(self):
+        cfg = FIRConfig(n_cores=4)
+        assert cfg.chunks == 16
+        assert cfg.chunks_per_core == 4
+        assert cfg.groups == 128
+
+    def test_transfer_cycles(self):
+        assert FIRConfig(n_cores=16, bandwidth=4).transfer_cycles == 4
+        assert FIRConfig(n_cores=16, bandwidth=16).transfer_cycles == 1
+        assert FIRConfig(n_cores=16).transfer_cycles == 0
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError, match="chunks"):
+            FIRConfig(n_cores=3)
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            FIRConfig(samples=510)
+
+
+class TestPaperCases:
+    @pytest.mark.parametrize("case", list(PAPER_CASES))
+    def test_cycles_and_function(self, case):
+        cfg = PAPER_CASES[case]
+        result, got, want = run_fir(cfg)
+        assert result.cycles == cfg.expected_cycles
+        assert np.array_equal(got, want), f"{case} produced wrong FIR output"
+
+    def test_case3_stalls_case4_balanced(self):
+        """§VII's headline: 16 cores stall 3 of 4 cycles at bw 4 B/cyc;
+        4 cores are balanced and strictly faster per unit area."""
+        case3 = PAPER_CASES["case3"]
+        case4 = PAPER_CASES["case4"]
+        r3, _, _ = run_fir(case3)
+        r4, _, _ = run_fir(case4)
+        assert r4.cycles < r3.cycles
+        # Case 3 wastes ~75% of compute: 16 cores x 588 cycles for work
+        # that 4 cores do in 540.
+        utilization3 = 16 * 128 / (16 * r3.cycles)
+        utilization4 = 4 * 128 * 4 / (4 * r4.cycles)
+        assert utilization3 < 0.3
+        assert utilization4 > 0.9
+
+    def test_case2_warmup_is_pipeline_depth(self):
+        cfg = PAPER_CASES["case2"]
+        assert cfg.expected_warmup == 15  # 16 stages, first fills at t=16
+
+    def test_trace_shows_stalls_in_case3(self):
+        cfg = PAPER_CASES["case3"]
+        rng = np.random.default_rng(0)
+        samples = rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32)
+        coeffs = rng.integers(-4, 5, cfg.taps).astype(np.int32)
+        program = build_fir_program(cfg)
+        result = simulate(
+            program.module,
+            EngineOptions(trace=True),
+            inputs=program.prepare_inputs(samples, coeffs),
+        )
+        core1 = result.trace.slices_for("aie_1")
+        assert len(core1) == cfg.groups
+        # Steady-state: consecutive groups on a cascade-gated core start 4
+        # cycles apart although each compute takes 1 cycle — the 3-cycle
+        # stall of Fig. 13.
+        starts = sorted(record.start for record in core1)
+        gaps = [b - a for a, b in zip(starts[20:], starts[21:40])]
+        assert all(gap == 4 for gap in gaps)
+
+
+class TestScaledConfigs:
+    @pytest.mark.parametrize("n_cores", [2, 8])
+    def test_other_splits_work(self, n_cores):
+        cfg = FIRConfig(n_cores=n_cores, bandwidth=4, samples=64)
+        result, got, want = run_fir(cfg)
+        assert np.array_equal(got, want)
+        assert result.cycles == cfg.expected_cycles
+
+    def test_wider_bandwidth_removes_stalls(self):
+        narrow = FIRConfig(n_cores=16, bandwidth=4, samples=64)
+        wide = FIRConfig(n_cores=16, bandwidth=16, samples=64)
+        r_narrow, _, _ = run_fir(narrow)
+        r_wide, _, _ = run_fir(wide)
+        assert r_wide.cycles < r_narrow.cycles
+        assert r_wide.cycles == wide.expected_cycles
+
+    def test_short_filter(self):
+        cfg = FIRConfig(n_cores=4, taps=8, samples=64)
+        result, got, want = run_fir(cfg)
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_cores=st.sampled_from([1, 2, 4, 8, 16]),
+    bandwidth=st.sampled_from([None, 4, 8]),
+    seed=st.integers(0, 2**16),
+)
+def test_fir_property(n_cores, bandwidth, seed):
+    """Any core split / bandwidth yields the exact FIR result and matches
+    the closed-form pipeline timing."""
+    cfg = FIRConfig(n_cores=n_cores, bandwidth=bandwidth, samples=64)
+    result, got, want = run_fir(cfg, seed=seed)
+    assert np.array_equal(got, want)
+    assert result.cycles == cfg.expected_cycles

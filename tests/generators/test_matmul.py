@@ -1,0 +1,80 @@
+"""Matmul-on-systolic tests (the matmul_dims degenerate-conv mapping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.systolic import (
+    SystolicConfig,
+    build_systolic_program,
+    matmul_dims,
+    matmul_inputs,
+    matmul_output,
+)
+from repro.sim import simulate
+
+
+def run_matmul(dataflow, a, b, ah=4, aw=4):
+    m, k = a.shape
+    _, n = b.shape
+    cfg = SystolicConfig(dataflow, ah, aw, matmul_dims(m, k, n))
+    program = build_systolic_program(cfg)
+    ifmap, weights = matmul_inputs(a, b)
+    result = simulate(program.module, inputs=program.prepare_inputs(ifmap, weights))
+    return cfg, result, matmul_output(program.extract_ofmap(result))
+
+
+class TestMapping:
+    def test_dims(self):
+        dims = matmul_dims(12, 9, 6)
+        assert (dims.c, dims.h, dims.w) == (9, 12, 1)
+        assert (dims.n, dims.fh, dims.fw) == (6, 1, 1)
+        assert dims.eh == 12 and dims.ew == 1
+        assert dims.macs == 12 * 9 * 6
+
+    def test_input_layouts(self, rng):
+        a = rng.integers(-3, 4, (5, 3)).astype(np.int32)
+        b = rng.integers(-3, 4, (3, 4)).astype(np.int32)
+        ifmap, weights = matmul_inputs(a, b)
+        assert ifmap.shape == (3, 5, 1)
+        assert weights.shape == (4, 3, 1, 1)
+
+    def test_contraction_mismatch(self, rng):
+        a = rng.integers(0, 2, (5, 3))
+        b = rng.integers(0, 2, (4, 4))
+        with pytest.raises(ValueError, match="contraction"):
+            matmul_inputs(a, b)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("dataflow", ["WS", "IS", "OS"])
+    def test_matmul_exact(self, dataflow, rng):
+        a = rng.integers(-5, 6, (10, 7)).astype(np.int32)
+        b = rng.integers(-5, 6, (7, 5)).astype(np.int32)
+        cfg, result, c = run_matmul(dataflow, a, b)
+        assert np.array_equal(c, a @ b)
+        assert result.cycles == cfg.expected_cycles
+
+    def test_tall_skinny(self, rng):
+        a = rng.integers(-5, 6, (17, 2)).astype(np.int32)
+        b = rng.integers(-5, 6, (2, 2)).astype(np.int32)
+        _, _, c = run_matmul("WS", a, b, ah=2, aw=2)
+        assert np.array_equal(c, a @ b)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 8),
+    k=st.integers(1, 8),
+    n=st.integers(1, 8),
+    dataflow=st.sampled_from(["WS", "IS", "OS"]),
+    seed=st.integers(0, 2**16),
+)
+def test_matmul_property(m, k, n, dataflow, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-4, 5, (m, k)).astype(np.int32)
+    b = rng.integers(-4, 5, (k, n)).astype(np.int32)
+    cfg, result, c = run_matmul(dataflow, a, b, ah=2, aw=2)
+    assert np.array_equal(c, a @ b)
+    assert result.cycles == cfg.expected_cycles

@@ -1,0 +1,91 @@
+"""Lowering-pipeline tests (the Fig. 11 experiment apparatus)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects.linalg import ConvDims
+from repro.generators.pipeline import STAGES, LoweringPipeline
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_results():
+    pipeline = LoweringPipeline(
+        dims=ConvDims(n=2, c=2, h=6, w=6, fh=3, fw=3), dataflow="WS"
+    )
+    return pipeline.run_all()
+
+
+class TestStageConstruction:
+    def test_stage_names(self):
+        assert STAGES == ("linalg", "affine", "reassign", "systolic")
+
+    def test_linalg_stage_has_conv(self):
+        pipeline = LoweringPipeline(dims=ConvDims(n=1, c=1, h=4, w=4, fh=2, fw=2))
+        module = pipeline.build_stage("linalg")
+        assert any(op.name == "linalg.conv2d" for op in module.walk())
+
+    def test_affine_stage_has_loops_and_reads(self):
+        pipeline = LoweringPipeline(dims=ConvDims(n=1, c=1, h=4, w=4, fh=2, fw=2))
+        module = pipeline.build_stage("affine")
+        names = {op.name for op in module.walk()}
+        assert "affine.for" in names
+        assert "equeue.read" in names
+        assert "linalg.conv2d" not in names
+
+    def test_reassign_stage_has_memcpys(self):
+        pipeline = LoweringPipeline(dims=ConvDims(n=1, c=1, h=4, w=4, fh=2, fw=2))
+        module = pipeline.build_stage("reassign")
+        memcpys = [op for op in module.walk() if op.name == "equeue.memcpy"]
+        assert len(memcpys) == 3  # ifmap in, weight in, ofmap out
+
+    def test_unknown_stage(self):
+        pipeline = LoweringPipeline(dims=ConvDims(n=1, c=1, h=4, w=4, fh=2, fw=2))
+        with pytest.raises(ValueError):
+            pipeline.build_stage("rtl")
+
+
+class TestFig11Shape:
+    def test_all_stages_same_convolution(self, small_pipeline_results):
+        results = small_pipeline_results
+        reference = results["linalg"].ofmap
+        for stage in STAGES:
+            assert np.array_equal(results[stage].ofmap, reference)
+
+    def test_cycles_decrease_along_pipeline(self, small_pipeline_results):
+        results = small_pipeline_results
+        cycles = [results[stage].cycles for stage in STAGES]
+        assert cycles == sorted(cycles, reverse=True), cycles
+        # And the systolic stage is dramatically faster (16 PEs).
+        assert results["systolic"].cycles * 4 < results["reassign"].cycles
+
+    def test_sram_bw_grows_linalg_to_affine(self, small_pipeline_results):
+        results = small_pipeline_results
+        assert (
+            results["affine"].sram_read_bw > results["linalg"].sram_read_bw
+        )
+
+    def test_register_bw_zero_until_reassign(self, small_pipeline_results):
+        results = small_pipeline_results
+        assert results["linalg"].register_read_bw == 0
+        assert results["affine"].register_read_bw == 0
+        assert results["reassign"].register_read_bw > 0
+        assert results["systolic"].register_read_bw > 0
+
+    @pytest.mark.parametrize("dataflow", ["IS", "OS"])
+    def test_other_dataflows_share_first_stages(self, dataflow):
+        """§VI-D: the first three stages are dataflow-independent."""
+        ws = LoweringPipeline(
+            dims=ConvDims(n=2, c=1, h=5, w=5, fh=2, fw=2), dataflow="WS"
+        )
+        other = LoweringPipeline(
+            dims=ConvDims(n=2, c=1, h=5, w=5, fh=2, fw=2), dataflow=dataflow
+        )
+        for stage in ("linalg", "affine", "reassign"):
+            ws_result = ws.run_stage(stage)
+            other_result = other.run_stage(stage)
+            assert ws_result.cycles == other_result.cycles
+        # The final stage differs between dataflows.
+        assert (
+            ws.run_stage("systolic").cycles
+            != other.run_stage("systolic").cycles
+        )

@@ -1,0 +1,163 @@
+"""Systolic generator tests: functional correctness + timing laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects.linalg import ConvDims
+from repro.generators.systolic import (
+    SystolicConfig,
+    build_systolic_program,
+    im2col,
+    weight_matrix,
+)
+from repro.sim import simulate
+from tests.conftest import conv2d_reference
+
+
+def run_config(cfg, rng):
+    program = build_systolic_program(cfg)
+    dims = cfg.dims
+    ifmap = rng.integers(-4, 5, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -4, 5, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    result = simulate(program.module, inputs=program.prepare_inputs(ifmap, weights))
+    got = program.extract_ofmap(result)
+    want = conv2d_reference(ifmap, weights)
+    return result, got, want
+
+
+class TestMappingMath:
+    def test_ws_dimensions(self):
+        dims = ConvDims(n=4, c=3, h=8, w=8, fh=3, fw=3)
+        cfg = SystolicConfig("WS", 4, 4, dims)
+        assert cfg.d1 == 27      # Fh*Fw*C
+        assert cfg.d2 == 4       # N
+        assert cfg.stream_length == 36  # Eh*Ew
+        assert cfg.loop_iterations == 7  # ceil(27/4)*ceil(4/4)
+
+    def test_is_dimensions(self):
+        dims = ConvDims(n=4, c=3, h=8, w=8, fh=3, fw=3)
+        cfg = SystolicConfig("IS", 4, 4, dims)
+        assert cfg.d1 == 27
+        assert cfg.d2 == 36
+        assert cfg.stream_length == 4
+
+    def test_os_dimensions(self):
+        dims = ConvDims(n=4, c=3, h=8, w=8, fh=3, fw=3)
+        cfg = SystolicConfig("OS", 4, 4, dims)
+        assert cfg.d1 == 4
+        assert cfg.d2 == 36
+        assert cfg.stream_length == 27
+
+    def test_expected_cycles_formula(self):
+        dims = ConvDims(n=1, c=3, h=8, w=8, fh=2, fw=2)
+        cfg = SystolicConfig("WS", 4, 4, dims)
+        # T = Eh*Ew = 49; per fold: 2*4 + 4 + 49 - 2 = 59;
+        # folds = ceil(12/4) * ceil(1/4) = 3.
+        assert cfg.expected_cycles == 3 * 59
+
+    def test_bad_dataflow_rejected(self):
+        dims = ConvDims(n=1, c=1, h=4, w=4, fh=2, fw=2)
+        with pytest.raises(ValueError, match="dataflow"):
+            SystolicConfig("XS", 4, 4, dims)
+
+    def test_im2col_shapes_and_values(self):
+        dims = ConvDims(n=1, c=2, h=3, w=3, fh=2, fw=2)
+        ifmap = np.arange(18, dtype=np.int32).reshape(2, 3, 3)
+        x = im2col(ifmap, dims)
+        assert x.shape == (4, 8)  # (Eh*Ew, C*Fh*Fw)
+        assert list(x[0]) == list(ifmap[:, 0:2, 0:2].ravel())
+
+    def test_weight_matrix_layout(self):
+        dims = ConvDims(n=2, c=2, h=3, w=3, fh=2, fw=2)
+        weights = np.arange(16, dtype=np.int32).reshape(2, 2, 2, 2)
+        w = weight_matrix(weights, dims)
+        assert w.shape == (8, 2)
+        assert list(w[:, 0]) == list(weights[0].ravel())
+
+    def test_im2col_times_weights_equals_conv(self, rng):
+        dims = ConvDims(n=3, c=2, h=6, w=5, fh=3, fw=2)
+        ifmap = rng.integers(-5, 6, (2, 6, 5)).astype(np.int32)
+        weights = rng.integers(-5, 6, (3, 2, 3, 2)).astype(np.int32)
+        product = im2col(ifmap, dims) @ weight_matrix(weights, dims)
+        expected = conv2d_reference(ifmap, weights)
+        assert np.array_equal(
+            product.T.reshape(dims.n, dims.eh, dims.ew), expected
+        )
+
+
+class TestDataflowSimulation:
+    @pytest.mark.parametrize("dataflow", ["WS", "IS", "OS"])
+    def test_functional_and_timing(self, dataflow, rng):
+        dims = ConvDims(n=2, c=3, h=6, w=6, fh=2, fw=2)
+        cfg = SystolicConfig(dataflow, 4, 4, dims)
+        result, got, want = run_config(cfg, rng)
+        assert np.array_equal(got, want), f"{dataflow} computed wrong conv"
+        assert result.cycles == cfg.expected_cycles
+
+    @pytest.mark.parametrize("dataflow", ["WS", "IS", "OS"])
+    def test_nonsquare_array(self, dataflow, rng):
+        dims = ConvDims(n=3, c=2, h=5, w=5, fh=2, fw=2)
+        cfg = SystolicConfig(dataflow, 2, 8, dims)
+        result, got, want = run_config(cfg, rng)
+        assert np.array_equal(got, want)
+        assert result.cycles == cfg.expected_cycles
+
+    def test_single_pe_array(self, rng):
+        dims = ConvDims(n=1, c=1, h=3, w=3, fh=2, fw=2)
+        cfg = SystolicConfig("WS", 1, 1, dims)
+        result, got, want = run_config(cfg, rng)
+        assert np.array_equal(got, want)
+
+    def test_array_larger_than_problem(self, rng):
+        dims = ConvDims(n=1, c=1, h=3, w=3, fh=2, fw=2)
+        cfg = SystolicConfig("WS", 8, 8, dims)  # heavy padding
+        result, got, want = run_config(cfg, rng)
+        assert np.array_equal(got, want)
+        assert cfg.loop_iterations == 1
+
+    def test_ofmap_write_traffic_matches_model(self, rng):
+        dims = ConvDims(n=1, c=3, h=8, w=8, fh=2, fw=2)
+        cfg = SystolicConfig("WS", 4, 4, dims)
+        result, _, _ = run_config(cfg, rng)
+        report = result.summary.memory_named("ofmap_mem")
+        assert report is not None
+        assert report.bytes_written == cfg.ofmap_write_bytes
+
+    def test_pe_concurrency_visible_in_stats(self, rng):
+        dims = ConvDims(n=4, c=2, h=6, w=6, fh=2, fw=2)
+        cfg = SystolicConfig("WS", 4, 4, dims)
+        program = build_systolic_program(cfg)
+        ifmap = rng.integers(-2, 3, (2, 6, 6)).astype(np.int32)
+        weights = rng.integers(-2, 3, (4, 2, 2, 2)).astype(np.int32)
+        result = simulate(
+            program.module, inputs=program.prepare_inputs(ifmap, weights)
+        )
+        # Total MAC work far exceeds total cycles: parallelism happened.
+        assert cfg.dims.macs > result.cycles
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    dataflow=st.sampled_from(["WS", "IS", "OS"]),
+    n=st.integers(1, 3),
+    c=st.integers(1, 3),
+    size=st.integers(3, 6),
+    filt=st.integers(1, 3),
+    ah=st.sampled_from([2, 4]),
+    seed=st.integers(0, 2**16),
+)
+def test_systolic_matches_reference_conv(dataflow, n, c, size, filt, ah, seed):
+    """Property: for any small configuration, the DES computes the exact
+    convolution and the exact closed-form cycle count."""
+    if filt > size:
+        return
+    dims = ConvDims(n=n, c=c, h=size, w=size, fh=filt, fw=filt)
+    cfg = SystolicConfig(dataflow, ah, 4, dims)
+    rng = np.random.default_rng(seed)
+    result, got, want = run_config(cfg, rng)
+    assert np.array_equal(got, want)
+    assert result.cycles == cfg.expected_cycles

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs cleanly and prints its claims.
+
+The examples double as documentation; this keeps them from rotting.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 420) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py")
+        assert "equeue.launch" in out
+        assert "buf0 after simulation" in out
+        trace = EXAMPLES.parent / "quickstart_trace.json"
+        assert trace.exists()
+        trace.unlink()
+
+    def test_systolic_array(self):
+        out = run_example("systolic_array.py")
+        for dataflow in ("WS", "IS", "OS"):
+            assert dataflow in out
+        assert "NO" not in out  # every match/correct column says yes
+
+    def test_fir_aie(self):
+        out = run_example("fir_aie.py")
+        assert "2048" in out and "143" in out and "588" in out
+        assert "NO" not in out
+        trace = EXAMPLES.parent / "fir_case3_trace.json"
+        assert trace.exists()
+        trace.unlink()
+
+    def test_lowering_pipeline(self):
+        out = run_example("lowering_pipeline.py")
+        for stage in ("linalg", "affine", "reassign", "systolic"):
+            assert stage in out
+        assert "same convolution" in out
+
+    def test_custom_component(self):
+        out = run_example("custom_component.py")
+        assert "cache hits" in out
+        assert "functional check passed" in out
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "best WS shape" in out
+        assert "exact match" in out
+
+    def test_matmul_accelerator(self):
+        out = run_example("matmul_accelerator.py")
+        assert out.count("yes") == 3
+        assert "NO" not in out

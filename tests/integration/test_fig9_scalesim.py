@@ -1,0 +1,81 @@
+"""Integration: Fig. 9 — EQueue DES vs SCALE-Sim on a 4x4 WS array.
+
+The paper's claim: "Our EQueue-based simulation matches SCALE-Sim's
+results" for cycles and SRAM ofmap write bandwidth, across ifmap sizes
+(fixed 2x2x3 weights) and weight sizes (fixed 32x32 ifmap).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScaleSimConfig, run_scalesim
+from repro.dialects.linalg import ConvDims
+from repro.generators.systolic import SystolicConfig, build_systolic_program
+from repro.sim import simulate
+from tests.conftest import conv2d_reference
+
+IFMAP_SIZES = [2, 4, 8, 16]          # paper: up to 32 (kept small for CI)
+WEIGHT_SIZES = [2, 4, 8]
+
+
+def des_result(cfg: SystolicConfig, seed=0):
+    rng = np.random.default_rng(seed)
+    dims = cfg.dims
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    program = build_systolic_program(cfg)
+    result = simulate(program.module, inputs=program.prepare_inputs(ifmap, weights))
+    ofmap = program.extract_ofmap(result)
+    assert np.array_equal(ofmap, conv2d_reference(ifmap, weights))
+    return result
+
+
+class TestFig9aB:
+    """Vary ifmap, fixed 2x2x3 weights, N=1 (Fig. 9a-b)."""
+
+    @pytest.mark.parametrize("size", IFMAP_SIZES)
+    def test_cycles_match_scalesim(self, size):
+        dims = ConvDims(n=1, c=3, h=size, w=size, fh=2, fw=2)
+        equeue_cfg = SystolicConfig("WS", 4, 4, dims)
+        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
+        des = des_result(equeue_cfg)
+        assert des.cycles == scalesim.cycles
+
+    @pytest.mark.parametrize("size", IFMAP_SIZES)
+    def test_write_bw_matches_scalesim(self, size):
+        dims = ConvDims(n=1, c=3, h=size, w=size, fh=2, fw=2)
+        equeue_cfg = SystolicConfig("WS", 4, 4, dims)
+        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
+        des = des_result(equeue_cfg)
+        report = des.summary.memory_named("ofmap_mem")
+        measured_bw = report.bytes_written / des.cycles
+        assert measured_bw == pytest.approx(scalesim.avg_ofmap_write_bw)
+
+    def test_cycles_grow_with_ifmap(self):
+        cycles = []
+        for size in IFMAP_SIZES:
+            dims = ConvDims(n=1, c=3, h=size, w=size, fh=2, fw=2)
+            cycles.append(des_result(SystolicConfig("WS", 4, 4, dims)).cycles)
+        assert cycles == sorted(cycles)
+        assert cycles[-1] > cycles[0] * 5  # superlinear growth in area
+
+
+class TestFig9cD:
+    """Vary weights, fixed larger ifmap (Fig. 9c-d)."""
+
+    @pytest.mark.parametrize("filt", WEIGHT_SIZES)
+    def test_cycles_match_scalesim(self, filt):
+        dims = ConvDims(n=1, c=3, h=16, w=16, fh=filt, fw=filt)
+        equeue_cfg = SystolicConfig("WS", 4, 4, dims)
+        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
+        des = des_result(equeue_cfg)
+        assert des.cycles == scalesim.cycles
+
+    def test_cycles_grow_with_weights(self):
+        cycles = []
+        for filt in WEIGHT_SIZES:
+            dims = ConvDims(n=1, c=3, h=16, w=16, fh=filt, fw=filt)
+            cycles.append(des_result(SystolicConfig("WS", 4, 4, dims)).cycles)
+        assert cycles == sorted(cycles)

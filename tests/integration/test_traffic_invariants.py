@@ -1,0 +1,88 @@
+"""Property tests on cross-cutting invariants of the simulation engine.
+
+These check conservation laws that must hold for *any* configuration:
+traffic accounting matches the analytical model, total busy time never
+exceeds capacity, and the closed forms agree between the generator and
+the SCALE-Sim baseline everywhere.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ScaleSimConfig, run_scalesim
+from repro.dialects.linalg import ConvDims
+from repro.generators.systolic import SystolicConfig, build_systolic_program
+from repro.sim import simulate
+
+configs = st.builds(
+    lambda dataflow, ah, n, c, size, filt: SystolicConfig(
+        dataflow,
+        ah,
+        4,
+        ConvDims(n=n, c=c, h=size, w=size, fh=filt, fw=filt),
+    ),
+    dataflow=st.sampled_from(["WS", "IS", "OS"]),
+    ah=st.sampled_from([2, 4]),
+    n=st.integers(1, 4),
+    c=st.integers(1, 3),
+    size=st.integers(4, 7),
+    filt=st.integers(1, 3),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(cfg=configs, seed=st.integers(0, 2**16))
+def test_ofmap_traffic_matches_model(cfg, seed):
+    """DES ofmap write bytes equal the analytical traffic model exactly,
+    for any dataflow/shape combination."""
+    rng = np.random.default_rng(seed)
+    program = build_systolic_program(cfg)
+    dims = cfg.dims
+    inputs = program.prepare_inputs(
+        rng.integers(-2, 3, (dims.c, dims.h, dims.w)).astype(np.int32),
+        rng.integers(-2, 3, (dims.n, dims.c, dims.fh, dims.fw)).astype(np.int32),
+    )
+    result = simulate(program.module, inputs=inputs)
+    report = result.summary.memory_named("ofmap_mem")
+    assert report.bytes_written == cfg.ofmap_write_bytes
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=configs)
+def test_scalesim_agrees_everywhere(cfg):
+    """Closed-form cycle agreement between the EQueue model and the
+    SCALE-Sim baseline holds across the whole configuration space (the
+    Fig. 9 claim, generalized beyond the plotted points)."""
+    baseline = run_scalesim(
+        ScaleSimConfig(cfg.dataflow, cfg.array_height, cfg.array_width, cfg.dims)
+    )
+    assert baseline.cycles == cfg.expected_cycles
+    assert baseline.folds == cfg.loop_iterations
+
+
+@settings(max_examples=10, deadline=None)
+@given(cfg=configs, seed=st.integers(0, 2**16))
+def test_busy_time_bounded_by_makespan(cfg, seed):
+    """No component can be busy longer than the simulation ran times its
+    parallel capacity (conservation of service time)."""
+    rng = np.random.default_rng(seed)
+    program = build_systolic_program(cfg)
+    dims = cfg.dims
+    inputs = program.prepare_inputs(
+        rng.integers(-2, 3, (dims.c, dims.h, dims.w)).astype(np.int32),
+        rng.integers(-2, 3, (dims.n, dims.c, dims.fh, dims.fw)).astype(np.int32),
+    )
+    from repro.sim.engine import Engine
+
+    engine = Engine(program.module, inputs=inputs)
+    result = engine.run()
+    for memory in engine.memories:
+        if memory.queue is None:
+            continue
+        capacity = result.cycles * memory.ports
+        assert memory.queue.busy_cycles <= max(capacity, 0) or (
+            result.cycles == 0 and memory.queue.busy_cycles == 0
+        )
+    for proc in engine.processors:
+        assert proc.busy_cycles <= result.cycles

@@ -1,0 +1,110 @@
+"""Unit tests for attributes and Python conversions."""
+
+import pytest
+
+from repro.ir import (
+    ArrayAttr,
+    BoolAttr,
+    DictAttr,
+    FloatAttr,
+    IntegerAttr,
+    IRError,
+    StringAttr,
+    TypeAttr,
+    UnitAttr,
+    attr_from_python,
+    attr_to_python,
+    i32,
+)
+from repro.ir.types import FloatType, IndexType
+
+
+class TestScalarAttrs:
+    def test_integer_attr_str(self):
+        assert str(IntegerAttr(5, i32)) == "5 : i32"
+        assert str(IntegerAttr(-3, i32)) == "-3 : i32"
+
+    def test_integer_attr_default_type(self):
+        attr = IntegerAttr(7)
+        assert str(attr) == "7 : i64"
+
+    def test_integer_attr_index_type(self):
+        assert str(IntegerAttr(2, IndexType())) == "2 : index"
+
+    def test_integer_attr_rejects_float_type(self):
+        with pytest.raises(IRError):
+            IntegerAttr(1, FloatType(32))
+
+    def test_float_attr(self):
+        attr = FloatAttr(1.5, FloatType(32))
+        assert str(attr) == "1.5 : f32"
+
+    def test_float_attr_rejects_integer_type(self):
+        with pytest.raises(IRError):
+            FloatAttr(1.0, i32)
+
+    def test_bool_attr(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+
+    def test_string_attr_escaping(self):
+        attr = StringAttr('say "hi" \\ there')
+        assert '\\"hi\\"' in str(attr)
+
+    def test_unit_attr(self):
+        assert str(UnitAttr()) == "unit"
+
+    def test_type_attr(self):
+        assert str(TypeAttr(i32)) == "i32"
+
+
+class TestCompositeAttrs:
+    def test_array_attr(self):
+        attr = ArrayAttr((IntegerAttr(1, i32), IntegerAttr(2, i32)))
+        assert str(attr) == "[1 : i32, 2 : i32]"
+        assert len(attr) == 2
+        assert attr[0] == IntegerAttr(1, i32)
+
+    def test_array_attr_rejects_non_attrs(self):
+        with pytest.raises(IRError):
+            ArrayAttr((1, 2))
+
+    def test_dict_attr_sorted_and_str(self):
+        attr = DictAttr((("b", IntegerAttr(2)), ("a", IntegerAttr(1))))
+        assert list(attr.as_dict()) == ["a", "b"]
+
+    def test_dict_attr_equality_order_independent(self):
+        a = DictAttr((("x", IntegerAttr(1)), ("y", IntegerAttr(2))))
+        b = DictAttr((("y", IntegerAttr(2)), ("x", IntegerAttr(1))))
+        assert a == b
+
+
+class TestPythonConversion:
+    @pytest.mark.parametrize(
+        "value",
+        [5, -2, 1.25, True, False, "hello", [1, 2, 3], {"a": 1, "b": "x"}],
+    )
+    def test_roundtrip(self, value):
+        attr = attr_from_python(value)
+        assert attr_to_python(attr) == value
+
+    def test_bool_is_not_integer(self):
+        assert isinstance(attr_from_python(True), BoolAttr)
+        assert isinstance(attr_from_python(1), IntegerAttr)
+
+    def test_type_passthrough(self):
+        attr = attr_from_python(i32)
+        assert isinstance(attr, TypeAttr)
+        assert attr_to_python(attr) == i32
+
+    def test_existing_attr_passthrough(self):
+        attr = IntegerAttr(1, i32)
+        assert attr_from_python(attr) is attr
+
+    def test_unconvertible_raises(self):
+        with pytest.raises(IRError):
+            attr_from_python(object())
+
+    def test_nested_structures(self):
+        value = {"list": [1, "two", False], "n": 3}
+        assert attr_to_python(attr_from_python(value)) == value

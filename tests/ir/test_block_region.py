@@ -1,0 +1,92 @@
+"""Unit tests for blocks and regions."""
+
+import pytest
+
+from repro.ir import Block, IRError, Operation, Region, i32, index
+
+
+class TestBlock:
+    def test_append_sets_parent(self):
+        block = Block()
+        op = Operation.create("test.x")
+        block.append(op)
+        assert op.parent is block
+        assert len(block) == 1
+        assert block.first_op is op
+        assert block.terminator is op
+
+    def test_insert_before_after(self):
+        block = Block()
+        a = block.append(Operation.create("test.a"))
+        c = block.append(Operation.create("test.c"))
+        b = Operation.create("test.b")
+        block.insert_before(c, b)
+        assert [op.name for op in block] == ["test.a", "test.b", "test.c"]
+        d = Operation.create("test.d")
+        block.insert_after(a, d)
+        assert [op.name for op in block] == [
+            "test.a", "test.d", "test.b", "test.c",
+        ]
+
+    def test_index_of_missing_raises(self):
+        block = Block()
+        with pytest.raises(IRError):
+            block.index_of(Operation.create("test.x"))
+
+    def test_add_and_erase_argument(self):
+        block = Block(arg_types=[i32])
+        arg = block.add_argument(index, name_hint="iv")
+        assert arg.index == 1
+        assert arg.name_hint == "iv"
+        block.erase_argument(0)
+        assert block.arguments[0] is arg
+        assert arg.index == 0
+
+    def test_erase_argument_with_uses_raises(self):
+        block = Block(arg_types=[i32])
+        Operation.create("test.use", [block.arguments[0]], [])
+        with pytest.raises(IRError):
+            block.erase_argument(0)
+
+    def test_remove_clears_parent(self):
+        block = Block()
+        op = block.append(Operation.create("test.x"))
+        block.remove(op)
+        assert op.parent is None
+        assert block.empty
+
+
+class TestRegion:
+    def test_append_blocks(self):
+        region = Region()
+        b0 = region.append(Block())
+        b1 = region.append(Block())
+        assert region.entry_block is b0
+        assert len(region) == 2
+        assert b1.parent is region
+
+    def test_region_parent_op(self):
+        block = Block()
+        region = Region([block])
+        op = Operation.create("test.wrap", [], [], regions=[region])
+        assert region.parent is op
+        assert block.parent_op is op
+
+    def test_clone_remaps_block_args(self):
+        block = Block(arg_types=[i32])
+        user = Operation.create("test.use", [block.arguments[0]], [])
+        block.append(user)
+        region = Region([block])
+        Operation.create("test.wrap", [], [], regions=[region])
+
+        clone = region.clone()
+        new_block = clone.entry_block
+        assert new_block.ops[0].operand(0) is new_block.arguments[0]
+        assert block.arguments[0].num_uses == 1  # original untouched
+
+    def test_walk(self):
+        block = Block()
+        block.append(Operation.create("test.a"))
+        block.append(Operation.create("test.b"))
+        region = Region([block])
+        assert [op.name for op in region.walk()] == ["test.a", "test.b"]

@@ -1,0 +1,82 @@
+"""Unit tests for the op builder and insertion points."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    InsertionPoint,
+    IRError,
+    Operation,
+    Region,
+    create_module,
+    i32,
+)
+
+
+class TestInsertionPoints:
+    def test_at_end_appends(self):
+        block = Block()
+        builder = Builder(InsertionPoint.at_end(block))
+        builder.create("test.a")
+        builder.create("test.b")
+        assert [op.name for op in block] == ["test.a", "test.b"]
+
+    def test_at_begin_prepends(self):
+        block = Block()
+        block.append(Operation.create("test.z"))
+        builder = Builder(InsertionPoint.at_begin(block))
+        builder.create("test.a")
+        assert [op.name for op in block] == ["test.a", "test.z"]
+
+    def test_before_and_after(self):
+        block = Block()
+        anchor = block.append(Operation.create("test.anchor"))
+        Builder(InsertionPoint.before(anchor)).create("test.pre")
+        Builder(InsertionPoint.after(anchor)).create("test.post")
+        assert [op.name for op in block] == [
+            "test.pre", "test.anchor", "test.post",
+        ]
+
+    def test_before_detached_op_raises(self):
+        with pytest.raises(IRError):
+            InsertionPoint.before(Operation.create("test.x"))
+
+    def test_builder_without_ip_raises(self):
+        builder = Builder()
+        with pytest.raises(IRError):
+            builder.create("test.x")
+
+    def test_sequential_inserts_maintain_order(self):
+        block = Block()
+        block.append(Operation.create("test.tail"))
+        builder = Builder(InsertionPoint.at_begin(block))
+        builder.create("test.first")
+        builder.create("test.second")
+        assert [op.name for op in block] == [
+            "test.first", "test.second", "test.tail",
+        ]
+
+
+class TestBuilderContexts:
+    def test_at_contextmanager_restores(self):
+        block_a, block_b = Block(), Block()
+        builder = Builder(InsertionPoint.at_end(block_a))
+        with builder.at(InsertionPoint.at_end(block_b)):
+            builder.create("test.inner")
+        builder.create("test.outer")
+        assert [op.name for op in block_a] == ["test.outer"]
+        assert [op.name for op in block_b] == ["test.inner"]
+
+    def test_create_block(self):
+        builder = Builder()
+        region = Region()
+        block = builder.create_block(region, arg_types=[i32])
+        assert region.entry_block is block
+        assert block.arguments[0].type == i32
+
+    def test_create_returns_registered_class(self):
+        module = create_module()
+        builder = Builder(InsertionPoint.at_end(module.body))
+        op = builder.create("equeue.control_start", [], [])
+        assert type(op).__name__ == "ControlStartOp"

@@ -1,0 +1,170 @@
+"""Printer/parser round-trip tests, including malformed-input diagnostics."""
+
+import pytest
+
+from repro import ir
+from repro.dialects import arith
+from repro.dialects.equeue import EQueueBuilder
+from repro.ir import ParseError, parse_module, parse_op, print_op
+
+
+def roundtrip(module):
+    text = print_op(module)
+    reparsed = parse_module(text)
+    assert print_op(reparsed) == text
+    ir.verify(reparsed)
+    return text
+
+
+class TestBasicRoundtrip:
+    def test_empty_module(self, module_and_builder):
+        module, _ = module_and_builder
+        text = roundtrip(module)
+        assert text.startswith("builtin.module()")
+
+    def test_constants_and_arith(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 3, ir.i32)
+        b = arith.constant(builder, 4, ir.i32)
+        arith.addi(builder, a, b)
+        text = roundtrip(module)
+        assert "arith.addi" in text
+        assert "3 : i32" in text
+
+    def test_name_hints_preserved(self, module_and_builder):
+        module, builder = module_and_builder
+        value = arith.constant(builder, 1, ir.i32)
+        value.name_hint = "my_value"
+        text = print_op(module)
+        assert "%my_value" in text
+        reparsed = parse_module(text)
+        assert print_op(reparsed) == text
+
+    def test_duplicate_hints_uniqued(self, module_and_builder):
+        module, builder = module_and_builder
+        a = arith.constant(builder, 1, ir.i32)
+        b = arith.constant(builder, 2, ir.i32)
+        a.name_hint = "x"
+        b.name_hint = "x"
+        text = print_op(module)
+        assert "%x" in text and "%x_0" in text
+        roundtrip(module)
+
+    def test_full_equeue_program(self, module_and_builder):
+        module, builder = module_and_builder
+        eq = EQueueBuilder(builder)
+        kernel = eq.create_proc("ARMr5", name="kernel")
+        sram = eq.create_mem("SRAM", 64, ir.i32, banks=2, ports=2, name="sram")
+        buf = eq.alloc(sram, [8], ir.i32, name="buf")
+        start = eq.control_start()
+
+        def body(bb, buf_arg):
+            inner = EQueueBuilder(bb)
+            data = inner.read(buf_arg)
+            inner.write(data, buf_arg)
+            return [data]
+
+        done, out = eq.launch(start, kernel, args=[buf], body=body, label="work")
+        eq.await_([done])
+        text = roundtrip(module)
+        assert "equeue.launch" in text
+        assert "^bb0" in text
+        assert "!equeue.event" in text
+
+    def test_multi_result_ops(self, module_and_builder):
+        module, builder = module_and_builder
+        builder.create("test.pair", [], [ir.i32, ir.i32])
+        roundtrip(module)
+
+    def test_nested_regions(self, module_and_builder):
+        module, builder = module_and_builder
+        from repro.dialects import affine
+
+        def outer(b, i):
+            affine.for_loop(b, 0, 4, body=lambda bb, j: None)
+
+        affine.for_loop(builder, 0, 8, 2, body=outer)
+        text = roundtrip(module)
+        assert text.count("affine.for") == 2
+
+    def test_float_and_bool_attrs(self, module_and_builder):
+        module, builder = module_and_builder
+        builder.create(
+            "test.attrs", [], [],
+            {"f": 2.5, "flag": True, "items": [1, 2], "nested": {"a": "b"}},
+        )
+        roundtrip(module)
+
+    def test_scientific_float(self, module_and_builder):
+        module, builder = module_and_builder
+        builder.create("test.attrs", [], [], {"tiny": 1e-07})
+        text = roundtrip(module)
+        assert "1e-07" in text
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize(
+        "type_text",
+        ["i32", "i1", "f32", "f64", "index", "none",
+         "memref<4xi32>", "memref<2x3x4xf32>", "tensor<8xi32>",
+         "memref<?x4xi32>", "!equeue.proc", "!equeue.event"],
+    )
+    def test_types_roundtrip(self, type_text):
+        source = (
+            "builtin.module() ({\n"
+            f"  test.op() : () -> {type_text}\n"
+            "}) : () -> ()\n"
+        )
+        # Result values must be named to be re-printed; wrap via %0 =.
+        source = source.replace("test.op()", "%0 = test.op()")
+        module = parse_module(source)
+        assert print_op(module) == source
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        source = (
+            "builtin.module() ({\n"
+            "  test.use(%nope) : (i32) -> ()\n"
+            "}) : () -> ()\n"
+        )
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_module(source)
+
+    def test_operand_type_count_mismatch(self):
+        source = (
+            "builtin.module() ({\n"
+            "  %0 = test.p() : () -> i32\n"
+            "  test.use(%0) : (i32, i32) -> ()\n"
+            "}) : () -> ()\n"
+        )
+        with pytest.raises(ParseError, match="operand"):
+            parse_module(source)
+
+    def test_unbalanced_angle_bracket(self):
+        with pytest.raises(ParseError):
+            parse_op("%0 = test.p() : () -> memref<4xi32")
+
+    def test_garbage_input(self):
+        with pytest.raises(ParseError):
+            parse_module("@@@@")
+
+    def test_top_level_must_be_module(self):
+        with pytest.raises(ParseError, match="builtin.module"):
+            parse_module("test.op() : () -> ()")
+
+    def test_error_reports_line_numbers(self):
+        source = (
+            "builtin.module() ({\n"
+            "  test.use(%missing) : (i32) -> ()\n"
+            "}) : () -> ()\n"
+        )
+        with pytest.raises(ParseError, match="line 2"):
+            parse_module(source)
+
+
+class TestParseOp:
+    def test_single_op(self):
+        op = parse_op('%0 = arith.constant() {value = 5 : i32} : () -> i32')
+        assert op.name == "arith.constant"
+        assert op.get_attr("value") == 5

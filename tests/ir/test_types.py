@@ -1,0 +1,118 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    IRError,
+    MemRefType,
+    NoneType,
+    TensorType,
+    i1,
+    i32,
+    index,
+)
+from repro.ir.types import lookup_dialect_type, registered_dialect_types
+
+
+class TestScalarTypes:
+    def test_integer_str(self):
+        assert str(IntegerType(32)) == "i32"
+        assert str(IntegerType(1)) == "i1"
+
+    def test_integer_equality_is_structural(self):
+        assert IntegerType(32) == IntegerType(32)
+        assert IntegerType(32) != IntegerType(64)
+        assert hash(IntegerType(8)) == hash(IntegerType(8))
+
+    def test_integer_rejects_nonpositive_width(self):
+        with pytest.raises(IRError):
+            IntegerType(0)
+        with pytest.raises(IRError):
+            IntegerType(-4)
+
+    def test_float_widths(self):
+        assert str(FloatType(32)) == "f32"
+        assert str(FloatType(64)) == "f64"
+        with pytest.raises(IRError):
+            FloatType(24)
+
+    def test_index_and_none(self):
+        assert str(IndexType()) == "index"
+        assert str(NoneType()) == "none"
+        assert IndexType() == IndexType()
+
+    def test_singletons_match_fresh_instances(self):
+        assert i32 == IntegerType(32)
+        assert i1 == IntegerType(1)
+        assert index == IndexType()
+
+
+class TestShapedTypes:
+    def test_memref_str(self):
+        t = MemRefType((4, 4), i32)
+        assert str(t) == "memref<4x4xi32>"
+
+    def test_tensor_str(self):
+        t = TensorType((2, 3, 4), FloatType(32))
+        assert str(t) == "tensor<2x3x4xf32>"
+
+    def test_dynamic_dim_str(self):
+        t = MemRefType((DYNAMIC, 8), i32)
+        assert str(t) == "memref<?x8xi32>"
+
+    def test_rank_and_elements(self):
+        t = MemRefType((2, 3, 4), i32)
+        assert t.rank == 3
+        assert t.num_elements == 24
+        assert t.has_static_shape
+
+    def test_dynamic_shape_rejects_element_count(self):
+        t = MemRefType((DYNAMIC,), i32)
+        assert not t.has_static_shape
+        with pytest.raises(IRError):
+            _ = t.num_elements
+
+    def test_scalar_shaped_type(self):
+        t = TensorType((), i32)
+        assert t.rank == 0
+        assert t.num_elements == 1
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(IRError):
+            MemRefType((-2,), i32)
+
+    def test_memref_tensor_not_equal(self):
+        assert MemRefType((4,), i32) != TensorType((4,), i32)
+
+
+class TestFunctionType:
+    def test_single_result_str(self):
+        t = FunctionType((i32, i32), (i32,))
+        assert str(t) == "(i32, i32) -> i32"
+
+    def test_multi_result_str(self):
+        t = FunctionType((i32,), (i32, index))
+        assert str(t) == "(i32) -> (i32, index)"
+
+    def test_empty(self):
+        assert str(FunctionType((), ())) == "() -> ()"
+
+
+class TestDialectTypes:
+    def test_equeue_types_registered(self):
+        registry = registered_dialect_types()
+        for mnemonic in ("proc", "mem", "dma", "comp", "conn", "event"):
+            assert f"equeue.{mnemonic}" in registry
+
+    def test_lookup_and_str(self):
+        cls = lookup_dialect_type("equeue.proc")
+        assert str(cls()) == "!equeue.proc"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(IRError):
+            lookup_dialect_type("nosuch.type")

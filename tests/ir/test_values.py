@@ -1,0 +1,80 @@
+"""Unit tests for SSA values and use-def chains."""
+
+from repro.ir import Operation, i32, index
+from repro.ir.values import Value
+
+
+def _op_with_results(n):
+    return Operation.create("test.producer", [], [i32] * n)
+
+
+class TestUseDefChains:
+    def test_new_value_has_no_uses(self):
+        value = Value(i32)
+        assert not value.has_uses
+        assert value.num_uses == 0
+
+    def test_operand_registers_use(self):
+        producer = _op_with_results(1)
+        consumer = Operation.create("test.consumer", [producer.result()], [])
+        assert producer.result().num_uses == 1
+        assert consumer.operands[0].value is producer.result()
+
+    def test_users_distinct_in_order(self):
+        producer = _op_with_results(1)
+        value = producer.result()
+        consumer_a = Operation.create("test.a", [value, value], [])
+        consumer_b = Operation.create("test.b", [value], [])
+        assert value.num_uses == 3
+        assert value.users() == [consumer_a, consumer_b]
+
+    def test_replace_all_uses_with(self):
+        old = _op_with_results(1)
+        new = _op_with_results(1)
+        consumer = Operation.create("test.c", [old.result(), old.result()], [])
+        old.result().replace_all_uses_with(new.result())
+        assert old.result().num_uses == 0
+        assert new.result().num_uses == 2
+        assert consumer.operand(0) is new.result()
+        assert consumer.operand(1) is new.result()
+
+    def test_replace_with_self_is_noop(self):
+        producer = _op_with_results(1)
+        Operation.create("test.c", [producer.result()], [])
+        producer.result().replace_all_uses_with(producer.result())
+        assert producer.result().num_uses == 1
+
+    def test_operand_set_updates_both_sides(self):
+        a = _op_with_results(1)
+        b = _op_with_results(1)
+        consumer = Operation.create("test.c", [a.result()], [])
+        consumer.operands[0].set(b.result())
+        assert a.result().num_uses == 0
+        assert b.result().num_uses == 1
+
+    def test_operand_drop(self):
+        a = _op_with_results(1)
+        consumer = Operation.create("test.c", [a.result()], [])
+        consumer.operands[0].drop()
+        assert a.result().num_uses == 0
+
+
+class TestResultAndArgumentIdentity:
+    def test_result_owner_and_index(self):
+        producer = _op_with_results(3)
+        for i, result in enumerate(producer.results):
+            assert result.owner is producer
+            assert result.index == i
+
+    def test_block_argument_owner(self):
+        from repro.ir import Block
+
+        block = Block(arg_types=[i32, index])
+        assert block.arguments[0].owner is block
+        assert block.arguments[1].index == 1
+        assert block.arguments[1].type == index
+
+    def test_name_hints(self):
+        value = Value(i32, name_hint="acc")
+        assert value.name_hint == "acc"
+        assert "acc" in repr(value)

@@ -1,0 +1,282 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    ScheduleQueue,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+class TestScheduling:
+    def test_time_advances_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, lambda: log.append(("a", sim.now)))
+        sim.schedule(2, lambda: log.append(("b", sim.now)))
+        sim.schedule(9, lambda: log.append(("c", sim.now)))
+        sim.run()
+        assert log == [("b", 2), ("a", 5), ("c", 9)]
+
+    def test_fifo_within_same_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3, lambda: log.append("first"))
+        sim.schedule(3, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append(1))
+        sim.schedule(100, lambda: log.append(100))
+        sim.run(until=10)
+        assert log == [1]
+        assert sim.now == 10
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: sim.schedule_at(2, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_processed_event_count(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.processed_events == 7
+
+
+class TestEvents:
+    def test_trigger_fires_callbacks(self):
+        sim = Simulator()
+        event = sim.event("e")
+        seen = []
+        event.on_trigger(lambda e: seen.append(e.value))
+        event.trigger(42)
+        assert seen == [42]
+        assert event.time == 0
+
+    def test_callback_after_trigger_fires_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.trigger("x")
+        seen = []
+        event.on_trigger(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        event = sim.event("dup")
+        event.trigger()
+        with pytest.raises(SimulationError, match="twice"):
+            event.trigger()
+
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        events = [sim.event() for _ in range(3)]
+        joined = all_of(sim, events)
+        events[0].trigger(1)
+        events[1].trigger(2)
+        assert not joined.triggered
+        events[2].trigger(3)
+        assert joined.triggered
+        assert joined.value == [1, 2, 3]
+
+    def test_all_of_empty_is_immediate(self):
+        sim = Simulator()
+        assert all_of(sim, []).triggered
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        events = [sim.event() for _ in range(3)]
+        either = any_of(sim, events)
+        events[1].trigger("winner")
+        assert either.triggered
+        assert either.value == "winner"
+        events[0].trigger("late")  # must not double-trigger
+        assert either.value == "winner"
+
+
+class TestProcesses:
+    def test_delays_accumulate(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            yield 3
+            trace.append(sim.now)
+            yield 4
+            trace.append(sim.now)
+            return "done"
+
+        process = sim.process(worker())
+        sim.run()
+        assert trace == [3, 7]
+        assert process.done.triggered
+        assert process.done.value == "done"
+
+    def test_wait_on_event(self):
+        sim = Simulator()
+        gate = sim.event("gate")
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.schedule(10, lambda: gate.trigger("go"))
+        sim.run()
+        assert log == [(10, "go")]
+
+    def test_wait_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 5
+            return 99
+
+        def parent():
+            result = yield sim.process(child())
+            return result + 1
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.done.value == 100
+
+    def test_all_of_request(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        log = []
+
+        def waiter():
+            values = yield AllOf([a, b])
+            log.append((sim.now, values))
+
+        sim.process(waiter())
+        sim.schedule(2, lambda: a.trigger("A"))
+        sim.schedule(7, lambda: b.trigger("B"))
+        sim.run()
+        assert log == [(7, ["A", "B"])]
+
+    def test_any_of_request(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        log = []
+
+        def waiter():
+            value = yield AnyOf([a, b])
+            log.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.schedule(4, lambda: b.trigger("B"))
+        sim.schedule(9, lambda: a.trigger("A"))
+        sim.run()
+        assert log == [(4, "B")]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1
+
+        sim.process(worker())
+        with pytest.raises(SimulationError, match="negative"):
+            sim.run()
+
+    def test_bad_request_rejected(self):
+        sim = Simulator()
+
+        def worker():
+            yield "nonsense"
+
+        sim.process(worker())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+
+class TestScheduleQueue:
+    def test_single_server_serializes(self):
+        sim = Simulator()
+        queue = ScheduleQueue(sim, servers=1)
+        assert queue.book(4) == (0, 4)
+        assert queue.book(4) == (4, 8)
+        assert queue.busy_cycles == 8
+        assert queue.last_end == 8
+
+    def test_multi_server_parallelism(self):
+        sim = Simulator()
+        queue = ScheduleQueue(sim, servers=2)
+        assert queue.book(4) == (0, 4)
+        assert queue.book(4) == (0, 4)
+        assert queue.book(4) == (4, 8)
+
+    def test_book_respects_at(self):
+        sim = Simulator()
+        queue = ScheduleQueue(sim, servers=1)
+        assert queue.book(2, at=10) == (10, 12)
+
+    def test_zero_duration(self):
+        sim = Simulator()
+        queue = ScheduleQueue(sim, servers=1)
+        assert queue.book(0) == (0, 0)
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            ScheduleQueue(sim, servers=0)
+        queue = ScheduleQueue(sim, servers=1)
+        with pytest.raises(SimulationError):
+            queue.book(-1)
+
+
+# -- property tests -----------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)), max_size=30))
+def test_callbacks_fire_in_nondecreasing_time(jobs):
+    sim = Simulator()
+    times = []
+    for delay, _ in jobs:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 9), min_size=1, max_size=20),
+       st.integers(1, 4))
+def test_schedule_queue_conservation(durations, servers):
+    """Total busy time equals the sum of durations, and no server overlap:
+    makespan >= total/servers."""
+    sim = Simulator()
+    queue = ScheduleQueue(sim, servers=servers)
+    ends = [queue.book(d)[1] for d in durations]
+    assert queue.busy_cycles == sum(durations)
+    assert max(ends) >= sum(durations) / servers
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=10))
+def test_process_total_time_is_sum_of_delays(delays):
+    sim = Simulator()
+
+    def worker():
+        for delay in delays:
+            yield delay
+
+    process = sim.process(worker())
+    sim.run()
+    assert process.done.triggered
+    assert sim.now == sum(delays)

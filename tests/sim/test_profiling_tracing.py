@@ -1,0 +1,152 @@
+"""Unit tests for the profiling summary and trace recorder."""
+
+import json
+
+import pytest
+
+from repro.sim.profiling import (
+    ConnectionReport,
+    MemoryReport,
+    ProfilingSummary,
+)
+from repro.sim.tracing import TraceRecord, TraceRecorder
+
+
+def make_connection(**overrides):
+    defaults = dict(
+        name="link", kind="Streaming", bandwidth=4,
+        bytes_read=400, bytes_written=200,
+        busy_read_cycles=100, busy_write_cycles=50,
+        peak_bandwidth=4.0, total_cycles=200,
+    )
+    defaults.update(overrides)
+    return ConnectionReport(**defaults)
+
+
+class TestConnectionReport:
+    def test_average_bandwidths(self):
+        report = make_connection()
+        assert report.avg_read_bandwidth == 2.0
+        assert report.avg_write_bandwidth == 1.0
+
+    def test_max_bandwidth_portion(self):
+        report = make_connection()
+        assert report.max_bandwidth_portion_read == 0.5
+        assert report.max_bandwidth_portion_write == 0.25
+
+    def test_unconstrained_connection_has_no_portion(self):
+        report = make_connection(bandwidth=0)
+        assert report.max_bandwidth_portion_read == 0.0
+
+    def test_zero_cycles_is_safe(self):
+        report = make_connection(total_cycles=0)
+        assert report.avg_read_bandwidth == 0.0
+        assert report.max_bandwidth_portion_write == 0.0
+
+    def test_portion_clamped_to_one(self):
+        report = make_connection(busy_read_cycles=999)
+        assert report.max_bandwidth_portion_read == 1.0
+
+
+class TestMemoryReport:
+    def test_bandwidths(self):
+        report = MemoryReport(
+            name="sram", kind="SRAM", bytes_read=1000, bytes_written=500,
+            reads=10, writes=5, total_cycles=100,
+        )
+        assert report.avg_read_bandwidth == 10.0
+        assert report.avg_write_bandwidth == 5.0
+
+
+class TestSummary:
+    def _summary(self):
+        return ProfilingSummary(
+            execution_time_s=0.5,
+            cycles=100,
+            connections={"c": make_connection(total_cycles=100)},
+            memories={
+                "accel.sram": MemoryReport(
+                    "accel.sram", "SRAM", 400, 100, 4, 1, 100
+                ),
+                "accel.regs": MemoryReport(
+                    "accel.regs", "Register", 200, 80, 2, 1, 100
+                ),
+            },
+            scheduler_events=42,
+            launches_executed=7,
+        )
+
+    def test_bandwidth_by_kind(self):
+        summary = self._summary()
+        assert summary.bandwidth_by_memory_kind("SRAM") == 4.0
+        assert summary.bandwidth_by_memory_kind("SRAM", write=True) == 1.0
+        assert summary.bandwidth_by_memory_kind("Register") == 2.0
+        assert summary.bandwidth_by_memory_kind("DRAM") == 0.0
+
+    def test_memory_named_suffix_match(self):
+        summary = self._summary()
+        assert summary.memory_named("sram").kind == "SRAM"
+        assert summary.memory_named("accel.regs").kind == "Register"
+        assert summary.memory_named("ghost") is None
+
+    def test_format_contains_all_sections(self):
+        text = self._summary().format()
+        assert "simulator execution time" in text
+        assert "100 cycles" in text
+        assert "connections" in text
+        assert "memories" in text
+        assert "accel.sram" in text
+        # Bandwidth columns present with numbers.
+        assert "4.000" in text
+
+    def test_format_without_connections(self):
+        summary = ProfilingSummary(execution_time_s=0.0, cycles=10)
+        text = summary.format()
+        assert "connections" not in text
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_drops_records(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record("x", "op", "P", "t", 0, 5)
+        assert len(recorder) == 0
+
+    def test_record_and_slices(self):
+        recorder = TraceRecorder()
+        recorder.record("a", "op", "Processor", "pe0", 0, 2)
+        recorder.record("b", "op", "Processor", "pe1", 1, 3)
+        recorder.record("c", "op", "Processor", "pe0", 5, 1)
+        assert len(recorder) == 3
+        assert [r.name for r in recorder.slices_for("pe0")] == ["a", "c"]
+
+    def test_events_sorted_and_balanced(self):
+        recorder = TraceRecorder()
+        recorder.record("late", "op", "P", "t", 10, 2)
+        recorder.record("early", "op", "P", "t", 0, 2)
+        events = recorder.to_events()
+        assert events[0]["name"] == "early"
+        assert [e["ph"] for e in events] == ["B", "E", "B", "E"]
+        assert events[1]["ts"] == 2
+        assert events[2]["ts"] == 10
+
+    def test_to_json_writes_file(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record("op", "operation", "Processor", "pe", 3, 4)
+        path = tmp_path / "trace.json"
+        text = recorder.to_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(text)
+        begin = loaded[0]
+        assert begin == {
+            "name": "op", "cat": "operation", "ph": "B", "ts": 3,
+            "pid": "Processor", "tid": "pe",
+        }
+
+    def test_record_dataclass_events(self):
+        record = TraceRecord("n", "c", "p", "t", 1, 2)
+        begin, end = record.to_events()
+        assert begin["ph"] == "B" and end["ph"] == "E"
+        assert end["ts"] - begin["ts"] == 2
+
+
+pytest  # noqa: B018

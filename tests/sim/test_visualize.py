@@ -1,0 +1,93 @@
+"""Tests for the ASCII trace visualizer."""
+
+import numpy as np
+
+from repro.sim.tracing import TraceRecord, TraceRecorder
+from repro.sim.visualize import render_lanes, render_trace, utilization
+
+
+def _recorder(entries):
+    recorder = TraceRecorder()
+    for tid, start, duration in entries:
+        recorder.record("op", "operation", "Processor", tid, start, duration)
+    return recorder
+
+
+class TestRenderLanes:
+    def test_empty(self):
+        assert render_lanes([]) == "(empty trace)"
+
+    def test_single_busy_block(self):
+        recorder = _recorder([("pe", 0, 8)])
+        text = render_trace(recorder, width=8)
+        lane = [line for line in text.splitlines() if line.startswith("pe")][0]
+        assert lane == "pe |########|"
+
+    def test_gap_shows_idle(self):
+        recorder = _recorder([("pe", 0, 2), ("pe", 6, 2)])
+        text = render_trace(recorder, width=8)
+        lane = [line for line in text.splitlines() if line.startswith("pe")][0]
+        assert lane == "pe |##....##|"
+
+    def test_lane_selection_and_order(self):
+        recorder = _recorder([("b", 0, 4), ("a", 0, 4)])
+        text = render_trace(recorder, width=4, lanes=["a", "b"])
+        lines = text.splitlines()[1:]
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("b ")
+
+    def test_default_order_is_first_appearance(self):
+        recorder = _recorder([("z", 0, 1), ("a", 1, 1)])
+        lines = render_trace(recorder, width=4).splitlines()[1:]
+        assert lines[0].startswith("z")
+
+    def test_zero_duration_marks_one_column(self):
+        recorder = _recorder([("pe", 2, 0), ("pe", 0, 8)])
+        text = render_trace(recorder, width=8)
+        assert "#" in text
+
+    def test_window_clipping(self):
+        recorder = _recorder([("pe", 0, 100)])
+        text = render_lanes(recorder.records, width=10, start=50, end=60)
+        lane = [line for line in text.splitlines() if line.startswith("pe")][0]
+        assert lane == "pe |##########|"
+
+
+class TestUtilization:
+    def test_fully_busy(self):
+        recorder = _recorder([("pe", 0, 10)])
+        assert utilization(recorder, "pe") == 1.0
+
+    def test_partially_busy(self):
+        recorder = _recorder([("pe", 0, 2), ("pe", 8, 2), ("other", 0, 10)])
+        assert utilization(recorder, "pe") == 0.4
+
+    def test_unknown_tid(self):
+        recorder = _recorder([("pe", 0, 10)])
+        assert utilization(recorder, "ghost") == 0.0
+
+
+class TestFIRStallVisualization:
+    def test_case3_shows_the_three_quarters_stall(self):
+        """End-to-end: render the §VII case-3 trace and measure the 25%
+        core utilization the paper derives from Fig. 13."""
+        from repro.generators.fir import PAPER_CASES, build_fir_program
+        from repro.sim import EngineOptions, simulate
+
+        cfg = PAPER_CASES["case3"]
+        rng = np.random.default_rng(0)
+        program = build_fir_program(cfg)
+        result = simulate(
+            program.module,
+            EngineOptions(trace=True),
+            inputs=program.prepare_inputs(
+                rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32),
+                rng.integers(-4, 5, cfg.taps).astype(np.int32),
+            ),
+        )
+        # A cascade-gated core computes 1 cycle out of every 4.
+        busy = utilization(result.trace, "aie_8", end=result.cycles)
+        assert 0.15 < busy < 0.3
+        text = render_trace(result.trace, width=60, lanes=["aie_8"])
+        lane = text.splitlines()[1]
+        assert "#" in lane and "." in lane  # visible stalls

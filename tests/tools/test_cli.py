@@ -1,0 +1,172 @@
+"""Tests for the equeue-opt / equeue-sim command-line drivers."""
+
+import json
+
+import pytest
+
+from repro import ir
+from repro.dialects import linalg, memref
+from repro.dialects.equeue import EQueueBuilder
+from repro.tools import equeue_opt, equeue_sim
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+    kernel = eq.create_proc("MAC", name="kernel")
+    mem = eq.create_mem("Register", 16, ir.i32, name="regs")
+    buf = eq.alloc(mem, [4], ir.i32, name="buf")
+    start = eq.control_start()
+
+    def body(b, buf_arg):
+        inner = EQueueBuilder(b)
+        data = inner.read(buf_arg)
+        out = inner.op("mac", [data, data, data], [data.type])[0]
+        inner.write(out, buf_arg)
+
+    done, = eq.launch(start, kernel, args=[buf], body=body, label="step")
+    eq.await_(done)
+    path = tmp_path / "program.mlir"
+    path.write_text(ir.print_op(module))
+    return path
+
+
+@pytest.fixture
+def conv_file(tmp_path):
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+    eq.create_proc("ARMr5", name="kernel")
+    eq.create_mem("SRAM", 4096, ir.i32, name="sram")
+    ifmap = memref.alloc(builder, [1, 4, 4], ir.i32)
+    weight = memref.alloc(builder, [1, 1, 2, 2], ir.i32)
+    ofmap = memref.alloc(builder, [1, 3, 3], ir.i32)
+    linalg.conv2d(builder, ifmap, weight, ofmap)
+    path = tmp_path / "conv.mlir"
+    path.write_text(ir.print_op(module))
+    return path
+
+
+class TestEqueueOpt:
+    def test_roundtrip_noop(self, program_file, capsys):
+        assert equeue_opt.main([str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "equeue.launch" in out
+
+    def test_pipeline_applies(self, conv_file, capsys):
+        code = equeue_opt.main(
+            [
+                str(conv_file),
+                "--pipeline",
+                "convert-linalg-to-affine-loops,equeue-read-write,"
+                "allocate-buffer{memory=sram},launch{proc=kernel}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equeue.launch" in out
+        assert "linalg.conv2d" not in out
+
+    def test_list_passes(self, capsys):
+        assert equeue_opt.main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "equeue-read-write" in out
+        assert "split-launch" in out
+
+    def test_verify_only_quiet(self, program_file, capsys):
+        assert equeue_opt.main([str(program_file), "--verify-only"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_output_file(self, program_file, tmp_path, capsys):
+        out_path = tmp_path / "out.mlir"
+        assert equeue_opt.main([str(program_file), "-o", str(out_path)]) == 0
+        assert "equeue.launch" in out_path.read_text()
+
+    def test_bad_input_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mlir"
+        bad.write_text("not mlir at all %%%")
+        assert equeue_opt.main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_pipeline_reports_error(self, program_file, capsys):
+        assert (
+            equeue_opt.main([str(program_file), "--pipeline", "no-such-pass"])
+            == 1
+        )
+        assert "unknown pass" in capsys.readouterr().err
+
+
+class TestEqueueSim:
+    def test_summary_printed(self, program_file, capsys):
+        assert equeue_sim.main([str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated runtime" in out
+        assert "1 cycles" in out
+
+    def test_trace_written(self, program_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert equeue_sim.main(
+            [str(program_file), "--trace", str(trace_path)]
+        ) == 0
+        events = json.loads(trace_path.read_text())
+        assert any(event["name"] == "step" for event in events)
+
+    def test_pipeline_then_simulate(self, conv_file, capsys):
+        code = equeue_sim.main(
+            [
+                str(conv_file),
+                "--pipeline",
+                "convert-linalg-to-affine-loops,equeue-read-write,"
+                "allocate-buffer{memory=sram},launch{proc=kernel}",
+            ]
+        )
+        assert code == 0
+        assert "simulated runtime" in capsys.readouterr().out
+
+    def test_error_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mlir"
+        bad.write_text("((((")
+        assert equeue_sim.main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_inputs_npz_and_dump_buffer(self, program_file, tmp_path, capsys):
+        import numpy as np
+
+        npz = tmp_path / "inputs.npz"
+        np.savez(npz, buf=np.array([1, 2, 3, 4], np.int32))
+        code = equeue_sim.main(
+            [str(program_file), "--inputs", str(npz), "--dump-buffer", "buf"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # buf held x; the program computed x*x + x into it.
+        assert "buf = [2, 6, 12, 20]" in out
+
+    def test_dump_unknown_buffer_errors(self, program_file, capsys):
+        assert (
+            equeue_sim.main([str(program_file), "--dump-buffer", "nope"]) == 1
+        )
+        assert "no buffer named" in capsys.readouterr().err
+
+    def test_shipped_toy_accelerator_program(self, capsys, tmp_path):
+        """The .mlir file shipped under examples/programs simulates through
+        the CLI, including its leading // comments."""
+        from pathlib import Path
+
+        import numpy as np
+
+        shipped = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "programs" / "toy_accelerator.mlir"
+        )
+        npz = tmp_path / "in.npz"
+        np.savez(npz, sram_buf=np.array([1, 2, 3, 4], np.int32))
+        code = equeue_sim.main(
+            [str(shipped), "--inputs", str(npz), "--dump-buffer", "buf0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5 cycles" in out          # 4-cycle DMA copy + 1-cycle MAC
+        assert "buf0 = [2, 6, 12, 20]" in out
