@@ -41,11 +41,14 @@ def test_equeue_vs_scalesim_wallclock(benchmark, rng):
 
     events = des_result.summary.scheduler_events
     throughput = events / des_time if des_time else 0.0
+    summary = des_result.summary
     lines = [
         f"workload: {SIZE}x{SIZE} ifmap, 2x2x3 weights, 4x4 WS array",
         f"EQueue DES:  {des_time:8.3f} s "
         f"({des_result.cycles} cycles, {events} events, "
         f"{throughput:,.0f} events/s)",
+        f"block plans: {summary.plans_compiled} compiled, "
+        f"{summary.plan_cache_hits} cache hits",
         f"SCALE-Sim:   {scalesim_time:8.5f} s ({scalesim.cycles} cycles)",
         f"slowdown of the general simulator: {des_time / max(scalesim_time, 1e-9):,.0f}x",
         "(the paper reports 7.2 s vs 1.1 s on its largest Fig. 9 point)",

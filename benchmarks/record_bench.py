@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Record the engine-speed benchmark as a machine-readable JSON snapshot.
+
+Runs the ``bench_engine_speed`` workload (the §VI-C wall-clock comparison)
+directly — no pytest involved — and writes ``BENCH_engine_speed.json`` at
+the repository root so the performance trajectory is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+    PYTHONPATH=src python benchmarks/record_bench.py --interpret -o other.json
+
+The snapshot records events/s (the headline engine-throughput metric),
+wall-clock, simulated cycles, and the plan-compilation statistics, for
+both the compiled and interpreted engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine_speed.json"
+SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
+
+
+def run_workload(compile_plans: bool) -> dict:
+    from repro.dialects.linalg import ConvDims
+    from repro.generators.systolic import (
+        SystolicConfig,
+        build_systolic_program,
+    )
+    from repro.sim import EngineOptions, simulate
+
+    rng = np.random.default_rng(7)
+    dims = ConvDims(n=1, c=3, h=SIZE, w=SIZE, fh=2, fw=2)
+    program = build_systolic_program(SystolicConfig("WS", 4, 4, dims))
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    inputs = program.prepare_inputs(ifmap, weights)
+    started = time.perf_counter()
+    result = simulate(
+        program.module,
+        EngineOptions(compile_plans=compile_plans),
+        inputs=inputs,
+    )
+    wall_clock_s = time.perf_counter() - started
+    summary = result.summary
+    events = summary.scheduler_events
+    return {
+        "compile_plans": compile_plans,
+        "cycles": result.cycles,
+        "scheduler_events": events,
+        "wall_clock_s": round(wall_clock_s, 6),
+        "events_per_s": round(events / wall_clock_s) if wall_clock_s else 0,
+        "launches_executed": summary.launches_executed,
+        "plans_compiled": summary.plans_compiled,
+        "plan_cache_hits": summary.plan_cache_hits,
+        "vector_loops": summary.vector_loops,
+        "vector_iterations": summary.vector_iterations,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record BENCH_engine_speed.json at the repo root."
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT),
+        help="output JSON path (default: repo-root BENCH_engine_speed.json)",
+    )
+    parser.add_argument(
+        "--interpret-only", action="store_true",
+        help="record only the interpreted engine (skip the compiled run)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = []
+    if not args.interpret_only:
+        runs.append(run_workload(compile_plans=True))
+    runs.append(run_workload(compile_plans=False))
+    compiled = next((r for r in runs if r["compile_plans"]), None)
+    interpreted = next(r for r in runs if not r["compile_plans"])
+    snapshot = {
+        "benchmark": "bench_engine_speed",
+        "workload": f"{SIZE}x{SIZE} ifmap, 2x2x3 weights, 4x4 WS array",
+        "runs": runs,
+    }
+    if compiled is not None:
+        snapshot["speedup"] = round(
+            interpreted["wall_clock_s"]
+            / max(compiled["wall_clock_s"], 1e-9),
+            3,
+        )
+        if compiled["cycles"] != interpreted["cycles"]:
+            raise SystemExit(
+                "compiled/interpreted cycle mismatch: "
+                f"{compiled['cycles']} != {interpreted['cycles']}"
+            )
+    output = Path(args.output)
+    output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    headline = compiled or interpreted
+    print(
+        f"{output}: {headline['events_per_s']:,} events/s "
+        f"({headline['wall_clock_s']:.3f} s, {headline['cycles']} cycles"
+        + (
+            f", {snapshot['speedup']}x over interpreted)"
+            if compiled is not None
+            else ")"
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+// The toy accelerator of the paper's Fig. 2, as textual EQueue IR.
+//
+// Structure: an ARM control kernel, a 4-banked SRAM, a DMA, and two MAC
+// processing elements with private register files.  The kernel launch
+// DMA-copies `sram_buf` into PE0's registers (4 SRAM reads = 4 cycles),
+// then both PEs run concurrently: PE0 computes x*x + x with a 1-cycle
+// `mac` and PE1 echoes its (empty) register file.  Total: 5 cycles.
+//
+// Simulate with:
+//   equeue-sim toy_accelerator.mlir --inputs in.npz --dump-buffer buf0
+// where in.npz holds an int32 array named `sram_buf`.
+builtin.module() ({
+  %kernel = equeue.create_proc() {kind = "ARMr6"} : () -> !equeue.proc
+  %sram = equeue.create_mem() {banks = 4 : i64, data_bits = 32 : i64, kind = "SRAM", ports = 1 : i64, size = 64 : i64} : () -> !equeue.mem
+  %dma = equeue.create_dma() : () -> !equeue.dma
+  %accel = equeue.create_comp(%kernel, %sram, %dma) {names = "Kernel SRAM DMA"} : (!equeue.proc, !equeue.mem, !equeue.dma) -> !equeue.comp
+  %pe0 = equeue.create_proc() {kind = "MAC"} : () -> !equeue.proc
+  %reg0 = equeue.create_mem() {banks = 1 : i64, data_bits = 32 : i64, kind = "Register", ports = 1 : i64, size = 4 : i64} : () -> !equeue.mem
+  %pe1 = equeue.create_proc() {kind = "MAC"} : () -> !equeue.proc
+  %reg1 = equeue.create_mem() {banks = 1 : i64, data_bits = 32 : i64, kind = "Register", ports = 1 : i64, size = 4 : i64} : () -> !equeue.mem
+  equeue.add_comp(%accel, %pe0, %reg0, %pe1, %reg1) {names = "PE0 Reg0 PE1 Reg1"} : (!equeue.comp, !equeue.proc, !equeue.mem, !equeue.proc, !equeue.mem) -> ()
+  %sram_buf = equeue.alloc(%sram) : (!equeue.mem) -> memref<4xi32>
+  %buf0 = equeue.alloc(%reg0) : (!equeue.mem) -> memref<4xi32>
+  %buf1 = equeue.alloc(%reg1) : (!equeue.mem) -> memref<4xi32>
+  %0 = equeue.control_start() : () -> !equeue.event
+  %1 = equeue.launch(%0, %kernel, %sram_buf, %buf0, %buf1, %dma, %pe0, %pe1) ({
+  ^bb0(%sram_buf_0: memref<4xi32>, %buf0_0: memref<4xi32>, %buf1_0: memref<4xi32>, %dma_0: !equeue.dma, %pe0_0: !equeue.proc, %pe1_0: !equeue.proc):
+    %2 = equeue.control_start() : () -> !equeue.event
+    %3 = equeue.memcpy(%2, %sram_buf_0, %buf0_0, %dma_0) {connected = false} : (!equeue.event, memref<4xi32>, memref<4xi32>, !equeue.dma) -> !equeue.event
+    %4 = equeue.launch(%3, %pe0_0, %buf0_0) ({
+    ^bb0(%buf0_1: memref<4xi32>):
+      %5 = equeue.read(%buf0_1) {connected = false, posted = false} : (memref<4xi32>) -> tensor<4xi32>
+      %6 = equeue.op(%5, %5, %5) {signature = "mac"} : (tensor<4xi32>, tensor<4xi32>, tensor<4xi32>) -> tensor<4xi32>
+      equeue.write(%6, %buf0_1) {connected = false, posted = false} : (tensor<4xi32>, memref<4xi32>) -> ()
+      equeue.return_values() : () -> ()
+    }) {label = "pe0_work"} : (!equeue.event, !equeue.proc, memref<4xi32>) -> !equeue.event
+    %7 = equeue.launch(%3, %pe1_0, %buf1_0) ({
+    ^bb0(%buf1_1: memref<4xi32>):
+      %8 = equeue.read(%buf1_1) {connected = false, posted = false} : (memref<4xi32>) -> tensor<4xi32>
+      equeue.write(%8, %buf1_1) {connected = false, posted = false} : (tensor<4xi32>, memref<4xi32>) -> ()
+      equeue.return_values() : () -> ()
+    }) {label = "pe1_work"} : (!equeue.event, !equeue.proc, memref<4xi32>) -> !equeue.event
+    equeue.await(%4, %7) : (!equeue.event, !equeue.event) -> ()
+    equeue.return_values() : () -> ()
+  }) {label = "kernel_main"} : (!equeue.event, !equeue.proc, memref<4xi32>, memref<4xi32>, memref<4xi32>, !equeue.dma, !equeue.proc, !equeue.proc) -> !equeue.event
+  equeue.await(%1) : (!equeue.event) -> ()
+}) : () -> ()

@@ -38,6 +38,7 @@ from .kernel import (
     any_of,
 )
 from .oplib import OpFunction, OpLibError, lookup, register_op_function
+from .plan import BlockPlan, PlanCache
 from .profiling import ConnectionReport, MemoryReport, ProfilingSummary
 from .tracing import TraceRecord, TraceRecorder
 from .visualize import render_lanes, render_trace, utilization
@@ -52,6 +53,7 @@ __all__ = [
     "AllOf", "AnyOf", "Process", "ScheduleQueue", "SimEvent",
     "SimulationError", "Simulator", "all_of", "any_of",
     "OpFunction", "OpLibError", "lookup", "register_op_function",
+    "BlockPlan", "PlanCache",
     "ConnectionReport", "MemoryReport", "ProfilingSummary",
     "TraceRecord", "TraceRecorder",
     "render_lanes", "render_trace", "utilization",

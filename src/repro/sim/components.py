@@ -142,7 +142,7 @@ class ComponentGroup(Component):
         return component
 
 
-@dataclass
+@dataclass(slots=True)
 class EventEntry:
     """One queued event on a processor: the paper's operation entry.
 

@@ -17,6 +17,20 @@ counter; the counter is flushed into the DES kernel only when an op needs
 an accurate global timestamp (launch/memcpy issue, contended memory or
 connection access, events).  This keeps tight compute loops cheap without
 changing observable timing.
+
+Execution has two interchangeable strategies (``EngineOptions.compile_plans``):
+
+* **Interpreted** — :meth:`Engine._run_block` walks ``block.ops`` and
+  dispatches through the handler table on every execution.  Simple,
+  always available, and the reference semantics.
+* **Compiled** — on first execution each block is lowered by
+  :mod:`repro.sim.plan` into a :class:`~repro.sim.plan.BlockPlan` of
+  pre-bound step closures (handler lookup, attribute parsing, operand
+  decomposition, and flush/trace decisions resolved once); subsequent
+  executions replay the cached plan, and contention-free ``affine.for``
+  bodies collapse into single batched NumPy evaluations.  Observable
+  results (cycles, buffers, statistics) are bit-identical to the
+  interpreter; see ``docs/performance.md`` for the full story.
 """
 
 from __future__ import annotations
@@ -77,6 +91,13 @@ class EngineOptions:
     fill_cycles_per_element: int = 1
     #: Stop the simulation after this many cycles (0 = unlimited).
     max_cycles: int = 0
+    #: Compile each block once into a :class:`~repro.sim.plan.BlockPlan`
+    #: and replay it (the compile-once/execute-many fast path).  Disable
+    #: to force the reference interpreter, e.g. for differential testing.
+    compile_plans: bool = True
+    #: Allow compiled plans to batch contention-free ``affine.for`` bodies
+    #: into single NumPy evaluations (requires ``compile_plans``).
+    vectorize_loops: bool = True
 
 
 class Future:
@@ -201,6 +222,12 @@ class Engine:
         # simulation); keyed by id(op).  This matters because interpreted
         # loops execute the same ops millions of times.
         self._static: Dict[int, tuple] = {}
+        if self.options.compile_plans:
+            from .plan import PlanCache
+
+            self._plans: Optional["PlanCache"] = PlanCache(self)
+        else:
+            self._plans = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -376,33 +403,43 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _proc_loop(self, proc: ProcessorModel):
+        # One reusable execution state per processor: entries run to
+        # completion before the next is popped, and the pending counter is
+        # always flushed to zero by then.
+        body_ex = _BodyExec(proc)
+        sim = self.sim
+        trace_enabled = self.options.trace
         while True:
             # Stage 1/2: set up the entry and check the queue head.
             while not proc.queue:
-                proc.wake = self.sim.event(f"{proc.name}.wake")
-                yield proc.wake
+                wake = proc.wake = sim.event(f"{proc.name}.wake")
+                yield wake
+                # The wake event is consumed by exactly this yield; recycle
+                # it to keep idle/wake cycles allocation-free.
+                proc.wake = None
+                sim.release(wake)
             entry: EventEntry = proc.queue[0]
             if not entry.dep.triggered:
                 yield entry.dep
                 continue
             proc.queue.pop(0)
             entry.ready_time = (
-                entry.dep.time if entry.dep.time is not None else self.sim.now
+                entry.dep.time if entry.dep.time is not None else sim.now
             )
-            entry.start_time = self.sim.now
+            entry.start_time = sim.now
             # Stage 3: schedule (execute) the operation.
             if entry.kind == "launch":
-                returns = yield from self._exec_launch(proc, entry)
+                returns = yield from self._exec_launch(proc, entry, body_ex)
             elif entry.kind == "memcpy":
                 returns = yield from self._exec_memcpy(proc, entry)
             else:  # pragma: no cover
                 raise EngineError(f"unknown entry kind {entry.kind}")
             # Stage 4: finish the operation.
-            entry.end_time = self.sim.now
+            entry.end_time = sim.now
             proc.busy_cycles += entry.end_time - entry.start_time
             proc.executed_events += 1
             self.launches_executed += 1
-            if self.options.trace:
+            if trace_enabled:
                 self.trace.record(
                     entry.label or entry.kind,
                     "operation",
@@ -413,17 +450,26 @@ class Engine:
                 )
             entry.done.trigger(returns)
 
-    def _exec_launch(self, proc: ProcessorModel, entry: EventEntry):
+    def _exec_launch(
+        self,
+        proc: ProcessorModel,
+        entry: EventEntry,
+        ex: Optional[_BodyExec] = None,
+    ):
         block, env, captured = entry.payload
         # Launch entries get a fresh env (isolation); the top entry shares
         # the engine env so top-level bindings persist into the result.
         local_env = env if env is not None else {}
         for arg, value in zip(block.arguments, captured):
-            if isinstance(value, Future):
+            if type(value) is Future:
                 value = value.value  # dep guarantees resolution
             local_env[arg] = value
-        ex = _BodyExec(proc)
-        returns = yield from self._run_block(ex, block, local_env)
+        if ex is None:
+            ex = _BodyExec(proc)
+        if self._plans is not None:
+            returns = yield from self._plans.plan_for(block).run(ex, local_env)
+        else:
+            returns = yield from self._run_block(ex, block, local_env)
         yield from self._flush(ex)
         return returns
 
@@ -654,33 +700,42 @@ class Engine:
 
     # -- events -----------------------------------------------------------------
 
+    def _control_start_impl(self, ex, op, env):
+        event = self.sim.event("control_start")
+        event.trigger(None)
+        env[op.result()] = event
+
     def _h_control_start(self, ex, op, env):
         def gen():
-            event = self.sim.event("control_start")
-            event.trigger(None)
-            env[op.result()] = event
+            self._control_start_impl(ex, op, env)
             return
             yield  # pragma: no cover
 
         return gen()
+
+    def _control_and_impl(self, ex, op, env):
+        from .kernel import all_of
+
+        deps = [self._resolve(env, v) for v in op.operand_values]
+        env[op.result()] = all_of(self.sim, deps, "control_and")
 
     def _h_control_and(self, ex, op, env):
         def gen():
-            from .kernel import all_of
-
-            deps = [self._resolve(env, v) for v in op.operand_values]
-            env[op.result()] = all_of(self.sim, deps, "control_and")
+            self._control_and_impl(ex, op, env)
             return
             yield  # pragma: no cover
 
         return gen()
 
+    def _control_or_impl(self, ex, op, env):
+        from .kernel import any_of
+
+        deps = [self._resolve(env, v) for v in op.operand_values]
+        env[op.result()] = any_of(self.sim, deps, "control_or")
+
     def _h_control_or(self, ex, op, env):
         def gen():
-            from .kernel import any_of
-
-            deps = [self._resolve(env, v) for v in op.operand_values]
-            env[op.result()] = any_of(self.sim, deps, "control_or")
+            self._control_or_impl(ex, op, env)
             return
             yield  # pragma: no cover
 
@@ -697,65 +752,88 @@ class Engine:
 
     # -- launch / memcpy -----------------------------------------------------------
 
-    def _h_launch(self, ex, op, env):
-        def gen():
-            dep = self._resolve(env, op.operand(0))
-            target = self._resolve(env, op.operand(1))
-            if not isinstance(target, ProcessorModel):
-                raise EngineError("launch target is not a processor")
-            captured = [env.get(v, self.env.get(v)) for v in op.operand_values[2:]]
-            for value, ssa in zip(captured, op.operand_values[2:]):
+    def _launch_impl(self, ex, op, env):
+        cached = self._static.get(id(op))
+        if cached is None:
+            cached = (
+                op.operand(0),
+                op.operand(1),
+                tuple(op.operand_values[2:]),
+                op.regions[0].entry_block,
+                op.get_attr("label", "launch"),
+                tuple(op.results),
+            )
+            self._static[id(op)] = cached
+        dep_ssa, target_ssa, captured_ssa, block, label, results = cached
+        dep = self._resolve(env, dep_ssa)
+        target = self._resolve(env, target_ssa)
+        if not isinstance(target, ProcessorModel):
+            raise EngineError("launch target is not a processor")
+        engine_env = self.env
+        captured = []
+        for ssa in captured_ssa:
+            value = env.get(ssa)
+            if value is None:
+                value = engine_env.get(ssa)
                 if value is None:
                     raise EngineError(f"unbound captured value {ssa!r}")
-            done = self.sim.event("launch.done")
-            entry = EventEntry(
-                kind="launch",
-                dep=dep,
-                done=done,
-                payload=(op.regions[0].entry_block, None, captured),
-                label=op.get_attr("label", "launch"),
-                issue_time=self.sim.now,
-            )
-            target.enqueue(entry)
-            env[op.results[0]] = done
-            for i, result in enumerate(op.results[1:]):
-                env[result] = Future(done, i)
+            captured.append(value)
+        done = self.sim.event("launch.done")
+        entry = EventEntry(
+            kind="launch",
+            dep=dep,
+            done=done,
+            payload=(block, None, captured),
+            label=label,
+            issue_time=self.sim.now,
+        )
+        target.enqueue(entry)
+        env[results[0]] = done
+        for i, result in enumerate(results[1:]):
+            env[result] = Future(done, i)
+
+    def _h_launch(self, ex, op, env):
+        def gen():
+            self._launch_impl(ex, op, env)
             return
             yield  # pragma: no cover
 
         return gen()
 
+    def _memcpy_impl(self, ex, op, env):
+        dep = self._resolve(env, op.operand(0))
+        source = env.get(op.operand(1), self.env.get(op.operand(1)))
+        destination = env.get(op.operand(2), self.env.get(op.operand(2)))
+        dma = self._resolve(env, op.operand(3))
+        conn = (
+            self._resolve(env, op.operand(4))
+            if op.get_attr("connected", False)
+            else None
+        )
+        src_offset = dst_offset = None
+        count = None
+        if op.get_attr("offset_operands", False):
+            offset_values = op.offsets
+            src_offset = int(self._resolve(env, offset_values[0]))
+            dst_offset = int(self._resolve(env, offset_values[1]))
+            count = op.get_attr("count")
+        if not isinstance(dma, ProcessorModel):
+            raise EngineError("memcpy executor is not a DMA/processor")
+        done = self.sim.event("memcpy.done")
+        entry = EventEntry(
+            kind="memcpy",
+            dep=dep,
+            done=done,
+            payload=(source, destination, conn, src_offset, dst_offset, count),
+            label=op.get_attr("label", "memcpy"),
+            issue_time=self.sim.now,
+        )
+        dma.enqueue(entry)
+        env[op.result()] = done
+
     def _h_memcpy(self, ex, op, env):
         def gen():
-            dep = self._resolve(env, op.operand(0))
-            source = env.get(op.operand(1), self.env.get(op.operand(1)))
-            destination = env.get(op.operand(2), self.env.get(op.operand(2)))
-            dma = self._resolve(env, op.operand(3))
-            conn = (
-                self._resolve(env, op.operand(4))
-                if op.get_attr("connected", False)
-                else None
-            )
-            src_offset = dst_offset = None
-            count = None
-            if op.get_attr("offset_operands", False):
-                offset_values = op.offsets
-                src_offset = int(self._resolve(env, offset_values[0]))
-                dst_offset = int(self._resolve(env, offset_values[1]))
-                count = op.get_attr("count")
-            if not isinstance(dma, ProcessorModel):
-                raise EngineError("memcpy executor is not a DMA/processor")
-            done = self.sim.event("memcpy.done")
-            entry = EventEntry(
-                kind="memcpy",
-                dep=dep,
-                done=done,
-                payload=(source, destination, conn, src_offset, dst_offset, count),
-                label=op.get_attr("label", "memcpy"),
-                issue_time=self.sim.now,
-            )
-            dma.enqueue(entry)
-            env[op.result()] = done
+            self._memcpy_impl(ex, op, env)
             return
             yield  # pragma: no cover
 
@@ -1151,6 +1229,7 @@ class Engine:
             )
             for m in self.memories
         }
+        plans = self._plans
         return ProfilingSummary(
             execution_time_s=elapsed,
             cycles=cycles,
@@ -1158,6 +1237,15 @@ class Engine:
             memories=memories,
             scheduler_events=self.sim.processed_events,
             launches_executed=self.launches_executed,
+            plans_compiled=plans.compiled if plans is not None else 0,
+            plan_cache_hits=plans.hits if plans is not None else 0,
+            vector_loops=plans.vector_loops if plans is not None else 0,
+            vector_iterations=(
+                plans.vector_iterations if plans is not None else 0
+            ),
+            vector_fallbacks=(
+                plans.vector_fallbacks if plans is not None else 0
+            ),
         )
 
 

@@ -88,6 +88,48 @@ _BINARY: Dict[str, Callable] = {
 }
 
 
+def binary_callable(op_name: str):
+    """The raw two-operand evaluator for an arith op (or ``None``).
+
+    Used by the block-plan compiler to pre-bind the evaluator at plan
+    compile time instead of re-dispatching through :func:`evaluate_arith`
+    on every execution.  The callables accept scalars or numpy arrays.
+    """
+    return _BINARY.get(op_name)
+
+
+#: Pure-Python-int equivalents of the wrap-converting binary evaluators:
+#: when both operands are ints these produce the identical int result
+#: without the numpy/isinstance detour.  div/rem keep their custom
+#: truncating semantics and are deliberately absent.
+_RAW_INT: Dict[str, Callable] = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.maxsi": lambda a, b: a if a >= b else b,
+    "arith.minsi": lambda a, b: a if a <= b else b,
+    "arith.andi": lambda a, b: a & b,
+    "arith.ori": lambda a, b: a | b,
+    "arith.xori": lambda a, b: a ^ b,
+    "arith.shli": lambda a, b: a << b,
+    "arith.shrsi": lambda a, b: a >> b,
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b,
+}
+
+
+def raw_int_callable(op_name: str):
+    """Exact int-only fast path for a binary arith op (or ``None``)."""
+    return _RAW_INT.get(op_name)
+
+
+def compare_callable(predicate: str):
+    """The raw comparison evaluator for an ``arith.cmpi`` predicate."""
+    return _CMP[predicate]
+
+
 def evaluate_arith(op_name: str, operands: Sequence, attrs: Dict) -> object:
     """Evaluate one arith op on runtime values; returns the single result."""
     if op_name in _BINARY:

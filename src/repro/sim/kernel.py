@@ -132,13 +132,31 @@ class Process:
     generator's return value when it finishes.
     """
 
-    __slots__ = ("sim", "generator", "done", "name")
+    __slots__ = ("sim", "generator", "done", "name", "_value", "_tick", "_wakeup")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         self.sim = sim
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self.done = SimEvent(sim, f"{self.name}.done")
+        self._value: Any = None
+        # A process waits on exactly one request at a time, so one bound
+        # resume callback (and one event callback) can be allocated here
+        # once and reused for every step — the engine resumes processes
+        # millions of times, and per-resume lambda allocation was
+        # measurable churn.
+        self._tick = self._resume_pending
+        self._wakeup = self._event_fired
+
+    def _resume_pending(self) -> None:
+        value, self._value = self._value, None
+        self._step(value)
+
+    def _event_fired(self, event: SimEvent) -> None:
+        # Resume via the scheduler (delay 0) so that the waking process runs
+        # in deterministic event order rather than inside the trigger call.
+        self._value = event.value
+        self.sim.schedule(0, self._tick)
 
     def _step(self, send_value: Any = None) -> None:
         try:
@@ -152,24 +170,17 @@ class Process:
         if isinstance(request, int):
             if request < 0:
                 raise SimulationError(f"negative delay {request}")
-            self.sim.schedule(request, lambda: self._step(None))
+            self.sim.schedule(request, self._tick)  # _value is already None
         elif isinstance(request, SimEvent):
-            request.on_trigger(lambda e: self._resume_soon(e.value))
+            request.on_trigger(self._wakeup)
         elif isinstance(request, Process):
-            request.done.on_trigger(lambda e: self._resume_soon(e.value))
+            request.done.on_trigger(self._wakeup)
         elif isinstance(request, AllOf):
-            joined = all_of(self.sim, request.events)
-            joined.on_trigger(lambda e: self._resume_soon(e.value))
+            all_of(self.sim, request.events).on_trigger(self._wakeup)
         elif isinstance(request, AnyOf):
-            joined = any_of(self.sim, request.events)
-            joined.on_trigger(lambda e: self._resume_soon(e.value))
+            any_of(self.sim, request.events).on_trigger(self._wakeup)
         else:
             raise SimulationError(f"process yielded unsupported request {request!r}")
-
-    def _resume_soon(self, value: Any) -> None:
-        # Resume via the scheduler (delay 0) so that the waking process runs
-        # in deterministic event order rather than inside the trigger call.
-        self.sim.schedule(0, lambda: self._step(value))
 
 
 class Simulator:
@@ -180,6 +191,8 @@ class Simulator:
         self._heap: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._event_count = 0
+        #: Free-list of recycled one-shot events (see :meth:`release`).
+        self._free_events: List[SimEvent] = []
 
     # -- scheduling ----------------------------------------------------------
 
@@ -195,7 +208,26 @@ class Simulator:
         self.schedule_at(self.now + delay, callback)
 
     def event(self, label: str = "") -> SimEvent:
+        free = self._free_events
+        if free:
+            event = free.pop()
+            event.label = label
+            return event
         return SimEvent(self, label)
+
+    def release(self, event: SimEvent) -> None:
+        """Recycle a one-shot event onto the free-list.
+
+        The caller guarantees no live references remain (the engine uses
+        this for processor wake events, which are consumed by exactly one
+        ``yield``).  The event is reset and handed back out by a later
+        :meth:`event` call, avoiding allocation churn on idle/wake cycles.
+        """
+        event.triggered = False
+        event.value = None
+        event.time = None
+        event._callbacks.clear()
+        self._free_events.append(event)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a new process; it starts at the current time."""
@@ -210,15 +242,21 @@ class Simulator:
 
         Returns the final simulation time.
         """
-        while self._heap:
-            time, _, callback = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(self._heap)
-            self.now = time
-            self._event_count += 1
-            callback()
+        heap = self._heap
+        pop = heapq.heappop
+        count = 0
+        try:
+            while heap:
+                time, _, callback = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                pop(heap)
+                self.now = time
+                count += 1
+                callback()
+        finally:
+            self._event_count += count
         return self.now
 
     @property

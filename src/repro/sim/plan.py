@@ -1,0 +1,1216 @@
+"""Block-plan compilation: the compile-once/execute-many fast path (§VI-C).
+
+The generic engine of :mod:`repro.sim.engine` is an *interpreter*: every
+execution of a block re-walks ``block.ops``, re-looks-up each handler in
+the dispatch table, and re-parses static attributes.  That is the price of
+generality the paper measures against SCALE-Sim (Fig. 9's up-to-7x
+wall-clock gap) — and it is pure overhead, because a block's structure
+never changes during a simulation while hot blocks (PE step bodies, loop
+bodies) execute thousands to millions of times.
+
+This module removes the overhead the way compiled simulators (Manticore,
+GSIM) do: each block is walked **once** and lowered into a
+:class:`BlockPlan` — a flat list of pre-bound *steps* with the handler
+lookup, ``get_attr`` parsing, operand-tuple decomposition, and
+flush/trace decisions all resolved at compile time.  Executing a block
+then just replays the plan.  Observable behaviour (cycle counts, buffer
+contents, traffic statistics, busy time, even the scheduler-event count)
+is bit-identical to the interpreted path; the
+``EngineOptions.compile_plans`` escape hatch keeps the interpreter
+available for differential testing.
+
+Step kinds
+==========
+
+=================  ========================================================
+``K_CONST``        bind a constant into the environment (no call at all)
+``K_CYCLES``       pre-bound closure returning a local cycle cost
+``K_DYN``          closure returning a cost *or* a generator (read/write)
+``K_FLUSH_CALL``   flush pending cycles, then a plain call (launch, memcpy,
+                   control events — their handlers never suspend)
+``K_GEN``          flush pending cycles, then drive a generator (await)
+``K_CTRL``         structured control flow (scf.if / affine loops); no
+                   flush — inner ops flush themselves on demand
+``K_VEC``          a vectorized ``affine.for`` (see below)
+``K_RET``          flush, resolve the block's return values, stop
+=================  ========================================================
+
+Vectorized loops
+================
+
+An ``affine.for`` body that is *contention-free* — pure ``arith`` plus
+scalar reads/writes of zero-cost, uncontended memories (registers,
+streams, the ideal memref store) with statically analysable index
+structure — observes no global time at all: every op either accumulates
+pending cycles or touches a queue-less memory.  Its plan therefore
+collapses the whole trip count into one batched NumPy evaluation: the
+induction variable becomes an ``arange``, gathers/scatters replace
+per-element loads/stores, reductions (``x[i] += f(iv)`` with a
+loop-invariant index) fold into a single exact integer sum, and the
+aggregate cycle cost is charged in one pending-counter update.  Integer
+lanes are widened to int64 and float lanes to float64 so the batched
+arithmetic matches the interpreter's exact Python-scalar arithmetic
+bit-for-bit on the final (element-typed) stores.  A cheap runtime guard
+re-checks what static analysis cannot see — memory kinds, buffer
+aliasing, scatter-address injectivity — and falls back to scalar plan
+replay when it fails, so the fast path is always safe to attempt.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.types import IndexType, IntegerType, MemRefType
+from . import interp
+from .components import Buffer, MemoryModel
+
+(
+    K_CONST, K_CYCLES, K_DYN, K_FLUSH_CALL, K_GEN, K_CTRL, K_VEC, K_RET,
+    K_ANY,
+) = range(9)
+
+_EMPTY: List[object] = []
+
+#: arith ops the vectorizer may evaluate elementwise.  Everything is exact
+#: in the widened int64/float64 lanes except shifts (whose Python-int
+#: semantics have no 64-bit equivalent) and signed div/rem, which go
+#: through float64 and are therefore only admitted on (small) index values.
+_VEC_ARITH = frozenset(
+    {
+        "arith.addi", "arith.subi", "arith.muli", "arith.maxsi",
+        "arith.minsi", "arith.andi", "arith.ori", "arith.xori",
+        "arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+        "arith.cmpi", "arith.select", "arith.index_cast",
+        "arith.divsi", "arith.remsi",
+    }
+)
+_VEC_INDEX_ONLY = frozenset({"arith.divsi", "arith.remsi"})
+
+V_STEP, V_CONST, V_READ, V_WRITE, V_REDUCE = range(5)
+
+
+#: Step kinds a plan may contain while still being executable *inline* —
+#: without allocating a generator — as long as no step actually suspends.
+#: See :func:`_inline_run`.
+_INLINEABLE = frozenset(
+    {K_CONST, K_CYCLES, K_DYN, K_CTRL, K_VEC, K_FLUSH_CALL}
+)
+
+
+class BlockPlan:
+    """A compiled block: a flat list of ``(kind, payload, extra)`` steps."""
+
+    __slots__ = ("steps", "inlineable")
+
+    def __init__(self, steps):
+        self.steps = steps
+        self.inlineable = all(k in _INLINEABLE for k, _, _ in steps)
+
+    def run(self, ex, env, steps=None):
+        """Execute the plan; a generator with the engine's yield protocol.
+
+        Mirrors ``Engine._run_block`` exactly: int costs accumulate into
+        the pending counter, generator steps flush first (except
+        structured control flow), and ``equeue.return_values`` flushes and
+        resolves the returned runtime values.  ``steps`` overrides the
+        step list when resuming after an :func:`_inline_run` suspension.
+        """
+        if steps is None:
+            steps = self.steps
+        returns = _EMPTY
+        for kind, a, b in steps:
+            if kind == K_CYCLES:
+                cost = a(ex, env)
+                if cost:
+                    ex.pending += cost
+            elif kind == K_CONST:
+                env[a] = b
+            elif kind == K_DYN:
+                result = a(ex, env)
+                if type(result) is int:
+                    if result:
+                        ex.pending += result
+                else:
+                    if ex.pending:
+                        pending, ex.pending = ex.pending, 0
+                        yield pending
+                    yield from result
+            elif kind == K_FLUSH_CALL:
+                if ex.pending:
+                    pending, ex.pending = ex.pending, 0
+                    yield pending
+                a(ex, env)
+            elif kind == K_CTRL:
+                gen = a(ex, env)
+                if gen is not None:
+                    yield from gen
+            elif kind == K_VEC:
+                gen = a(ex, env)
+                if gen is not None:
+                    yield from gen
+            elif kind == K_GEN:
+                if ex.pending:
+                    pending, ex.pending = ex.pending, 0
+                    yield pending
+                yield from a(ex, env)
+            elif kind == K_ANY:
+                # Uncompiled extension op outside _NEEDS_FLUSH: like the
+                # interpreter, int costs accumulate and generators run
+                # without a flush.
+                result = a(ex, env)
+                if type(result) is int:
+                    if result:
+                        ex.pending += result
+                else:
+                    yield from result
+            else:  # K_RET
+                if ex.pending:
+                    pending, ex.pending = ex.pending, 0
+                    yield pending
+                resolve = b
+                returns = [resolve(env, v) for v in a]
+                break
+        return returns
+
+
+def _inline_run(plan, ex, env):
+    """Run an inlineable plan without a generator if nothing suspends.
+
+    Returns ``None`` when the plan completed, or a generator that finishes
+    the remaining work when a step produced a suspension (a contended
+    read/write, a flush with pending cycles, nested control flow that
+    itself suspended).  Callers treat the result exactly like a ``K_CTRL``
+    step result.  Hot launch bodies — e.g. a systolic PE's guarded
+    read/mac/write step — complete inline on every execution.
+    """
+    steps = plan.steps
+    for index, (kind, a, b) in enumerate(steps):
+        if kind == K_CYCLES:
+            cost = a(ex, env)
+            if cost:
+                ex.pending += cost
+        elif kind == K_CONST:
+            env[a] = b
+        elif kind == K_FLUSH_CALL:
+            if ex.pending:
+                return plan.run(ex, env, steps[index:])
+            a(ex, env)
+        else:  # K_DYN / K_CTRL / K_VEC
+            result = a(ex, env)
+            if result is None:
+                continue
+            if type(result) is int:
+                if result:
+                    ex.pending += result
+                continue
+            return _resume(plan, ex, env, result, index, kind == K_DYN)
+    return None
+
+
+def _resume(plan, ex, env, gen, index, flush):
+    """Finish a suspended :func:`_inline_run`: drive the pending
+    generator (flushing first for ``K_DYN``), then the remaining steps."""
+    if flush and ex.pending:
+        pending, ex.pending = ex.pending, 0
+        yield pending
+    yield from gen
+    yield from plan.run(ex, env, plan.steps[index + 1:])
+
+
+def _step_body(plan, ex, env):
+    """Execute one loop-body iteration under the inline/suspend protocol.
+
+    The single place that decides between generator-free inline execution
+    and full plan replay; every scalar loop (compiled ``affine.for`` /
+    ``affine.parallel`` and the vectorizer's guard fallback) goes through
+    here.  Returns ``None`` when the iteration completed inline, or a
+    generator the caller must drive.
+    """
+    if plan.inlineable:
+        return _inline_run(plan, ex, env)
+    return plan.run(ex, env)
+
+
+class PlanCache:
+    """Per-engine cache of compiled plans plus fast-path statistics."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.plans: Dict[int, BlockPlan] = {}
+        self.compiled = 0
+        self.hits = 0
+        self.vector_loops = 0
+        self.vector_iterations = 0
+        self.vector_fallbacks = 0
+        options = engine.options
+        # Vectorization changes nothing observable except per-op detailed
+        # trace records, which an aggregated evaluation cannot emit.
+        self.vectorize = options.vectorize_loops and not (
+            options.trace and options.detailed_trace
+        )
+
+    def plan_for(self, block) -> BlockPlan:
+        """The cached plan for a block, compiling on first use."""
+        plan = self.plans.get(id(block))
+        if plan is None:
+            return self.compile(block)
+        self.hits += 1
+        return plan
+
+    def compile(self, block) -> BlockPlan:
+        steps = []
+        engine = self.engine
+        for op in block.ops:
+            name = op.name
+            if name == "equeue.return_values":
+                steps.append(
+                    (
+                        K_RET,
+                        tuple(o.value for o in op.operands),
+                        engine._resolve,
+                    )
+                )
+                break
+            if name in ("affine.yield", "scf.yield"):
+                break
+            step = self._compile_op(op)
+            if step is not None:
+                steps.append(step)
+        plan = BlockPlan(steps)
+        self.plans[id(block)] = plan
+        self.compiled += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # Per-op compilation
+    # ------------------------------------------------------------------
+
+    def _compile_op(self, op):
+        from .engine import _NEEDS_FLUSH, _STRUCTURE_OPS, EngineError
+
+        engine = self.engine
+        name = op.name
+        compiler = _COMPILERS.get(name)
+        if compiler is not None:
+            return compiler(self, engine, op)
+        if name in _STRUCTURE_OPS:
+            if id(op) not in engine._elaborated:
+                raise EngineError(
+                    f"{name} must appear at module top level (found inside "
+                    "a launch body)"
+                )
+            return None  # fully handled at elaboration; nothing to replay
+        handler = engine._handlers.get(name)
+        if handler is None:
+            raise EngineError(f"no simulation handler for op {name!r}")
+        # Fallback for handler-table extensions the compiler does not
+        # specialize: pre-bind the handler and classify by flush need.
+        def step(ex, env, _h=handler, _op=op):
+            return _h(ex, _op, env)
+
+        if name in _NEEDS_FLUSH:
+            return (K_DYN, step, None)
+        return (K_ANY, _maybe_trace(engine, op, step), None)
+
+
+def _maybe_trace(engine, op, fn):
+    """Wrap an int-cost step with the detailed-trace record the
+    interpreter emits for non-zero local costs."""
+    options = engine.options
+    if not (options.trace and options.detailed_trace):
+        return fn
+    label = op.get_attr("signature", op.name)
+
+    def traced(ex, env, _fn=fn, _label=label, _engine=engine):
+        cost = _fn(ex, env)
+        if type(cost) is int and cost:
+            _engine.trace.record(
+                _label,
+                "operation",
+                "Processor",
+                ex.proc.path,
+                _engine.sim.now + ex.pending,
+                cost,
+            )
+        return cost
+
+    return traced
+
+
+_COMPILERS = {}
+
+
+def _compiles(*names):
+    def register(fn):
+        for compiler_name in names:
+            _COMPILERS[compiler_name] = fn
+        return fn
+
+    return register
+
+
+# -- constants and arithmetic -------------------------------------------------
+
+
+@_compiles("arith.constant")
+def _c_constant(cache, engine, op):
+    return (K_CONST, op.result(), op.get_attr("value"))
+
+
+@_compiles(
+    "arith.addi", "arith.subi", "arith.muli", "arith.divsi", "arith.remsi",
+    "arith.addf", "arith.subf", "arith.mulf", "arith.divf", "arith.maxsi",
+    "arith.minsi", "arith.andi", "arith.ori", "arith.xori", "arith.shli",
+    "arith.shrsi", "arith.cmpi", "arith.select", "arith.index_cast",
+)
+def _c_arith(cache, engine, op):
+    from ..ir.attributes import attr_to_python
+    from .engine import Future
+
+    name = op.name
+    attrs = {k: attr_to_python(v) for k, v in op.attributes.items()}
+    result = op.result()
+    operand_ssa = tuple(o.value for o in op.operands)
+    is_free = (
+        isinstance(result.type, IndexType)
+        or any(isinstance(v.type, IndexType) for v in operand_ssa)
+        or name == "arith.index_cast"
+    )
+    resolve = engine._resolve
+    fn = interp.binary_callable(name)
+    if fn is not None and len(operand_ssa) == 2:
+        s0, s1 = operand_ssa
+        raw = interp.raw_int_callable(name)
+
+        if raw is not None:
+            def step(ex, env):
+                try:
+                    a = env[s0]
+                    b = env[s1]
+                except KeyError:
+                    a = resolve(env, s0)
+                    b = resolve(env, s1)
+                if type(a) is int and type(b) is int:
+                    env[result] = raw(a, b)
+                else:
+                    if type(a) is Future:
+                        a = a.value
+                    if type(b) is Future:
+                        b = b.value
+                    env[result] = fn(a, b)
+                return 0 if is_free else ex.proc.spec.arith_cycles
+        else:
+            def step(ex, env):
+                try:
+                    a = env[s0]
+                    b = env[s1]
+                except KeyError:
+                    a = resolve(env, s0)
+                    b = resolve(env, s1)
+                if type(a) is Future:
+                    a = a.value
+                if type(b) is Future:
+                    b = b.value
+                env[result] = fn(a, b)
+                return 0 if is_free else ex.proc.spec.arith_cycles
+    elif name == "arith.cmpi" and len(operand_ssa) == 2:
+        s0, s1 = operand_ssa
+        compare = interp.compare_callable(attrs["predicate"])
+
+        def step(ex, env):
+            try:
+                a = env[s0]
+                b = env[s1]
+            except KeyError:
+                a = resolve(env, s0)
+                b = resolve(env, s1)
+            if type(a) is Future:
+                a = a.value
+            if type(b) is Future:
+                b = b.value
+            verdict = compare(a, b)
+            if verdict is True:
+                env[result] = 1
+            elif verdict is False:
+                env[result] = 0
+            elif isinstance(verdict, np.ndarray):
+                env[result] = verdict.astype(np.int8)
+            else:
+                env[result] = int(bool(verdict))
+            return 0 if is_free else ex.proc.spec.arith_cycles
+    else:
+        evaluate = interp.evaluate_arith
+
+        def step(ex, env):
+            operands = [resolve(env, v) for v in operand_ssa]
+            env[result] = evaluate(name, operands, attrs)
+            return 0 if is_free else ex.proc.spec.arith_cycles
+
+    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+
+
+@_compiles("equeue.op")
+def _c_external(cache, engine, op):
+    from . import oplib
+
+    op_function = oplib.lookup(op.get_attr("signature"))
+    operand_ssa = tuple(o.value for o in op.operands)
+    result_ssa = tuple(op.results)
+    func = op_function.func
+    cycles = op_function.cycles
+    fixed_cycles = None if callable(cycles) else int(cycles)
+    resolve = engine._resolve
+
+    def step(ex, env):
+        operands = [resolve(env, v) for v in operand_ssa]
+        results = func(*operands)
+        if results is None:
+            results = ()
+        for ssa, value in zip(result_ssa, results):
+            env[ssa] = value
+        if fixed_cycles is not None:
+            return fixed_cycles
+        return int(cycles(operands))
+
+    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+
+
+# -- pre-bound handler steps ---------------------------------------------------
+
+
+def _bound(handler, op):
+    def step(ex, env, _h=handler, _op=op):
+        return _h(ex, _op, env)
+
+    return step
+
+
+_MISSING = object()
+
+
+def _plain_access_cost(memory, is_write) -> int:
+    """Single-element access cost for a memory with no per-access state,
+    or -1 when the memory model is address/state-dependent (``Cache``)."""
+    if (
+        type(memory).get_read_or_write_cycles
+        is MemoryModel.get_read_or_write_cycles
+    ):
+        return memory.access_cycles(1, is_write, 0)
+    return -1
+
+
+@_compiles("equeue.read")
+def _c_read(cache, engine, op):
+    from .engine import Future
+
+    general = _bound(engine._h_read, op)
+    posted, buffer_ssa, conn_ssa, indices_ssa = engine._read_write_static(op, 1)
+    rank = _buffer_rank(buffer_ssa)
+    if conn_ssa is not None or rank is None or rank == 0 \
+            or len(indices_ssa) != rank:
+        return (K_DYN, general, None)
+    result = op.result()
+    resolve = engine._resolve
+    state = [None, -1]  # last-seen memory, its 1-element read cost (-1: slow)
+
+    # Scalar element read, no connection: for stateless memories the cost
+    # is address-independent, so zero-cost and posted accesses complete
+    # without touching the schedule queue — the hot path of PE register
+    # traffic.  Anything else falls back to the full handler.
+    def step(ex, env):
+        try:
+            buffer = env[buffer_ssa]
+        except KeyError:
+            buffer = resolve(env, buffer_ssa)
+        if type(buffer) is Future:
+            buffer = buffer.value
+        memory = buffer.memory
+        if memory is not state[0]:
+            state[1] = _plain_access_cost(memory, False)
+            state[0] = memory
+        cost = state[1]
+        if cost == 0 or (posted and cost > 0):
+            indices = []
+            for ssa in indices_ssa:
+                value = env.get(ssa, _MISSING)
+                if value is _MISSING or type(value) is Future:
+                    return general(ex, env)
+                indices.append(int(value))
+            value = buffer.array[tuple(indices)]
+            env[result] = value.item() if hasattr(value, "item") else value
+            memory.bytes_read += buffer.element_bits >> 3
+            memory.reads += 1
+            if cost:
+                memory.queue.posted_busy_cycles += cost
+            return 0
+        return general(ex, env)
+
+    return (K_DYN, step, None)
+
+
+@_compiles("equeue.write")
+def _c_write(cache, engine, op):
+    from .engine import Future
+
+    general = _bound(engine._h_write, op)
+    posted, buffer_ssa, conn_ssa, indices_ssa = engine._read_write_static(op, 2)
+    rank = _buffer_rank(buffer_ssa)
+    if conn_ssa is not None or rank is None or rank == 0 \
+            or len(indices_ssa) != rank:
+        return (K_DYN, general, None)
+    value_ssa = op.operand(0)
+    resolve = engine._resolve
+
+    state = [None, -1]
+
+    def step(ex, env):
+        try:
+            buffer = env[buffer_ssa]
+        except KeyError:
+            buffer = resolve(env, buffer_ssa)
+        if type(buffer) is Future:
+            buffer = buffer.value
+        memory = buffer.memory
+        if memory is not state[0]:
+            state[1] = _plain_access_cost(memory, True)
+            state[0] = memory
+        cost = state[1]
+        if cost == 0 or (posted and cost > 0):
+            stored = env.get(value_ssa, _MISSING)
+            if stored is _MISSING or type(stored) is Future:
+                return general(ex, env)
+            indices = []
+            for ssa in indices_ssa:
+                index = env.get(ssa, _MISSING)
+                if index is _MISSING or type(index) is Future:
+                    return general(ex, env)
+                indices.append(int(index))
+            target = tuple(indices)
+            if isinstance(stored, np.ndarray):
+                buffer.array[target] = np.asarray(stored).reshape(
+                    buffer.array[target].shape
+                )
+            else:
+                buffer.array[target] = stored
+            memory.bytes_written += buffer.element_bits >> 3
+            memory.writes += 1
+            if cost:
+                memory.queue.posted_busy_cycles += cost
+            return 0
+        return general(ex, env)
+
+    return (K_DYN, step, None)
+
+
+@_compiles("affine.load", "memref.load")
+def _c_load(cache, engine, op):
+    from .engine import Future
+
+    general = _bound(engine._h_memref_load, op)
+    buffer_ssa = op.operand(0)
+    indices_ssa = tuple(op.operand_values[1:])
+    result = op.result()
+    resolve = engine._resolve
+    state = [None, -1]
+
+    def step(ex, env):
+        try:
+            buffer = env[buffer_ssa]
+        except KeyError:
+            buffer = resolve(env, buffer_ssa)
+        if type(buffer) is Future:
+            buffer = buffer.value
+        memory = buffer.memory
+        if memory is not state[0]:
+            state[1] = _plain_access_cost(memory, False)
+            state[0] = memory
+        if state[1] == 0:
+            indices = []
+            for ssa in indices_ssa:
+                value = env.get(ssa, _MISSING)
+                if value is _MISSING or type(value) is Future:
+                    return general(ex, env)
+                indices.append(int(value))
+            value = buffer.array[tuple(indices)]
+            env[result] = value.item() if hasattr(value, "item") else value
+            memory.bytes_read += buffer.element_bits >> 3
+            memory.reads += 1
+            return 0
+        return general(ex, env)
+
+    return (K_DYN, step, None)
+
+
+@_compiles("affine.store", "memref.store")
+def _c_store(cache, engine, op):
+    from .engine import Future
+
+    general = _bound(engine._h_memref_store, op)
+    value_ssa = op.operand(0)
+    buffer_ssa = op.operand(1)
+    indices_ssa = tuple(op.operand_values[2:])
+    resolve = engine._resolve
+    state = [None, -1]
+
+    def step(ex, env):
+        try:
+            buffer = env[buffer_ssa]
+        except KeyError:
+            buffer = resolve(env, buffer_ssa)
+        if type(buffer) is Future:
+            buffer = buffer.value
+        memory = buffer.memory
+        if memory is not state[0]:
+            state[1] = _plain_access_cost(memory, True)
+            state[0] = memory
+        if state[1] == 0:
+            stored = env.get(value_ssa, _MISSING)
+            if stored is _MISSING or type(stored) is Future:
+                return general(ex, env)
+            indices = []
+            for ssa in indices_ssa:
+                index = env.get(ssa, _MISSING)
+                if index is _MISSING or type(index) is Future:
+                    return general(ex, env)
+                indices.append(int(index))
+            buffer.array[tuple(indices)] = stored
+            memory.bytes_written += buffer.element_bits >> 3
+            memory.writes += 1
+            return 0
+        return general(ex, env)
+
+    return (K_DYN, step, None)
+
+
+@_compiles("equeue.launch")
+def _c_launch(cache, engine, op):
+    return (K_FLUSH_CALL, _bound(engine._launch_impl, op), None)
+
+
+@_compiles("equeue.memcpy")
+def _c_memcpy(cache, engine, op):
+    return (K_FLUSH_CALL, _bound(engine._memcpy_impl, op), None)
+
+
+@_compiles("equeue.control_start")
+def _c_control_start(cache, engine, op):
+    return (K_FLUSH_CALL, _bound(engine._control_start_impl, op), None)
+
+
+@_compiles("equeue.control_and")
+def _c_control_and(cache, engine, op):
+    return (K_FLUSH_CALL, _bound(engine._control_and_impl, op), None)
+
+
+@_compiles("equeue.control_or")
+def _c_control_or(cache, engine, op):
+    return (K_FLUSH_CALL, _bound(engine._control_or_impl, op), None)
+
+
+@_compiles("equeue.await")
+def _c_await(cache, engine, op):
+    return (K_GEN, _bound(engine._h_await, op), None)
+
+
+@_compiles(
+    "equeue.alloc", "equeue.get_comp", "equeue.dealloc", "memref.alloc",
+    "memref.dealloc", "memref.copy", "linalg.conv2d", "linalg.matmul",
+    "linalg.fill",
+)
+def _c_local(cache, engine, op):
+    handlers = {
+        "equeue.alloc": engine._h_alloc_runtime,
+        "equeue.get_comp": engine._h_get_comp_runtime,
+        "equeue.dealloc": engine._h_dealloc,
+        "memref.alloc": engine._h_memref_alloc,
+        "memref.dealloc": engine._h_dealloc,
+        "memref.copy": engine._h_memref_copy,
+        "linalg.conv2d": engine._h_conv2d,
+        "linalg.matmul": engine._h_matmul,
+        "linalg.fill": engine._h_fill,
+    }
+    step = _bound(handlers[op.name], op)
+    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+
+
+# -- structured control flow ---------------------------------------------------
+
+
+@_compiles("scf.if")
+def _c_if(cache, engine, op):
+    from .engine import Future
+
+    cond_ssa = op.operand(0)
+    then_block = op.regions[0].entry_block
+    then_plan = cache.compile(then_block) if then_block.ops else None
+    else_plan = None
+    if len(op.regions) == 2:
+        else_block = op.regions[1].entry_block
+        if else_block.ops:
+            else_plan = cache.compile(else_block)
+    resolve = engine._resolve
+
+    def step(ex, env):
+        try:
+            cond = env[cond_ssa]
+        except KeyError:
+            cond = resolve(env, cond_ssa)
+        if type(cond) is Future:
+            cond = cond.value
+        if type(cond) is int:
+            taken = cond != 0
+        elif isinstance(cond, np.ndarray):
+            taken = bool(cond.any())
+        else:
+            taken = bool(int(cond))
+        plan = then_plan if taken else else_plan
+        if plan is None:
+            return None
+        if plan.inlineable:
+            return _inline_run(plan, ex, env)
+        return plan.run(ex, env)
+
+    return (K_CTRL, step, None)
+
+
+@_compiles("affine.for")
+def _c_for(cache, engine, op):
+    body = op.regions[0].entry_block
+    body_plan = cache.compile(body)
+    induction = body.arguments[0]
+    loop_range = range(op.lower_bound, op.upper_bound, op.step)
+    if cache.vectorize:
+        vec = _try_vectorize(cache, body, induction, loop_range, body_plan)
+        if vec is not None:
+            cache.vector_loops += 1
+            return (K_VEC, vec, None)
+
+    def step(ex, env):
+        for i in loop_range:
+            env[induction] = i
+            suspended = _step_body(body_plan, ex, env)
+            if suspended is not None:
+                yield from suspended
+
+    return (K_CTRL, step, None)
+
+
+@_compiles("affine.parallel")
+def _c_parallel(cache, engine, op):
+    body = op.regions[0].entry_block
+    body_plan = cache.compile(body)
+    args = tuple(body.arguments)
+    points = list(
+        itertools.product(*[range(lb, ub, st) for lb, ub, st in op.ranges])
+    )
+
+    def step(ex, env):
+        for point in points:
+            for arg, coordinate in zip(args, point):
+                env[arg] = coordinate
+            suspended = _step_body(body_plan, ex, env)
+            if suspended is not None:
+                yield from suspended
+
+    return (K_CTRL, step, None)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized affine.for fast path
+# ---------------------------------------------------------------------------
+
+
+def _buffer_rank(ssa) -> Optional[int]:
+    buffer_type = ssa.type
+    if not isinstance(buffer_type, MemRefType):
+        return None
+    return len(buffer_type.shape)
+
+
+def _element_bytes(ssa) -> int:
+    return getattr(ssa.type.element_type, "width", 32) // 8
+
+
+class _Access:
+    """One scalar read or write inside a vectorization candidate."""
+
+    __slots__ = (
+        "op", "buffer_ssa", "index_ssa", "value_ssa", "result_ssa",
+        "nbytes", "is_write", "varying",
+    )
+
+    def __init__(self, op, buffer_ssa, index_ssa, value_ssa, result_ssa,
+                 is_write):
+        self.op = op
+        self.buffer_ssa = buffer_ssa
+        self.index_ssa = tuple(index_ssa)
+        self.value_ssa = value_ssa
+        self.result_ssa = result_ssa
+        self.nbytes = _element_bytes(buffer_ssa)
+        self.is_write = is_write
+        self.varying = False
+
+
+def _classify_access(engine, op):
+    """Decompose a read/write op into an :class:`_Access`, or ``None``
+    when the op's shape disqualifies the loop (connections, partial
+    indexing, whole-buffer transfers)."""
+    name = op.name
+    if name == "equeue.read":
+        posted, buffer_ssa, conn_ssa, indices = engine._read_write_static(op, 1)
+        if conn_ssa is not None:
+            return None
+        access = _Access(op, buffer_ssa, indices, None, op.result(), False)
+    elif name == "equeue.write":
+        posted, buffer_ssa, conn_ssa, indices = engine._read_write_static(op, 2)
+        if conn_ssa is not None:
+            return None
+        access = _Access(op, buffer_ssa, indices, op.operand(0), None, True)
+    elif name in ("affine.load", "memref.load"):
+        access = _Access(
+            op, op.operand(0), op.operand_values[1:], None, op.result(), False
+        )
+    elif name in ("affine.store", "memref.store"):
+        access = _Access(
+            op, op.operand(1), op.operand_values[2:], op.operand(0), None, True
+        )
+    else:
+        return None
+    rank = _buffer_rank(access.buffer_ssa)
+    if rank is None or rank == 0 or len(access.index_ssa) != rank:
+        return None  # whole-buffer or sliced access: stays scalar
+    return access
+
+
+def _single_user(value):
+    users = value.users()
+    return users[0] if len(users) == 1 and len(value.uses) == 1 else None
+
+
+def _try_vectorize(cache, body, induction, loop_range, body_plan):
+    """Compile a contention-free loop body into a batched program.
+
+    Returns a :class:`_VectorLoop` or ``None`` when any op falls outside
+    the analysable subset.  The *runtime* part of the safety argument
+    (zero-cost memories, aliasing, scatter injectivity) lives in the guard
+    inside :meth:`_VectorLoop.__call__`.
+    """
+    engine = cache.engine
+    ops = list(body.ops)
+    if ops and ops[-1].name in ("affine.yield", "scf.yield"):
+        ops = ops[:-1]
+    if not ops:
+        return None
+    varying = {induction}
+    accesses: List[_Access] = []
+    entries = []  # (tag, op-or-access)
+    charged = 0
+    for op in ops:
+        name = op.name
+        if name == "arith.constant":
+            entries.append(("const", op))
+            continue
+        if name in _VEC_ARITH:
+            operand_ssa = [o.value for o in op.operands]
+            is_free = (
+                isinstance(op.result().type, IndexType)
+                or any(isinstance(v.type, IndexType) for v in operand_ssa)
+                or name == "arith.index_cast"
+            )
+            if name in _VEC_INDEX_ONLY and not is_free:
+                return None  # div/rem on data: float64 rounding risk
+            if not is_free:
+                charged += 1
+            if any(v in varying for v in operand_ssa):
+                varying.add(op.result())
+            entries.append(("arith", op))
+            continue
+        access = _classify_access(engine, op)
+        if access is None:
+            return None
+        access.varying = any(v in varying for v in access.index_ssa)
+        if not access.is_write and access.varying:
+            varying.add(access.result_ssa)
+        accesses.append(access)
+        entries.append(("access", access))
+
+    reads = [a for a in accesses if not a.is_write]
+    writes = [a for a in accesses if a.is_write]
+    by_buffer: Dict[object, List[_Access]] = {}
+    for access in accesses:
+        by_buffer.setdefault(access.buffer_ssa, []).append(access)
+
+    reductions: Dict[object, Tuple[_Access, _Access, object]] = {}
+    for write in writes:
+        if write.varying:
+            continue
+        # Loop-invariant store address: only legal as the classic integer
+        # reduction  buf[i] = buf[i] + partial  with the load feeding
+        # exactly that add and the add feeding exactly this store.
+        element = write.buffer_ssa.type.element_type
+        if not isinstance(element, IntegerType):
+            return None
+        # A BlockArgument's owner is a Block, not an Operation — only an
+        # OpResult of arith.addi qualifies as the reduction accumulator.
+        adder = getattr(write.value_ssa, "owner", None)
+        if adder is None or getattr(adder, "name", None) != "arith.addi":
+            return None
+        if _single_user(write.value_ssa) is not write.op:
+            return None
+        lhs, rhs = adder.operand(0), adder.operand(1)
+        load = None
+        partial = None
+        for candidate, other in ((lhs, rhs), (rhs, lhs)):
+            for read in reads:
+                if (
+                    read.result_ssa is candidate
+                    and read.buffer_ssa is write.buffer_ssa
+                    and read.index_ssa == write.index_ssa
+                ):
+                    load, partial = read, other
+                    break
+            if load is not None:
+                break
+        if load is None or _single_user(load.result_ssa) is not adder:
+            return None
+        if len(by_buffer[write.buffer_ssa]) != 2:  # exactly the load+store
+            return None
+        reductions[write.buffer_ssa] = (load, write, partial)
+
+    plain_writes = [w for w in writes if w.varying]
+    # One varying store per buffer SSA keeps the injectivity check simple.
+    write_ssas = [w.buffer_ssa for w in plain_writes]
+    if len(set(write_ssas)) != len(write_ssas):
+        return None
+    read_ssas = {
+        r.buffer_ssa for r in reads
+        if r.buffer_ssa not in reductions
+    }
+    if read_ssas & set(write_ssas):
+        return None
+    if set(write_ssas) & set(reductions):
+        return None
+
+    # Lower to the vector program, dropping the reduction load/add pairs
+    # (they fold into the committed sum).
+    skipped_ops = set()
+    for load, write, _partial in reductions.values():
+        skipped_ops.add(id(load.op))
+        skipped_ops.add(id(_single_user(load.result_ssa)))
+    program = []
+    for tag, payload in entries:
+        if tag == "const":
+            program.append(
+                (V_CONST, (payload.result(), payload.get_attr("value")), None)
+            )
+        elif tag == "arith":
+            if id(payload) in skipped_ops:
+                continue
+            kind, fn, _ = _c_arith(cache, engine, payload)
+            program.append((V_STEP, fn, None))
+        else:  # access
+            access = payload
+            if id(access.op) in skipped_ops:
+                continue
+            if access.is_write:
+                if access.buffer_ssa in reductions:
+                    load, write, partial = reductions[access.buffer_ssa]
+                    program.append(
+                        (
+                            V_REDUCE,
+                            (access.buffer_ssa, access.index_ssa, partial),
+                            (load.nbytes, write.nbytes),
+                        )
+                    )
+                else:
+                    program.append(
+                        (
+                            V_WRITE,
+                            (access.buffer_ssa, access.index_ssa,
+                             access.value_ssa),
+                            access.nbytes,
+                        )
+                    )
+            else:
+                program.append(
+                    (
+                        V_READ,
+                        (access.buffer_ssa, access.index_ssa,
+                         access.result_ssa),
+                        (access.nbytes, access.varying),
+                    )
+                )
+
+    buffer_ssas = sorted(by_buffer, key=id)
+    return _VectorLoop(
+        cache,
+        induction,
+        loop_range,
+        body_plan,
+        program,
+        charged,
+        buffer_ssas,
+        frozenset(read_ssas),
+        tuple(write_ssas),
+        frozenset(reductions),
+    )
+
+
+def _uncontended(memory) -> bool:
+    """True when accesses are free and stateless: no schedule-queue
+    interaction, no per-access model state (rules out ``CacheModel``)."""
+    return (
+        memory.spec.cycles_per_access == 0
+        and type(memory).get_read_or_write_cycles
+        is MemoryModel.get_read_or_write_cycles
+    )
+
+
+class _VectorLoop:
+    """Runtime executor for a vectorized ``affine.for``.
+
+    Calling it either performs the whole loop (returning ``None``) or
+    returns a generator that replays the scalar plan when a runtime guard
+    fails.
+    """
+
+    __slots__ = (
+        "cache", "induction", "loop_range", "body_plan", "program",
+        "charged", "buffer_ssas", "read_ssas", "write_ssas", "reduce_ssas",
+        "trip",
+    )
+
+    def __init__(self, cache, induction, loop_range, body_plan, program,
+                 charged, buffer_ssas, read_ssas, write_ssas, reduce_ssas):
+        self.cache = cache
+        self.induction = induction
+        self.loop_range = loop_range
+        self.body_plan = body_plan
+        self.program = program
+        self.charged = charged
+        self.buffer_ssas = buffer_ssas
+        self.read_ssas = read_ssas
+        self.write_ssas = write_ssas
+        self.reduce_ssas = reduce_ssas
+        self.trip = len(loop_range)
+
+    def _scalar(self, ex, env):
+        self.cache.vector_fallbacks += 1
+        plan = self.body_plan
+        induction = self.induction
+        for i in self.loop_range:
+            env[induction] = i
+            suspended = _step_body(plan, ex, env)
+            if suspended is not None:
+                yield from suspended
+
+    def __call__(self, ex, env):
+        trip = self.trip
+        if trip == 0:
+            return None
+        engine = self.cache.engine
+        resolve = engine._resolve
+
+        # -- runtime guard: memory kinds and aliasing ------------------
+        buffers = {}
+        for ssa in self.buffer_ssas:
+            runtime = resolve(env, ssa)
+            if not isinstance(runtime, Buffer) or not _uncontended(
+                runtime.memory
+            ):
+                return self._scalar(ex, env)
+            buffers[ssa] = runtime
+        written = [buffers[s] for s in self.write_ssas]
+        written += [buffers[s] for s in self.reduce_ssas]
+        written_ids = {id(b) for b in written}
+        if len(written_ids) != len(written):
+            return self._scalar(ex, env)
+        if written_ids & {id(buffers[s]) for s in self.read_ssas}:
+            return self._scalar(ex, env)
+
+        # -- batched evaluation (no buffer mutation yet) ---------------
+        env[self.induction] = np.arange(
+            self.loop_range.start,
+            self.loop_range.stop,
+            self.loop_range.step,
+            dtype=np.int64,
+        )
+        scatters = []
+        reduces = []
+        stats = []  # (memory, nbytes, is_write)
+        for tag, a, b in self.program:
+            if tag == V_STEP:
+                a(ex, env)
+            elif tag == V_CONST:
+                env[a[0]] = a[1]
+            elif tag == V_READ:
+                buffer_ssa, index_ssa, result_ssa = a
+                nbytes, is_varying = b
+                buffer = buffers[buffer_ssa]
+                indices = tuple(resolve(env, v) for v in index_ssa)
+                if is_varying:
+                    lane = buffer.array[indices]
+                    # Widen to the interpreter's exact Python-scalar
+                    # arithmetic: int64 for ints, float64 for floats.
+                    if lane.dtype.kind in "iub":
+                        lane = lane.astype(np.int64)
+                    elif lane.dtype.kind == "f":
+                        lane = lane.astype(np.float64)
+                    env[result_ssa] = lane
+                else:
+                    value = buffer.array[tuple(int(i) for i in indices)]
+                    env[result_ssa] = (
+                        value.item() if hasattr(value, "item") else value
+                    )
+                stats.append((buffer.memory, nbytes, False))
+            elif tag == V_WRITE:
+                buffer_ssa, index_ssa, value_ssa = a
+                buffer = buffers[buffer_ssa]
+                indices = tuple(resolve(env, v) for v in index_ssa)
+                scatters.append((buffer, indices, resolve(env, value_ssa)))
+                stats.append((buffer.memory, b, True))
+            else:  # V_REDUCE
+                buffer_ssa, index_ssa, partial_ssa = a
+                buffer = buffers[buffer_ssa]
+                indices = tuple(int(resolve(env, v)) for v in index_ssa)
+                reduces.append((buffer, indices, resolve(env, partial_ssa)))
+                read_nbytes, write_nbytes = b
+                stats.append((buffer.memory, read_nbytes, False))
+                stats.append((buffer.memory, write_nbytes, True))
+
+        # -- scatter-address injectivity guard -------------------------
+        for buffer, indices, _value in scatters:
+            flat = np.ravel_multi_index(
+                tuple(
+                    np.broadcast_to(np.asarray(i, dtype=np.int64), (trip,))
+                    for i in indices
+                ),
+                buffer.array.shape,
+                mode="wrap",
+            )
+            if len(np.unique(flat)) != trip:
+                return self._scalar(ex, env)
+
+        # -- commit: buffers, statistics, aggregate cycles -------------
+        for buffer, indices, value in scatters:
+            buffer.array[indices] = value
+        for buffer, indices, partial in reduces:
+            if isinstance(partial, np.ndarray):
+                total = int(partial.sum(dtype=np.int64))
+            else:
+                total = int(partial) * trip
+            buffer.array[indices] = int(buffer.array[indices]) + total
+        for memory, nbytes, is_write in stats:
+            if is_write:
+                memory.bytes_written += trip * nbytes
+                memory.writes += trip
+            else:
+                memory.bytes_read += trip * nbytes
+                memory.reads += trip
+        if self.charged:
+            ex.pending += trip * self.charged * ex.proc.spec.arith_cycles
+        self.cache.vector_iterations += trip
+        return None

@@ -80,6 +80,18 @@ class ProfilingSummary:
     memories: Dict[str, MemoryReport] = field(default_factory=dict)
     scheduler_events: int = 0
     launches_executed: int = 0
+    #: Block plans compiled by the compile-once/execute-many fast path
+    #: (0 when the engine ran fully interpreted).
+    plans_compiled: int = 0
+    #: Block executions served from the plan cache.
+    plan_cache_hits: int = 0
+    #: ``affine.for`` loops compiled to the batched NumPy fast path.
+    vector_loops: int = 0
+    #: Loop iterations collapsed into batched evaluations.
+    vector_iterations: int = 0
+    #: Vectorized executions that hit a runtime guard and replayed the
+    #: scalar plan instead.
+    vector_fallbacks: int = 0
 
     # -- aggregate helpers (used by the Fig. 11 benches) ---------------------
 
@@ -105,6 +117,16 @@ class ProfilingSummary:
         lines.append(f"simulated runtime:        {self.cycles} cycles")
         lines.append(f"scheduler events:         {self.scheduler_events}")
         lines.append(f"launches executed:        {self.launches_executed}")
+        if self.plans_compiled or self.plan_cache_hits:
+            lines.append(
+                f"block plans:              {self.plans_compiled} compiled, "
+                f"{self.plan_cache_hits} cache hits"
+            )
+            lines.append(
+                f"vectorized loops:         {self.vector_loops} compiled, "
+                f"{self.vector_iterations} iterations batched, "
+                f"{self.vector_fallbacks} fallbacks"
+            )
         if self.connections:
             lines.append("-- connections (bytes/cycle) --")
             header = (

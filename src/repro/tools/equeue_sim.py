@@ -51,6 +51,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--strict-capacity", action="store_true",
         help="error if allocations exceed declared memory sizes",
     )
+    parser.add_argument(
+        "--interpret", action="store_true",
+        help="disable block-plan compilation and run the reference "
+        "interpreter (slower; for differential debugging)",
+    )
     return parser
 
 
@@ -72,6 +77,7 @@ def main(argv=None) -> int:
             detailed_trace=bool(args.trace),
             max_cycles=args.max_cycles,
             strict_capacity=args.strict_capacity,
+            compile_plans=not args.interpret,
         )
         inputs = None
         if args.inputs:

@@ -1,0 +1,323 @@
+"""Differential tests: the compiled engine is bit-identical to the interpreter.
+
+``EngineOptions.compile_plans`` switches between the reference interpreter
+(``False``) and the block-plan compiler of :mod:`repro.sim.plan`
+(``True``, the default).  These tests run representative workloads — the
+systolic generator under all three dataflows, the FIR cascade, and the
+lowering-pipeline stages — through *both* engines and assert that every
+observable is identical:
+
+* simulated cycles and the scheduler-event count,
+* final buffer contents,
+* per-processor busy time,
+* per-memory traffic statistics and schedule-queue busy time,
+* per-connection traffic and busy time.
+
+A second group exercises the vectorized ``affine.for`` fast path directly:
+batched map loops, integer reductions, and the runtime guards (timed
+memories, buffer aliasing) that must fall back to scalar replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.dialects import affine, arith
+from repro.dialects.equeue import EQueueBuilder
+from repro.dialects.linalg import ConvDims
+from repro.sim import Engine, EngineOptions
+
+
+def run_both(build, **option_overrides):
+    """Build + simulate a program twice (compiled, interpreted) and assert
+    every observable matches.  ``build()`` must return ``(module, inputs)``
+    freshly each call (engines mutate buffer state)."""
+    engines = []
+    results = []
+    for compile_plans in (True, False):
+        module, inputs = build()
+        options = EngineOptions(
+            compile_plans=compile_plans, **option_overrides
+        )
+        engine = Engine(module, options, inputs)
+        results.append(engine.run())
+        engines.append(engine)
+    compiled, interpreted = results
+    assert compiled.cycles == interpreted.cycles
+    assert (
+        compiled.summary.scheduler_events
+        == interpreted.summary.scheduler_events
+    )
+    assert compiled.buffers.keys() == interpreted.buffers.keys()
+    for name in compiled.buffers:
+        np.testing.assert_array_equal(
+            compiled.buffers[name].array,
+            interpreted.buffers[name].array,
+            err_msg=f"buffer {name!r} diverged",
+        )
+    ec, ei = engines
+    for pc, pi in zip(ec.processors, ei.processors):
+        assert pc.name == pi.name
+        assert pc.busy_cycles == pi.busy_cycles, pc.name
+        assert pc.executed_events == pi.executed_events, pc.name
+    for mc, mi in zip(ec.memories, ei.memories):
+        assert mc.name == mi.name
+        assert (mc.bytes_read, mc.bytes_written, mc.reads, mc.writes) == (
+            mi.bytes_read, mi.bytes_written, mi.reads, mi.writes
+        ), mc.name
+        if mc.queue is not None and mi.queue is not None:
+            assert mc.queue.total_busy_cycles == mi.queue.total_busy_cycles, (
+                mc.name
+            )
+    for cc, ci in zip(ec.connections, ei.connections):
+        assert cc.name == ci.name
+        assert (cc.bytes_read, cc.bytes_written, cc.transfers) == (
+            ci.bytes_read, ci.bytes_written, ci.transfers
+        ), cc.name
+        assert (
+            cc.read_queue.total_busy_cycles
+            == ci.read_queue.total_busy_cycles
+        )
+        assert (
+            cc.write_queue.total_busy_cycles
+            == ci.write_queue.total_busy_cycles
+        )
+    return compiled, interpreted
+
+
+# ---------------------------------------------------------------------------
+# Generator workloads
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratorsDifferential:
+    @pytest.mark.parametrize("dataflow", ["WS", "IS", "OS"])
+    def test_systolic(self, dataflow, rng):
+        from repro.generators.systolic import (
+            SystolicConfig,
+            build_systolic_program,
+        )
+
+        dims = ConvDims(n=2, c=2, h=6, w=6, fh=2, fw=2)
+        ifmap = rng.integers(-3, 4, (2, 6, 6)).astype(np.int32)
+        weights = rng.integers(-3, 4, (2, 2, 2, 2)).astype(np.int32)
+
+        def build():
+            program = build_systolic_program(
+                SystolicConfig(dataflow, 3, 3, dims)
+            )
+            return program.module, program.prepare_inputs(ifmap, weights)
+
+        compiled, _ = run_both(build)
+        assert compiled.summary.plans_compiled > 0
+        assert compiled.summary.plan_cache_hits > 0
+
+    @pytest.mark.parametrize("n_cores,bandwidth", [(1, None), (4, 4)])
+    def test_fir(self, n_cores, bandwidth, rng):
+        from repro.generators.fir import (
+            FIRConfig,
+            build_fir_program,
+            fir_reference,
+        )
+
+        cfg = FIRConfig(n_cores=n_cores, bandwidth=bandwidth, samples=64)
+        samples = rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32)
+        coeffs = rng.integers(-4, 5, cfg.taps).astype(np.int32)
+
+        def build():
+            program = build_fir_program(cfg)
+            return program.module, program.prepare_inputs(samples, coeffs)
+
+        compiled, _ = run_both(build)
+        # The simulation still computes the right FIR answer.
+        program = build_fir_program(cfg)
+        reference = fir_reference(samples, coeffs, cfg.samples)
+        np.testing.assert_array_equal(
+            program.extract_output(compiled), reference
+        )
+
+    @pytest.mark.parametrize("stage", ["linalg", "affine", "reassign"])
+    def test_pipeline_stage(self, stage):
+        from repro.generators.pipeline import LoweringPipeline
+
+        pipeline = LoweringPipeline(
+            dims=ConvDims(n=2, c=2, h=6, w=6, fh=3, fw=3)
+        )
+        ifmap, weight = pipeline.make_data()
+
+        def build():
+            module = pipeline.build_stage(stage)
+            return module, {"ifmap": ifmap, "weight": weight}
+
+        run_both(build)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized loop fast path
+# ---------------------------------------------------------------------------
+
+
+def _loop_program(memory_kind: str, alias: bool = False):
+    """A launch with a loop doing a map (dst[i] = 2*src[i]) and an integer
+    reduction (acc[0] += src[i]) over 16 elements."""
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+    pe = eq.create_proc("MAC", name="pe")
+    mem = eq.create_mem(memory_kind, 64, ir.i32, name="mem")
+    src = eq.alloc(mem, [16], ir.i32, name="src")
+    dst = src if alias else eq.alloc(mem, [16], ir.i32, name="dst")
+    acc = eq.alloc(mem, [1], ir.i32, name="acc")
+    start = eq.control_start()
+
+    def body(b, src_a, dst_a, acc_a):
+        def loop(b2, i):
+            eq2 = EQueueBuilder(b2)
+            x = eq2.read_element(src_a, [i])
+            two = arith.constant(b2, 2, ir.i32)
+            doubled = arith.muli(b2, x, two)
+            eq2.write_element(doubled, dst_a, [i])
+            zero = arith.constant(b2, 0, ir.index)
+            running = eq2.read_element(acc_a, [zero])
+            total = arith.addi(b2, running, x)
+            eq2.write_element(total, acc_a, [zero])
+
+        affine.for_loop(b, 0, 16, body=loop)
+
+    done, = eq.launch(start, pe, args=[src, dst, acc], body=body, label="loop")
+    eq.await_(done)
+    ir.verify(module)
+    return module
+
+
+class TestVectorizedLoops:
+    def test_register_loop_vectorizes(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+
+        def build():
+            return _loop_program("Register"), {"src": data}
+
+        compiled, _ = run_both(build)
+        assert compiled.summary.vector_loops == 1
+        assert compiled.summary.vector_iterations == 16
+        assert compiled.summary.vector_fallbacks == 0
+        np.testing.assert_array_equal(compiled.buffer("dst"), data * 2)
+        assert compiled.buffer("acc")[0] == int(data.sum())
+        # Two charged data ops (muli, addi) per iteration.
+        assert compiled.cycles == 32
+
+    def test_sram_loop_falls_back(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+
+        def build():
+            return _loop_program("SRAM"), {"src": data}
+
+        compiled, _ = run_both(build)
+        # Compiled as a vector loop, but the timed SRAM fails the runtime
+        # guard, so every execution replays the scalar plan — and still
+        # matches the interpreter exactly.
+        assert compiled.summary.vector_loops == 1
+        assert compiled.summary.vector_iterations == 0
+        assert compiled.summary.vector_fallbacks == 1
+        np.testing.assert_array_equal(compiled.buffer("dst"), data * 2)
+
+    def test_aliased_buffers_fall_back(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+
+        def build():
+            return _loop_program("Register", alias=True), {"src": data}
+
+        compiled, _ = run_both(build)
+        # src and dst are the same Buffer at runtime: the aliasing guard
+        # must reject the batch and replay scalar iterations.
+        assert compiled.summary.vector_fallbacks >= 1
+        np.testing.assert_array_equal(compiled.buffer("src"), data * 2)
+
+    def test_blockarg_store_at_invariant_index(self):
+        """A loop storing a captured scalar (a BlockArgument) at a
+        loop-invariant index is not a reduction; the vectorizer must
+        reject it gracefully, not crash on the argument's Block owner."""
+
+        def build():
+            module = ir.create_module()
+            builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+            eq = EQueueBuilder(builder)
+            pe = eq.create_proc("MAC", name="pe")
+            mem = eq.create_mem("Register", 64, ir.i32, name="mem")
+            buf = eq.alloc(mem, [4], ir.i32, name="buf")
+            seven = arith.constant(builder, 7, ir.i32)
+            start = eq.control_start()
+
+            def body(b, buf_a, x_a):
+                def loop(b2, i):
+                    eq2 = EQueueBuilder(b2)
+                    zero = arith.constant(b2, 0, ir.index)
+                    eq2.write_element(x_a, buf_a, [zero])
+
+                affine.for_loop(b, 0, 4, body=loop)
+
+            done, = eq.launch(
+                start, pe, args=[buf, seven], body=body, label="w"
+            )
+            eq.await_(done)
+            ir.verify(module)
+            return module, None
+
+        compiled, _ = run_both(build)
+        assert compiled.summary.vector_loops == 0
+        np.testing.assert_array_equal(
+            compiled.buffer("buf"), np.array([7, 0, 0, 0], np.int32)
+        )
+
+    def test_interpreter_never_compiles(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+        module = _loop_program("Register")
+        engine = Engine(
+            module, EngineOptions(compile_plans=False), {"src": data}
+        )
+        result = engine.run()
+        assert result.summary.plans_compiled == 0
+        assert result.summary.plan_cache_hits == 0
+        assert engine._plans is None
+
+    def test_vectorize_escape_hatch(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+
+        def build():
+            return _loop_program("Register"), {"src": data}
+
+        compiled, _ = run_both(build, vectorize_loops=False)
+        assert compiled.summary.plans_compiled > 0
+        assert compiled.summary.vector_loops == 0
+        np.testing.assert_array_equal(compiled.buffer("dst"), data * 2)
+
+    def test_summary_format_reports_plans(self, rng):
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+        module = _loop_program("Register")
+        result = Engine(module, EngineOptions(), {"src": data}).run()
+        text = result.summary.format()
+        assert "block plans:" in text
+        assert "vectorized loops:" in text
+
+
+class TestTraceDifferential:
+    def test_detailed_trace_records(self, rng):
+        """With detailed tracing on, compiled plans disable vectorization
+        and must emit the same trace records as the interpreter."""
+        data = rng.integers(-50, 50, 16).astype(np.int32)
+        records = []
+        for compile_plans in (True, False):
+            module = _loop_program("Register")
+            options = EngineOptions(
+                trace=True, detailed_trace=True, compile_plans=compile_plans
+            )
+            result = Engine(module, options, {"src": data}).run()
+            records.append(
+                [
+                    (r.name, r.start, r.duration)
+                    for r in result.trace.records
+                ]
+            )
+        assert records[0] == records[1]
