@@ -16,52 +16,58 @@ from repro.baselines import ScaleSimConfig, run_scalesim
 from repro.dialects.linalg import ConvDims
 from repro.generators.systolic import SystolicConfig, build_systolic_program
 from repro.sim import simulate
+from repro.sim.batch import SweepRunner, measure_systolic_point
 
-from conftest import FULL_SWEEP, conv_inputs, emit
+from conftest import FULL_SWEEP, SWEEP_JOBS, conv_inputs, emit
 
 IFMAP_SIZES = [2, 4, 8, 16, 32] if FULL_SWEEP else [2, 4, 8, 16]
 WEIGHT_SIZES = [2, 4, 8, 16] if FULL_SWEEP else [2, 4, 8]
 FIXED_IFMAP = 32 if FULL_SWEEP else 16
+INPUT_SEED = 7
 
 
-def _measure(cfg: SystolicConfig, rng):
-    program = build_systolic_program(cfg)
-    ifmap, weights = conv_inputs(cfg.dims, rng)
-    result = simulate(program.module, inputs=program.prepare_inputs(ifmap, weights))
-    report = result.summary.memory_named("ofmap_mem")
-    write_bw = report.bytes_written / result.cycles if result.cycles else 0.0
-    return result.cycles, write_bw
-
-
-def _ifmap_series(rng):
-    rows = []
-    for size in IFMAP_SIZES:
-        dims = ConvDims(n=1, c=3, h=size, w=size, fh=2, fw=2)
-        cfg = SystolicConfig("WS", 4, 4, dims)
-        cycles, write_bw = _measure(cfg, rng)
-        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
-        rows.append((size, cycles, scalesim.cycles, write_bw,
-                     scalesim.avg_ofmap_write_bw))
-    return rows
-
-
-def _weight_series(rng):
-    rows = []
-    for filt in WEIGHT_SIZES:
-        dims = ConvDims(n=1, c=3, h=FIXED_IFMAP, w=FIXED_IFMAP, fh=filt, fw=filt)
-        cfg = SystolicConfig("WS", 4, 4, dims)
-        cycles, write_bw = _measure(cfg, rng)
-        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
-        rows.append((filt, cycles, scalesim.cycles, write_bw,
-                     scalesim.avg_ofmap_write_bw))
-    return rows
-
-
-def test_fig9a_b(benchmark, rng):
-    """Vary ifmap: cycles (9a) and ofmap write bandwidth (9b)."""
-    rows = benchmark.pedantic(
-        lambda: _ifmap_series(rng), rounds=1, iterations=1
+def _series(dims_list, labels):
+    """DES-vs-SCALE-Sim rows for a list of conv dims, with the DES points
+    dispatched through the batch runner (parallel across sizes)."""
+    configs = [SystolicConfig("WS", 4, 4, dims) for dims in dims_list]
+    runner = SweepRunner(jobs=SWEEP_JOBS)
+    measured = runner.map(
+        measure_systolic_point, [(cfg, INPUT_SEED) for cfg in configs]
     )
+    rows = []
+    for label, dims, point in zip(labels, dims_list, measured):
+        scalesim = run_scalesim(ScaleSimConfig("WS", 4, 4, dims))
+        rows.append(
+            (
+                label,
+                point["cycles"],
+                scalesim.cycles,
+                point["avg_ofmap_write_bw"],
+                scalesim.avg_ofmap_write_bw,
+            )
+        )
+    return rows
+
+
+def _ifmap_series():
+    dims_list = [
+        ConvDims(n=1, c=3, h=size, w=size, fh=2, fw=2)
+        for size in IFMAP_SIZES
+    ]
+    return _series(dims_list, IFMAP_SIZES)
+
+
+def _weight_series():
+    dims_list = [
+        ConvDims(n=1, c=3, h=FIXED_IFMAP, w=FIXED_IFMAP, fh=filt, fw=filt)
+        for filt in WEIGHT_SIZES
+    ]
+    return _series(dims_list, WEIGHT_SIZES)
+
+
+def test_fig9a_b(benchmark):
+    """Vary ifmap: cycles (9a) and ofmap write bandwidth (9b)."""
+    rows = benchmark.pedantic(_ifmap_series, rounds=1, iterations=1)
     lines = [
         f"{'ifmap':>6} {'EQueue cyc':>11} {'SCALE-Sim cyc':>14} "
         f"{'EQueue BW':>10} {'SCALE-Sim BW':>13}"
@@ -76,11 +82,9 @@ def test_fig9a_b(benchmark, rng):
     emit("fig09ab_ifmap_sweep", lines)
 
 
-def test_fig9c_d(benchmark, rng):
+def test_fig9c_d(benchmark):
     """Vary weights: cycles (9c) and ofmap write bandwidth (9d)."""
-    rows = benchmark.pedantic(
-        lambda: _weight_series(rng), rounds=1, iterations=1
-    )
+    rows = benchmark.pedantic(_weight_series, rounds=1, iterations=1)
     lines = [
         f"{'weight':>7} {'EQueue cyc':>11} {'SCALE-Sim cyc':>14} "
         f"{'EQueue BW':>10} {'SCALE-Sim BW':>13}"

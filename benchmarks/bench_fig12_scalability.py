@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.analysis import paper_sweep_spec, run_sweep
 
-from conftest import FULL_SWEEP, emit
+from conftest import FULL_SWEEP, SWEEP_JOBS, emit
 
 DES_SAMPLE = 24 if FULL_SWEEP else 10
 DES_MAX_CYCLES = 6000 if FULL_SWEEP else 2500
@@ -22,8 +22,20 @@ DES_MAX_CYCLES = 6000 if FULL_SWEEP else 2500
 def test_fig12a_execution_time_vs_cycles(benchmark):
     spec = paper_sweep_spec()
     points = benchmark.pedantic(
+        # Panel (a) plots *measured* per-point DES wall-clock, so the
+        # caches stay off (a replica's copied execution_time_s or a
+        # warm-plan run would distort the figure); sharding still
+        # applies — concurrent points add contention noise to the
+        # per-point timings, which the rank-correlation assertion
+        # below tolerates (EQUEUE_SWEEP_JOBS=1 for clean timings).
         lambda: run_sweep(
-            spec, use_des=True, sample=DES_SAMPLE, max_cycles=DES_MAX_CYCLES
+            spec,
+            use_des=True,
+            sample=DES_SAMPLE,
+            max_cycles=DES_MAX_CYCLES,
+            jobs=SWEEP_JOBS,
+            compile_cache=False,
+            reuse_results=False,
         ),
         rounds=1,
         iterations=1,

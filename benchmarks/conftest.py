@@ -20,6 +20,17 @@ OUT_DIR = Path(__file__).parent / "out"
 
 FULL_SWEEP = bool(int(os.environ.get("EQUEUE_FULL_SWEEP", "0")))
 
+# Worker processes for DES sweeps: EQUEUE_SWEEP_JOBS overrides; the
+# default uses up to 4 of the usable CPUs (1 CPU = serial, no pool).
+def _sweep_jobs() -> int:
+    from repro.sim.batch import default_jobs
+
+    override = int(os.environ.get("EQUEUE_SWEEP_JOBS", "0"))
+    return override or min(4, default_jobs())
+
+
+SWEEP_JOBS = _sweep_jobs()
+
 
 def emit(name: str, lines) -> None:
     """Print a figure's data and persist it under benchmarks/out/."""
@@ -36,8 +47,6 @@ def rng():
 
 
 def conv_inputs(dims, rng):
-    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
-    weights = rng.integers(
-        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
-    ).astype(np.int32)
-    return ifmap, weights
+    from repro.sim.batch import sample_conv_inputs
+
+    return sample_conv_inputs(dims, rng)

@@ -1,16 +1,21 @@
 #!/usr/bin/env python
-"""Record the engine-speed benchmark as a machine-readable JSON snapshot.
+"""Record the performance benchmarks as machine-readable JSON snapshots.
 
 Runs the ``bench_engine_speed`` workload (the §VI-C wall-clock comparison)
-directly — no pytest involved — and writes ``BENCH_engine_speed.json`` at
-the repository root so the performance trajectory is tracked across PRs::
+and the sweep-throughput workload (the §VI-E whole-sweep scalability
+story) directly — no pytest involved — and writes
+``BENCH_engine_speed.json`` and ``BENCH_sweep_throughput.json`` at the
+repository root so the performance trajectory is tracked across PRs::
 
     PYTHONPATH=src python benchmarks/record_bench.py
-    PYTHONPATH=src python benchmarks/record_bench.py --interpret -o other.json
+    PYTHONPATH=src python benchmarks/record_bench.py --engine-only
+    PYTHONPATH=src python benchmarks/record_bench.py --sweep-jobs 8
 
-The snapshot records events/s (the headline engine-throughput metric),
-wall-clock, simulated cycles, and the plan-compilation statistics, for
-both the compiled and interpreted engines.
+The engine snapshot records events/s for the compiled and interpreted
+engines; the sweep snapshot records whole-sweep points/s for the serial
+reference loop versus the sharded batch runner (``jobs=N`` with
+cross-simulation compile caching and structural result reuse), after
+checking the two produce bit-identical DSE points.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine_speed.json"
+SWEEP_OUTPUT = REPO_ROOT / "BENCH_sweep_throughput.json"
 SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
 
 
@@ -66,9 +72,160 @@ def run_workload(compile_plans: bool) -> dict:
     }
 
 
+def throughput_sweep_spec():
+    """The sweep-throughput workload: a natural DSE slice of the §VI-E
+    space (all three dataflows over two array shapes and a block of conv
+    shapes) in the many-small-points regime Fig. 12 targets.  288 DES
+    points over 62 distinct structural signatures (~4.6 points per
+    structure), so it exercises both sharding and the cross-simulation
+    caches."""
+    from repro.analysis import SweepSpec
+
+    return SweepSpec(
+        array_heights=(4, 8),
+        total_pes=64,
+        image_sizes=(2, 4),
+        filter_sizes=(1, 2),
+        channels=(1, 2, 4),
+        filter_counts=(1, 2, 4, 8),
+        dataflows=("WS", "IS", "OS"),
+    )
+
+
+def _sweep_fingerprint(points) -> list:
+    """The observable (timing-semantic) content of a sweep result, as
+    JSON-comparable rows (scenarios run in separate processes)."""
+    return [
+        [
+            point.dataflow,
+            point.config.array_height,
+            point.config.array_width,
+            list(vars(point.config.dims).values()),
+            point.cycles,
+            point.loop_iterations,
+            repr(point.peak_write_bw_x_portion),
+            point.simulated,
+        ]
+        for point in points
+    ]
+
+
+def run_sweep_scenario(jobs, compile_cache, reuse_results) -> dict:
+    """Run one sweep-throughput scenario in *this* process.
+
+    Flags are explicit (never ``None``) so the recorded metadata states
+    exactly which caches were active, independent of ``run_sweep``'s
+    defaulting policy.
+    """
+    from repro.analysis import run_sweep
+
+    spec = throughput_sweep_spec()
+    started = time.perf_counter()
+    points = run_sweep(
+        spec,
+        use_des=True,
+        jobs=jobs,
+        compile_cache=compile_cache,
+        reuse_results=reuse_results,
+    )
+    wall_clock_s = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "compile_cache": compile_cache,
+        "reuse_results": reuse_results,
+        "points": len(points),
+        "wall_clock_s": round(wall_clock_s, 6),
+        "points_per_s": round(len(points) / wall_clock_s, 3)
+        if wall_clock_s
+        else 0.0,
+        "fingerprint": _sweep_fingerprint(points),
+    }
+
+
+def _sweep_scenario_subprocess(**kwargs) -> dict:
+    """Run one scenario in a fresh interpreter, so scenarios cannot
+    contaminate each other (warm caches, heap growth, inherited state)."""
+    import subprocess
+    import sys
+
+    from repro.sim.batch import _export_import_path
+
+    _export_import_path()  # children must find repro via PYTHONPATH
+    command = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        "--sweep-scenario",
+        json.dumps(kwargs),
+    ]
+    proc = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"sweep scenario {kwargs} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def record_sweep_throughput(output: Path, jobs: int) -> dict:
+    # The reference scenario is run_sweep's jobs=1 default: the cold
+    # serial loop.  The parallel scenario matches run_sweep's defaults
+    # for jobs != 1 (both caches on), stated explicitly for the record.
+    reference = _sweep_scenario_subprocess(
+        jobs=1, compile_cache=False, reuse_results=False
+    )
+    serial_cached = _sweep_scenario_subprocess(
+        jobs=1, compile_cache=True, reuse_results=True
+    )
+    parallel = _sweep_scenario_subprocess(
+        jobs=jobs, compile_cache=True, reuse_results=True
+    )
+    runs = [
+        {"mode": "serial-reference", **reference},
+        {"mode": "serial-cached", **serial_cached},
+        {"mode": f"parallel-jobs{jobs}", **parallel},
+    ]
+    fingerprints = [run.pop("fingerprint") for run in runs]
+    if not all(fp == fingerprints[0] for fp in fingerprints[1:]):
+        raise SystemExit(
+            "sweep results differ between serial and parallel runs"
+        )
+    from repro.sim.batch import default_jobs
+
+    snapshot = {
+        "benchmark": "bench_sweep_throughput",
+        "workload": (
+            "DES sweep: 3 dataflows x {4,8}-high 64-PE arrays x "
+            "{2,4}-image x {1,2} filter x {1,2,4} channels x "
+            "{1,2,4,8} counts"
+        ),
+        "points": runs[0]["points"],
+        "usable_cpus": default_jobs(),
+        "runs": runs,
+        "identical_results": True,
+        "speedup": round(
+            reference["wall_clock_s"]
+            / max(parallel["wall_clock_s"], 1e-9),
+            3,
+        ),
+        "speedup_serial_cached": round(
+            reference["wall_clock_s"]
+            / max(serial_cached["wall_clock_s"], 1e-9),
+            3,
+        ),
+    }
+    output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{output}: {runs[-1]['points_per_s']} points/s at jobs={jobs} "
+        f"({snapshot['speedup']}x over the serial reference loop, "
+        f"{runs[0]['points']} points, identical results)"
+    )
+    return snapshot
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Record BENCH_engine_speed.json at the repo root."
+        description="Record benchmark snapshots at the repo root."
     )
     parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT),
@@ -78,7 +235,35 @@ def main(argv=None) -> int:
         "--interpret-only", action="store_true",
         help="record only the interpreted engine (skip the compiled run)",
     )
+    parser.add_argument(
+        "--engine-only", action="store_true",
+        help="skip the sweep-throughput snapshot",
+    )
+    parser.add_argument(
+        "--sweep-only", action="store_true",
+        help="record only the sweep-throughput snapshot",
+    )
+    parser.add_argument(
+        "--sweep-output", default=str(SWEEP_OUTPUT),
+        help="sweep snapshot path (default: repo-root "
+        "BENCH_sweep_throughput.json)",
+    )
+    parser.add_argument(
+        "--sweep-jobs", type=int, default=4,
+        help="worker processes for the parallel sweep run (default 4)",
+    )
+    parser.add_argument(
+        "--sweep-scenario", default="", help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
+
+    if args.sweep_scenario:
+        print(json.dumps(run_sweep_scenario(**json.loads(args.sweep_scenario))))
+        return 0
+
+    if args.sweep_only:
+        record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
+        return 0
 
     runs = []
     if not args.interpret_only:
@@ -114,6 +299,8 @@ def main(argv=None) -> int:
             else ")"
         )
     )
+    if not args.engine_only:
+        record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
     return 0
 
 

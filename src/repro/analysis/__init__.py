@@ -8,7 +8,13 @@ from .dataflow_model import (
     predicted_cycles,
     recommend_dataflow,
 )
-from .dse import DSEPoint, SweepSpec, paper_sweep_spec, run_sweep
+from .dse import (
+    DSEPoint,
+    SweepSpec,
+    clear_sweep_caches,
+    paper_sweep_spec,
+    run_sweep,
+)
 from .export import from_csv, to_csv
 from .loc import generator_loc_report, measure_loc
 
@@ -19,6 +25,7 @@ __all__ = [
     "recommend_dataflow",
     "DSEPoint",
     "SweepSpec",
+    "clear_sweep_caches",
     "paper_sweep_spec",
     "run_sweep",
     "from_csv",

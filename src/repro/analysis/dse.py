@@ -7,20 +7,32 @@ discrete-event simulation (slow, exact) or the analytical model (instant,
 used for the full-space figures — the test suite separately asserts
 DES == analytical on sampled points, which is what justifies the
 substitution).
+
+Sweeps scale along two axes (see :mod:`repro.sim.batch`): ``jobs=N``
+shards the points across a process pool with deterministic, bit-identical
+merging, and the cross-simulation compile cache (on by default) reuses
+built modules and compiled block plans between structurally identical
+points.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dialects.linalg import ConvDims
 from ..generators.systolic import SystolicConfig, build_systolic_program
 from ..sim import simulate
+from ..sim.batch import (
+    SweepRunner,
+    deterministic_conv_inputs,
+    process_compile_cache,
+    structural_signature,
+)
 
 
 @dataclass(frozen=True)
@@ -90,8 +102,20 @@ class DSEPoint:
         return self.config.dataflow
 
 
-def evaluate_point(cfg: SystolicConfig, use_des: bool, seed: int = 0) -> DSEPoint:
-    """Evaluate one configuration with the DES or the analytical model."""
+def evaluate_point(
+    cfg: SystolicConfig,
+    use_des: bool,
+    seed: int = 0,
+    compile_cache: bool = False,
+) -> DSEPoint:
+    """Evaluate one configuration with the DES or the analytical model.
+
+    ``compile_cache=True`` routes the DES through this process's
+    cross-simulation compile cache, reusing the built module and the
+    compiled block plans of any structurally identical configuration
+    evaluated earlier; results are bit-identical to the default cold
+    build (the batch sweep runner turns this on).
+    """
     if not use_des:
         started = time.perf_counter()
         cycles = cfg.expected_cycles
@@ -105,16 +129,17 @@ def evaluate_point(cfg: SystolicConfig, use_des: bool, seed: int = 0) -> DSEPoin
             peak_write_bw_x_portion=peak,
             simulated=False,
         )
-    rng = np.random.default_rng(seed)
-    dims = cfg.dims
-    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
-    weights = rng.integers(
-        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
-    ).astype(np.int32)
-    program = build_systolic_program(cfg)
-    inputs = program.prepare_inputs(ifmap, weights)
-    started = time.perf_counter()
-    result = simulate(program.module, inputs=inputs)
+    ifmap, weights = deterministic_conv_inputs(cfg.dims, seed)
+    if compile_cache:
+        cached = process_compile_cache().lookup(cfg)
+        inputs = cached.program(cfg).prepare_inputs(ifmap, weights)
+        started = time.perf_counter()
+        result = cached.simulate(inputs)
+    else:
+        program = build_systolic_program(cfg)
+        inputs = program.prepare_inputs(ifmap, weights)
+        started = time.perf_counter()
+        result = simulate(program.module, inputs=inputs)
     elapsed = time.perf_counter() - started
     ofmap_report = result.summary.memory_named("ofmap_mem")
     peak = ofmap_report.avg_write_bandwidth if ofmap_report else 0.0
@@ -128,12 +153,71 @@ def evaluate_point(cfg: SystolicConfig, use_des: bool, seed: int = 0) -> DSEPoin
     )
 
 
+#: Process-wide DES measurement memo for structural result reuse, keyed
+#: by (structural signature, seed).  See :func:`_sweep_worker`.
+_DES_RESULT_CACHE: Dict[Tuple, DSEPoint] = {}
+
+
+def clear_sweep_caches() -> None:
+    """Drop this process's DES result memo and compile cache.
+
+    Benchmarks use this to measure cold behaviour; note it cannot reach
+    caches already inherited by live worker processes.
+    """
+    _DES_RESULT_CACHE.clear()
+    process_compile_cache().clear()
+
+
+def _sweep_worker(payload: Tuple) -> DSEPoint:
+    """Spawn-safe sweep worker: evaluate one pickled payload.
+
+    With ``reuse_results``, DES measurements are memoized per structural
+    signature: the generated module — and therefore every timing-visible
+    quantity the sweep records (cycles, loop iterations, ofmap traffic,
+    bandwidth) — depends only on the signature, while the per-point conv
+    data never influences timing in the systolic model.  The first point
+    of each structure runs the full DES; replicas copy its measurements
+    under their own config.  ``tests/analysis/test_parallel_sweep.py``
+    holds replicas bit-identical to individually simulated points.
+    """
+    cfg, use_des, seed, compile_cache, reuse_results = payload
+    if not (use_des and reuse_results):
+        return evaluate_point(
+            cfg, use_des=use_des, seed=seed, compile_cache=compile_cache
+        )
+    key = (structural_signature(cfg), seed)
+    representative = _DES_RESULT_CACHE.get(key)
+    if representative is None:
+        representative = evaluate_point(
+            cfg, use_des=True, seed=seed, compile_cache=compile_cache
+        )
+        _DES_RESULT_CACHE[key] = representative
+        return representative
+    return DSEPoint(
+        config=cfg,
+        cycles=representative.cycles,
+        loop_iterations=cfg.loop_iterations,
+        execution_time_s=representative.execution_time_s,
+        peak_write_bw_x_portion=representative.peak_write_bw_x_portion,
+        simulated=True,
+    )
+
+
+def _payload_signature(payload: Tuple) -> Tuple:
+    """Shard key: group structurally identical points in one worker."""
+    return structural_signature(payload[0])
+
+
 def run_sweep(
     spec: SweepSpec,
     use_des: bool = False,
     sample: Optional[int] = None,
     max_cycles: Optional[int] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+    compile_cache: Optional[bool] = None,
+    reuse_results: Optional[bool] = None,
 ) -> List[DSEPoint]:
     """Evaluate the sweep.
 
@@ -141,18 +225,42 @@ def run_sweep(
     (used when ``use_des`` to keep bench runtimes reasonable).
     ``max_cycles``: skip configurations whose analytical estimate exceeds
     the bound (DES cost control).
+    ``jobs``: shard the evaluation across this many worker processes
+    (``None`` or ``0`` = all usable CPUs).  ``jobs=1`` (the default) is
+    the bit-exact serial reference loop — every point individually built
+    and simulated, exactly the pre-batch behaviour.  Any other value
+    routes through :class:`repro.sim.batch.SweepRunner`; results come
+    back in point order and are bit-identical to the reference loop (the
+    determinism tests hold the two equal).
+    ``chunk_size``: points per dispatched chunk (``None`` = balanced).
+    ``compile_cache``: reuse modules/plans between structurally identical
+    points (``None`` = on for the batch runner, off for the reference
+    loop; see :func:`evaluate_point`).
+    ``reuse_results``: memoize whole DES measurements per structural
+    signature (``None`` = same policy; see :func:`_sweep_worker`).
     """
     points = list(spec.points())
     if sample is not None and sample < len(points):
         rng = np.random.default_rng(seed)
         chosen = rng.choice(len(points), size=sample, replace=False)
         points = [points[i] for i in sorted(chosen)]
-    results: List[DSEPoint] = []
-    for cfg in points:
-        if max_cycles is not None and cfg.expected_cycles > max_cycles:
-            continue
-        results.append(evaluate_point(cfg, use_des=use_des, seed=seed))
-    return results
-
-
-field  # noqa: B018
+    if max_cycles is not None:
+        points = [
+            cfg for cfg in points if cfg.expected_cycles <= max_cycles
+        ]
+    if jobs is not None and jobs <= 0:
+        jobs = None  # the CLI convention: 0 (or any non-positive) = auto
+    batched = jobs != 1
+    if compile_cache is None:
+        compile_cache = batched
+    if reuse_results is None:
+        reuse_results = batched
+    payloads = [
+        (cfg, use_des, seed, compile_cache, reuse_results) for cfg in points
+    ]
+    if not batched:
+        return [_sweep_worker(payload) for payload in payloads]
+    runner = SweepRunner(
+        jobs=jobs, chunk_size=chunk_size, key=_payload_signature
+    )
+    return runner.map(_sweep_worker, payloads)

@@ -1,5 +1,17 @@
 """The generic timed discrete-event simulation engine for EQueue programs."""
 
+from .batch import (
+    CachedProgram,
+    CompileCache,
+    CompileCacheStats,
+    SweepRunner,
+    default_jobs,
+    deterministic_conv_inputs,
+    process_compile_cache,
+    sample_conv_inputs,
+    simulate_systolic_cached,
+    structural_signature,
+)
 from .components import (
     Buffer,
     CacheModel,
@@ -50,6 +62,10 @@ __all__ = [
     "register_memory_kind", "register_processor_kind",
     "Engine", "EngineError", "EngineOptions", "Future", "SimulationResult",
     "simulate",
+    "CachedProgram", "CompileCache", "CompileCacheStats", "SweepRunner",
+    "default_jobs", "deterministic_conv_inputs", "process_compile_cache",
+    "sample_conv_inputs", "simulate_systolic_cached",
+    "structural_signature",
     "AllOf", "AnyOf", "Process", "ScheduleQueue", "SimEvent",
     "SimulationError", "Simulator", "all_of", "any_of",
     "OpFunction", "OpLibError", "lookup", "register_op_function",

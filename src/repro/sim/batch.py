@@ -1,0 +1,457 @@
+"""Batch simulation: sharded multi-process sweeps with cross-simulation
+compile caching (the §VI-E scalability subsystem).
+
+A design-space exploration evaluates thousands of *independent*
+simulations, which makes whole-sweep wall clock the hottest remaining
+path after the per-simulation fast paths of :mod:`repro.sim.plan`.  This
+module scales it the way bulk-synchronous hardware simulators (Manticore,
+GSIM) do, along two orthogonal axes:
+
+**Sharding** — :class:`SweepRunner` partitions the work items into
+chunks, dispatches them to a :class:`~concurrent.futures.ProcessPoolExecutor`
+of spawn-safe workers, and merges the results back into the original item
+order, so a parallel sweep is observably identical to a serial one
+(wall-clock timing fields aside).  ``jobs=1`` — and any environment where
+process pools are unavailable or the work is not picklable — degrades to
+an in-process serial loop with the same semantics.
+
+**Cross-simulation compile caching** — sweep points are frequently
+*structurally identical*: the generated EQueue module depends only on the
+dataflow, array shape, stream length, and fold counts, while the points
+differ in convolution dims and data.  :class:`CompileCache` keys on that
+:func:`structural_signature` and reuses both the built (and verified)
+module and the :class:`~repro.sim.plan.PlanCache` of compiled block
+plans, making compilation compile-once/execute-many *across* simulations.
+Each worker process holds one process-wide cache
+(:func:`process_compile_cache`); the runner sorts work so structurally
+identical points land in the same chunk ("signature-affine" sharding),
+which keeps the per-worker caches as warm as the serial cache would be.
+
+Determinism: every simulation is independent and internally
+deterministic, the cache changes nothing observable (proven by the
+plan/engine differential tests), and the merge restores submission order
+— so ``jobs=N`` output is bit-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from .engine import EngineOptions, SimulationResult, simulate
+from .plan import PlanCache
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Failures of the pool *machinery* (as opposed to the work itself) that
+#: the runner converts into a serial in-process fallback.  Deliberately
+#: narrow — worker exceptions are application errors and must propagate;
+#: unpicklable workers/items are screened by up-front probes instead.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+)
+
+#: What pickling an unpicklable object actually raises.
+_UNPICKLABLE = (pickle.PicklingError, AttributeError, TypeError)
+
+#: Failures creating the pool itself (no fork/sem support in sandboxes).
+#: Caught only around executor construction — an OSError raised by the
+#: *worker function* must not be mistaken for a missing pool.
+_POOL_SETUP_FAILURES = (ImportError, NotImplementedError, OSError)
+
+
+class _PoolUnavailable(Exception):
+    """This environment cannot create a worker pool (serial fallback)."""
+
+
+def default_jobs() -> int:
+    """Usable CPU count (affinity-aware); the natural ``jobs`` choice."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _mp_context():
+    """The multiprocessing start method for worker pools.
+
+    ``fork`` (where available) starts workers in milliseconds; ``spawn``
+    is the portable fallback.  Workers are written spawn-safe either way
+    — module-level functions, picklable payloads, import path propagated
+    via ``PYTHONPATH`` — and ``EQUEUE_MP_CONTEXT`` forces a method.
+    """
+    import multiprocessing
+
+    method = os.environ.get("EQUEUE_MP_CONTEXT")
+    if not method:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+    return multiprocessing.get_context(method)
+
+
+def _export_import_path() -> None:
+    """Make ``repro`` importable in spawned children.
+
+    Spawned workers re-import the task function's module from scratch;
+    if the parent found :mod:`repro` through ``sys.path`` manipulation
+    (e.g. a test harness) rather than an installed package, the children
+    would not.  Prepending the package root to ``PYTHONPATH`` — which
+    child processes inherit — closes that gap.
+    """
+    import repro
+
+    root = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if root not in parts:
+        os.environ["PYTHONPATH"] = (
+            os.pathsep.join([root] + parts) if parts else root
+        )
+
+
+def _run_chunk(worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    """Worker-side chunk driver (module-level, hence spawn-picklable)."""
+    return [worker(item) for item in items]
+
+
+class SweepRunner:
+    """Shard independent work items across a process pool, deterministically.
+
+    ``jobs``: worker process count (``None`` = all usable CPUs; ``1`` =
+    in-process serial execution, no pool).
+    ``chunk_size``: items per dispatched task (``None`` = balanced
+    automatically, a few chunks per worker).
+    ``key``: optional item key for cache-affine sharding — items with
+    equal keys are placed contiguously so they land in the same worker's
+    process-wide :class:`CompileCache` (e.g. ``structural_signature``).
+
+    :meth:`map` is the whole API: apply a picklable module-level callable
+    to every item and return the results in item order.  Pool failures
+    (unpicklable work, broken workers, sandboxes without fork/spawn
+    support) fall back to the serial loop; exceptions raised by the
+    *worker function itself* propagate unchanged in both modes.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        key: Optional[Callable[[T], object]] = None,
+    ):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.chunk_size = chunk_size
+        self.key = key
+        #: True when the last :meth:`map` degraded to the serial fallback
+        #: after a pool failure (useful for tests and diagnostics).
+        self.fell_back = False
+
+    # -- sharding ------------------------------------------------------
+
+    def _order(self, items: Sequence[T]) -> List[int]:
+        """Dispatch order: signature-affine when a key is provided."""
+        indices = list(range(len(items)))
+        if self.key is not None:
+            keyed = self.key
+            indices.sort(key=lambda i: repr(keyed(items[i])))
+        return indices
+
+    def _chunks(self, items: Sequence[T], order: List[int]) -> List[List[int]]:
+        count = len(order)
+        if self.chunk_size is not None:
+            size = max(1, int(self.chunk_size))
+        else:
+            # A few chunks per worker balances load without splintering
+            # the signature groups the affine ordering created.
+            size = max(1, -(-count // (self.jobs * 2)))
+        if self.key is None:
+            return [order[i : i + size] for i in range(0, count, size)]
+        # Cut only at key-group boundaries: a group split across chunks
+        # may land in different workers, whose process-wide caches would
+        # each pay the group's compile (and memoized-simulation) cost.
+        keyed = self.key
+        chunks: List[List[int]] = []
+        current: List[List[int]] = []
+        filled = 0
+        group: List[int] = []
+        group_key = object()
+        for index in order + [None]:  # sentinel flushes the last group
+            key = repr(keyed(items[index])) if index is not None else None
+            if key != group_key:
+                if group:
+                    current.append(group)
+                    filled += len(group)
+                    if filled >= size:
+                        chunks.append([i for g in current for i in g])
+                        current, filled = [], 0
+                if index is None:
+                    break
+                group, group_key = [], key
+            group.append(index)
+        if current:
+            chunks.append([i for g in current for i in g])
+        return chunks
+
+    # -- execution -----------------------------------------------------
+
+    def map(self, worker: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """``[worker(x) for x in items]``, sharded across processes."""
+        items = list(items)
+        self.fell_back = False
+        if self.jobs <= 1 or len(items) <= 1:
+            return [worker(item) for item in items]
+        # Probe picklability up front: a lambda worker or items holding
+        # locks/handles can never reach a pool, so go serial without one
+        # — and real TypeErrors raised *by* the worker then propagate
+        # instead of being mistaken for pool failures.
+        try:
+            pickle.dumps(worker)
+            pickle.dumps(items)
+        except _UNPICKLABLE:
+            self.fell_back = True
+            return [worker(item) for item in items]
+        try:
+            return self._map_pooled(worker, items)
+        except _POOL_FAILURES + (_PoolUnavailable,):
+            self.fell_back = True
+            return [worker(item) for item in items]
+
+    def _map_pooled(
+        self, worker: Callable[[T], R], items: Sequence[T]
+    ) -> List[R]:
+        order = self._order(items)
+        chunks = self._chunks(items, order)
+        # Children must find repro via PYTHONPATH; restore the parent's
+        # environment afterwards so the mutation cannot leak into later
+        # unrelated subprocesses.
+        previous_pythonpath = os.environ.get("PYTHONPATH")
+        _export_import_path()
+        # Pre-fork hygiene: collect parent garbage so workers don't
+        # inherit it, then freeze the survivors into the permanent
+        # generation — child GC passes skip frozen objects, which is what
+        # prevents copy-on-write duplication of the parent heap in every
+        # worker (the dominant pool overhead for warm parents).
+        import gc
+
+        gc.collect()
+        gc.freeze()
+        try:
+            results: List[Optional[R]] = [None] * len(items)
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(chunks)),
+                    mp_context=_mp_context(),
+                )
+            except _POOL_SETUP_FAILURES as error:
+                raise _PoolUnavailable(str(error)) from error
+            with pool:
+                futures = [
+                    pool.submit(_run_chunk, worker, [items[i] for i in chunk])
+                    for chunk in chunks
+                ]
+                for chunk, future in zip(chunks, futures):
+                    for index, result in zip(chunk, future.result()):
+                        results[index] = result
+        finally:
+            gc.unfreeze()
+            if previous_pythonpath is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = previous_pythonpath
+        return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The cross-simulation compile cache
+# ---------------------------------------------------------------------------
+
+
+def structural_signature(cfg) -> Tuple:
+    """The structure key of a systolic configuration's generated module.
+
+    Two configurations with equal signatures build *identical* EQueue
+    modules: generation depends only on the dataflow, the array shape,
+    the stream length, and the fold counts — the convolution dims enter
+    solely through those derived quantities (and through the input data,
+    which is per-point).
+    """
+    return (
+        cfg.dataflow,
+        cfg.array_height,
+        cfg.array_width,
+        cfg.stream_length,
+        cfg.folds_rows,
+        cfg.folds_cols,
+    )
+
+
+@dataclass
+class CompileCacheStats:
+    """Hit/miss accounting for one :class:`CompileCache`."""
+
+    programs_built: int = 0
+    program_hits: int = 0
+
+
+@dataclass
+class CachedProgram:
+    """One structure's reusable compilation artifacts: the
+    built-and-verified module plus the plan cache accumulated over every
+    simulation of that structure.  The canonical way to run the cached
+    path — every caller (DSE evaluator, bench workers,
+    :func:`simulate_systolic_cached`) goes through :meth:`simulate`."""
+
+    module: object
+    plan_cache: PlanCache
+
+    def program(self, cfg):
+        """A :class:`~repro.generators.systolic.SystolicProgram` wrapper
+        carrying the point's own config, so data marshalling uses the
+        right dims."""
+        from ..generators.systolic import SystolicProgram
+
+        return SystolicProgram(module=self.module, config=cfg)
+
+    def simulate(
+        self,
+        inputs: Optional[Dict[str, np.ndarray]] = None,
+        options: Optional[EngineOptions] = None,
+    ) -> SimulationResult:
+        """Simulate the cached module, sharing compiled block plans.
+
+        Verification already happened at build time, so the default
+        options skip re-verifying; results are bit-identical to a cold
+        :func:`repro.sim.simulate` of a freshly built program.
+        """
+        if options is None:
+            options = EngineOptions(verify_module=False)
+        return simulate(
+            self.module,
+            options,
+            inputs=inputs,
+            plan_cache=self.plan_cache if options.compile_plans else None,
+        )
+
+
+@dataclass
+class CompileCache:
+    """Reusable compilation artifacts keyed by structural signature.
+
+    The nth structurally identical sweep point skips IR construction,
+    verification, *and* block-plan compilation.  Entries pin their
+    modules (and the plans pin their blocks), so the cache is also what
+    keeps ``id``-keyed plan lookups safe over time.
+    """
+
+    entries: Dict[Tuple, CachedProgram] = field(default_factory=dict)
+    stats: CompileCacheStats = field(default_factory=CompileCacheStats)
+
+    def lookup(self, cfg) -> CachedProgram:
+        """The cached artifacts for a configuration's structure."""
+        signature = structural_signature(cfg)
+        entry = self.entries.get(signature)
+        if entry is None:
+            from ..generators.systolic import build_systolic_program
+
+            entry = CachedProgram(
+                module=build_systolic_program(cfg).module,
+                plan_cache=PlanCache(),
+            )
+            self.entries[signature] = entry
+            self.stats.programs_built += 1
+        else:
+            self.stats.program_hits += 1
+        return entry
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.stats = CompileCacheStats()
+
+
+#: The per-process cache shared by every cached simulation in this
+#: process — in a pool worker it persists across chunks, which is what
+#: makes signature-affine sharding pay off.
+_PROCESS_CACHE = CompileCache()
+
+
+def process_compile_cache() -> CompileCache:
+    """This process's compile cache (one per worker, one in the parent)."""
+    return _PROCESS_CACHE
+
+
+def simulate_systolic_cached(
+    cfg,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    options: Optional[EngineOptions] = None,
+    cache: Optional[CompileCache] = None,
+) -> SimulationResult:
+    """Simulate a systolic configuration through the compile cache.
+
+    Build, verification (done once at build time), and block-plan
+    compilation are shared across every structurally identical
+    configuration simulated in this process.  Results are bit-identical
+    to a cold :func:`repro.sim.simulate` of a freshly built program.
+    """
+    cache = _PROCESS_CACHE if cache is None else cache
+    return cache.lookup(cfg).simulate(inputs, options)
+
+
+def sample_conv_inputs(dims, rng):
+    """The sweep/bench convention for conv test data: small ints drawn
+    from ``rng`` (one definition — the DSE evaluator, the benchmark
+    workers, and the bench fixtures all draw through here)."""
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    return ifmap, weights
+
+
+def deterministic_conv_inputs(dims, seed: int):
+    """:func:`sample_conv_inputs` from a per-point seeded generator."""
+    return sample_conv_inputs(dims, np.random.default_rng(seed))
+
+
+def measure_systolic_point(payload) -> Dict[str, float]:
+    """Spawn-safe DES measurement worker: one systolic config, one dict.
+
+    ``payload`` is ``(cfg, seed)``.  Runs the configuration with
+    deterministic random conv inputs through the cached-compile path and
+    returns the scalar measurements sweep-style benchmarks plot (cycles,
+    ofmap-SRAM write traffic and average write bandwidth).
+    """
+    cfg, seed = payload
+    ifmap, weights = deterministic_conv_inputs(cfg.dims, seed)
+    cached = _PROCESS_CACHE.lookup(cfg)
+    result = cached.simulate(
+        cached.program(cfg).prepare_inputs(ifmap, weights)
+    )
+    report = result.summary.memory_named("ofmap_mem")
+    bytes_written = report.bytes_written if report else 0
+    return {
+        "cycles": result.cycles,
+        "ofmap_bytes_written": bytes_written,
+        "avg_ofmap_write_bw": (
+            bytes_written / result.cycles if result.cycles else 0.0
+        ),
+    }

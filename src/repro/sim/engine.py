@@ -91,6 +91,10 @@ class EngineOptions:
     fill_cycles_per_element: int = 1
     #: Stop the simulation after this many cycles (0 = unlimited).
     max_cycles: int = 0
+    #: Verify the module before executing it.  Disable only for modules
+    #: already verified (e.g. programs served from the cross-simulation
+    #: compile cache, which verify once at build time).
+    verify_module: bool = True
     #: Compile each block once into a :class:`~repro.sim.plan.BlockPlan`
     #: and replay it (the compile-once/execute-many fast path).  Disable
     #: to force the reference interpreter, e.g. for differential testing.
@@ -202,6 +206,7 @@ class Engine:
         module: ModuleOp,
         options: Optional[EngineOptions] = None,
         inputs: Optional[Dict[str, np.ndarray]] = None,
+        plan_cache: Optional["PlanCache"] = None,
     ):
         self.module = module
         self.options = options or EngineOptions()
@@ -225,17 +230,38 @@ class Engine:
         if self.options.compile_plans:
             from .plan import PlanCache
 
-            self._plans: Optional["PlanCache"] = PlanCache(self)
+            # An externally provided cache makes compilation survive this
+            # engine: plans compiled here replay in later engines that
+            # attach the same cache (see repro.sim.batch).  Attachment is
+            # deferred to run() so constructing several engines on one
+            # cache never re-points it under an engine that is about to
+            # execute; the summary reports per-run counter deltas against
+            # the run-start snapshot.
+            self._plans: Optional["PlanCache"] = (
+                plan_cache if plan_cache is not None else PlanCache()
+            )
         else:
             self._plans = None
+        self._plan_base = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        try:
+            return self._run()
+        finally:
+            if self._plans is not None:
+                self._plans.detach()
+
+    def _run(self) -> SimulationResult:
         started = _time.perf_counter()
-        verify(self.module)
+        if self._plans is not None:
+            self._plans.attach(self)
+            self._plan_base = self._plans.counters()
+        if self.options.verify_module:
+            verify(self.module)
         self._elaborate()
         for name, data in self.inputs.items():
             if name not in self.buffers:
@@ -1230,6 +1256,17 @@ class Engine:
             for m in self.memories
         }
         plans = self._plans
+        if plans is not None:
+            # Deltas against the attach-time snapshot: a shared cache
+            # accumulates across simulations, but each run reports only
+            # its own compiles/hits (so a fully warm run shows
+            # plans_compiled == 0 and pure cache hits).
+            compiled, hits, vec_loops, vec_iters, vec_falls = (
+                current - base
+                for current, base in zip(plans.counters(), self._plan_base)
+            )
+        else:
+            compiled = hits = vec_loops = vec_iters = vec_falls = 0
         return ProfilingSummary(
             execution_time_s=elapsed,
             cycles=cycles,
@@ -1237,15 +1274,11 @@ class Engine:
             memories=memories,
             scheduler_events=self.sim.processed_events,
             launches_executed=self.launches_executed,
-            plans_compiled=plans.compiled if plans is not None else 0,
-            plan_cache_hits=plans.hits if plans is not None else 0,
-            vector_loops=plans.vector_loops if plans is not None else 0,
-            vector_iterations=(
-                plans.vector_iterations if plans is not None else 0
-            ),
-            vector_fallbacks=(
-                plans.vector_fallbacks if plans is not None else 0
-            ),
+            plans_compiled=compiled,
+            plan_cache_hits=hits,
+            vector_loops=vec_loops,
+            vector_iterations=vec_iters,
+            vector_fallbacks=vec_falls,
         )
 
 
@@ -1271,13 +1304,16 @@ def simulate(
     module: ModuleOp,
     options: Optional[EngineOptions] = None,
     inputs: Optional[Dict[str, np.ndarray]] = None,
+    plan_cache: Optional["PlanCache"] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an engine and run it.
 
     ``inputs`` maps top-level buffer names to arrays loaded into them after
-    elaboration, before simulation starts.
+    elaboration, before simulation starts.  ``plan_cache`` lets repeated
+    simulations of the same module share compiled block plans (the
+    cross-simulation compile cache; ignored when ``compile_plans`` is off).
     """
-    return Engine(module, options, inputs).run()
+    return Engine(module, options, inputs, plan_cache=plan_cache).run()
 
 
 IRError  # noqa: B018  (re-export for callers catching both error kinds)

@@ -309,12 +309,21 @@ class ScheduleQueue:
         if duration < 0:
             raise SimulationError(f"negative duration {duration}")
         time = self.sim.now if at is None else at
-        best = min(range(self.servers), key=lambda i: self._free_at[i])
-        start = max(time, self._free_at[best])
+        free_at = self._free_at
+        if self.servers == 1:
+            # Single-server queues (most memory ports) are the hot path:
+            # skip the per-booking min-over-servers key allocation.
+            best = 0
+        else:
+            best = min(range(self.servers), key=free_at.__getitem__)
+        start = free_at[best]
+        if start < time:
+            start = time
         end = start + duration
-        self._free_at[best] = end
+        free_at[best] = end
         self.busy_cycles += duration
-        self._last_end = max(self._last_end, end)
+        if end > self._last_end:
+            self._last_end = end
         return start, end
 
     @property

@@ -235,30 +235,96 @@ def _step_body(plan, ex, env):
 
 
 class PlanCache:
-    """Per-engine cache of compiled plans plus fast-path statistics."""
+    """A cache of compiled plans plus fast-path statistics.
 
-    def __init__(self, engine):
+    A cache serves one engine at a time but *outlives* engines: compiled
+    steps reach engine state through ``cache.engine`` (one indirection)
+    rather than capturing a specific instance, so a cache attached to a
+    fresh engine simulating the same module replays every previously
+    compiled plan — the cross-simulation half of compile-once/execute-many
+    (see :mod:`repro.sim.batch`).  Plans are keyed by block identity and
+    pin their block (cached entries keep the IR alive, so a recycled
+    ``id`` can never alias a stale plan).  :meth:`attach` flushes the
+    store when the new engine's plan-relevant configuration differs from
+    the one the plans were compiled under.
+    """
+
+    def __init__(self, engine=None):
         self.engine = engine
-        self.plans: Dict[int, BlockPlan] = {}
+        self.plans: Dict[int, Tuple[object, BlockPlan]] = {}
         self.compiled = 0
         self.hits = 0
         self.vector_loops = 0
         self.vector_iterations = 0
         self.vector_fallbacks = 0
+        self.vectorize = False
+        self._config_key = None
+        #: Last-seen-memory memo cells of compiled access steps; reset on
+        #: detach so they cannot pin a completed engine's component tree.
+        self._memos: List[list] = []
+        if engine is not None:
+            self.attach(engine)
+
+    def access_memo(self) -> list:
+        """A ``[last_memory, cost]`` memo cell, registered for detach."""
+        memo = [None, -1]
+        self._memos.append(memo)
+        return memo
+
+    @staticmethod
+    def _key(engine):
+        """The configuration baked into compiled steps at compile time."""
+        options = engine.options
+        return (
+            type(engine),
+            bool(options.trace and options.detailed_trace),
+            bool(options.vectorize_loops),
+        )
+
+    def detach(self) -> None:
+        """Stop serving an engine (steps dereference ``cache.engine`` only
+        while a run executes).  Long-lived caches — the process-wide
+        compile cache keeps one per structure — must not pin a completed
+        engine's buffers and simulator state in memory; that includes the
+        access steps' last-seen-memory memos."""
+        self.engine = None
+        for memo in self._memos:
+            memo[0] = None
+            memo[1] = -1
+
+    def attach(self, engine) -> "PlanCache":
+        """Serve ``engine``; flush plans compiled under a different config."""
+        key = self._key(engine)
+        if self._config_key is not None and key != self._config_key:
+            self.plans.clear()
+            self._memos.clear()
+        self._config_key = key
+        self.engine = engine
         options = engine.options
         # Vectorization changes nothing observable except per-op detailed
         # trace records, which an aggregated evaluation cannot emit.
         self.vectorize = options.vectorize_loops and not (
             options.trace and options.detailed_trace
         )
+        return self
+
+    def counters(self) -> Tuple[int, int, int, int, int]:
+        """Cumulative statistics (engines snapshot these for per-run deltas)."""
+        return (
+            self.compiled,
+            self.hits,
+            self.vector_loops,
+            self.vector_iterations,
+            self.vector_fallbacks,
+        )
 
     def plan_for(self, block) -> BlockPlan:
         """The cached plan for a block, compiling on first use."""
-        plan = self.plans.get(id(block))
-        if plan is None:
+        entry = self.plans.get(id(block))
+        if entry is None:
             return self.compile(block)
         self.hits += 1
-        return plan
+        return entry[1]
 
     def compile(self, block) -> BlockPlan:
         steps = []
@@ -280,7 +346,7 @@ class PlanCache:
             if step is not None:
                 steps.append(step)
         plan = BlockPlan(steps)
-        self.plans[id(block)] = plan
+        self.plans[id(block)] = (block, plan)
         self.compiled += 1
         return plan
 
@@ -308,31 +374,38 @@ class PlanCache:
             raise EngineError(f"no simulation handler for op {name!r}")
         # Fallback for handler-table extensions the compiler does not
         # specialize: pre-bind the handler and classify by flush need.
-        def step(ex, env, _h=handler, _op=op):
-            return _h(ex, _op, env)
+        # Methods of the engine itself are unbound and re-bound through
+        # ``cache.engine`` so the step stays valid across engine reuse.
+        func = getattr(handler, "__func__", None)
+        if func is not None and getattr(handler, "__self__", None) is engine:
+            step = _bound(self, func, op)
+        else:
+            def step(ex, env, _h=handler, _op=op):
+                return _h(ex, _op, env)
 
         if name in _NEEDS_FLUSH:
             return (K_DYN, step, None)
-        return (K_ANY, _maybe_trace(engine, op, step), None)
+        return (K_ANY, _maybe_trace(self, op, step), None)
 
 
-def _maybe_trace(engine, op, fn):
+def _maybe_trace(cache, op, fn):
     """Wrap an int-cost step with the detailed-trace record the
     interpreter emits for non-zero local costs."""
-    options = engine.options
+    options = cache.engine.options
     if not (options.trace and options.detailed_trace):
         return fn
     label = op.get_attr("signature", op.name)
 
-    def traced(ex, env, _fn=fn, _label=label, _engine=engine):
+    def traced(ex, env, _fn=fn, _label=label, _c=cache):
         cost = _fn(ex, env)
         if type(cost) is int and cost:
-            _engine.trace.record(
+            engine = _c.engine
+            engine.trace.record(
                 _label,
                 "operation",
                 "Processor",
                 ex.proc.path,
-                _engine.sim.now + ex.pending,
+                engine.sim.now + ex.pending,
                 cost,
             )
         return cost
@@ -449,7 +522,7 @@ def _c_arith(cache, engine, op):
             env[result] = evaluate(name, operands, attrs)
             return 0 if is_free else ex.proc.spec.arith_cycles
 
-    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+    return (K_CYCLES, _maybe_trace(cache, op, step), None)
 
 
 @_compiles("equeue.op")
@@ -475,15 +548,19 @@ def _c_external(cache, engine, op):
             return fixed_cycles
         return int(cycles(operands))
 
-    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+    return (K_CYCLES, _maybe_trace(cache, op, step), None)
 
 
 # -- pre-bound handler steps ---------------------------------------------------
 
 
-def _bound(handler, op):
-    def step(ex, env, _h=handler, _op=op):
-        return _h(ex, _op, env)
+def _bound(cache, func, op):
+    """A step calling the *unbound* engine function ``func`` on whichever
+    engine the cache currently serves — the indirection that makes plans
+    reusable across engines (cross-simulation caching)."""
+
+    def step(ex, env, _c=cache, _f=func, _op=op):
+        return _f(_c.engine, ex, _op, env)
 
     return step
 
@@ -506,7 +583,7 @@ def _plain_access_cost(memory, is_write) -> int:
 def _c_read(cache, engine, op):
     from .engine import Future
 
-    general = _bound(engine._h_read, op)
+    general = _bound(cache, type(engine)._h_read, op)
     posted, buffer_ssa, conn_ssa, indices_ssa = engine._read_write_static(op, 1)
     rank = _buffer_rank(buffer_ssa)
     if conn_ssa is not None or rank is None or rank == 0 \
@@ -514,7 +591,8 @@ def _c_read(cache, engine, op):
         return (K_DYN, general, None)
     result = op.result()
     resolve = engine._resolve
-    state = [None, -1]  # last-seen memory, its 1-element read cost (-1: slow)
+    # Last-seen memory and its 1-element read cost (-1: slow path).
+    state = cache.access_memo()
 
     # Scalar element read, no connection: for stateless memories the cost
     # is address-independent, so zero-cost and posted accesses complete
@@ -555,7 +633,7 @@ def _c_read(cache, engine, op):
 def _c_write(cache, engine, op):
     from .engine import Future
 
-    general = _bound(engine._h_write, op)
+    general = _bound(cache, type(engine)._h_write, op)
     posted, buffer_ssa, conn_ssa, indices_ssa = engine._read_write_static(op, 2)
     rank = _buffer_rank(buffer_ssa)
     if conn_ssa is not None or rank is None or rank == 0 \
@@ -564,7 +642,7 @@ def _c_write(cache, engine, op):
     value_ssa = op.operand(0)
     resolve = engine._resolve
 
-    state = [None, -1]
+    state = cache.access_memo()
 
     def step(ex, env):
         try:
@@ -609,12 +687,12 @@ def _c_write(cache, engine, op):
 def _c_load(cache, engine, op):
     from .engine import Future
 
-    general = _bound(engine._h_memref_load, op)
+    general = _bound(cache, type(engine)._h_memref_load, op)
     buffer_ssa = op.operand(0)
     indices_ssa = tuple(op.operand_values[1:])
     result = op.result()
     resolve = engine._resolve
-    state = [None, -1]
+    state = cache.access_memo()
 
     def step(ex, env):
         try:
@@ -648,12 +726,12 @@ def _c_load(cache, engine, op):
 def _c_store(cache, engine, op):
     from .engine import Future
 
-    general = _bound(engine._h_memref_store, op)
+    general = _bound(cache, type(engine)._h_memref_store, op)
     value_ssa = op.operand(0)
     buffer_ssa = op.operand(1)
     indices_ssa = tuple(op.operand_values[2:])
     resolve = engine._resolve
-    state = [None, -1]
+    state = cache.access_memo()
 
     def step(ex, env):
         try:
@@ -687,32 +765,38 @@ def _c_store(cache, engine, op):
 
 @_compiles("equeue.launch")
 def _c_launch(cache, engine, op):
-    return (K_FLUSH_CALL, _bound(engine._launch_impl, op), None)
+    return (K_FLUSH_CALL, _bound(cache, type(engine)._launch_impl, op), None)
 
 
 @_compiles("equeue.memcpy")
 def _c_memcpy(cache, engine, op):
-    return (K_FLUSH_CALL, _bound(engine._memcpy_impl, op), None)
+    return (K_FLUSH_CALL, _bound(cache, type(engine)._memcpy_impl, op), None)
 
 
 @_compiles("equeue.control_start")
 def _c_control_start(cache, engine, op):
-    return (K_FLUSH_CALL, _bound(engine._control_start_impl, op), None)
+    return (
+        K_FLUSH_CALL, _bound(cache, type(engine)._control_start_impl, op), None
+    )
 
 
 @_compiles("equeue.control_and")
 def _c_control_and(cache, engine, op):
-    return (K_FLUSH_CALL, _bound(engine._control_and_impl, op), None)
+    return (
+        K_FLUSH_CALL, _bound(cache, type(engine)._control_and_impl, op), None
+    )
 
 
 @_compiles("equeue.control_or")
 def _c_control_or(cache, engine, op):
-    return (K_FLUSH_CALL, _bound(engine._control_or_impl, op), None)
+    return (
+        K_FLUSH_CALL, _bound(cache, type(engine)._control_or_impl, op), None
+    )
 
 
 @_compiles("equeue.await")
 def _c_await(cache, engine, op):
-    return (K_GEN, _bound(engine._h_await, op), None)
+    return (K_GEN, _bound(cache, type(engine)._h_await, op), None)
 
 
 @_compiles(
@@ -721,19 +805,20 @@ def _c_await(cache, engine, op):
     "linalg.fill",
 )
 def _c_local(cache, engine, op):
+    cls = type(engine)
     handlers = {
-        "equeue.alloc": engine._h_alloc_runtime,
-        "equeue.get_comp": engine._h_get_comp_runtime,
-        "equeue.dealloc": engine._h_dealloc,
-        "memref.alloc": engine._h_memref_alloc,
-        "memref.dealloc": engine._h_dealloc,
-        "memref.copy": engine._h_memref_copy,
-        "linalg.conv2d": engine._h_conv2d,
-        "linalg.matmul": engine._h_matmul,
-        "linalg.fill": engine._h_fill,
+        "equeue.alloc": cls._h_alloc_runtime,
+        "equeue.get_comp": cls._h_get_comp_runtime,
+        "equeue.dealloc": cls._h_dealloc,
+        "memref.alloc": cls._h_memref_alloc,
+        "memref.dealloc": cls._h_dealloc,
+        "memref.copy": cls._h_memref_copy,
+        "linalg.conv2d": cls._h_conv2d,
+        "linalg.matmul": cls._h_matmul,
+        "linalg.fill": cls._h_fill,
     }
-    step = _bound(handlers[op.name], op)
-    return (K_CYCLES, _maybe_trace(engine, op, step), None)
+    step = _bound(cache, handlers[op.name], op)
+    return (K_CYCLES, _maybe_trace(cache, op, step), None)
 
 
 # -- structured control flow ---------------------------------------------------

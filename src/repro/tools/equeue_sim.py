@@ -1,31 +1,38 @@
-"""``equeue-sim``: simulate a textual EQueue program (Fig. 7's flow).
+"""``equeue-sim``: simulate textual EQueue programs (Fig. 7's flow).
 
 Usage::
 
     equeue-sim program.mlir --trace trace.json
     equeue-sim program.mlir --pipeline "equeue-read-write,..." --max-cycles 100000
+    equeue-sim a.mlir b.mlir c.mlir --jobs 4
+
+Multiple input files form a batch: each program is an independent
+simulation, so ``--jobs N`` shards them across a process pool (see
+:mod:`repro.sim.batch`).  Summaries are printed in input order either
+way, so parallel output is identical to serial output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import List, Optional, Tuple
 
 from .. import dialects  # noqa: F401  (register dialects)
 from ..ir import parse_module, verify
 from ..passes import PassManager
-from ..sim import EngineOptions, simulate
+from ..sim import EngineOptions, SweepRunner, simulate
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="equeue-sim",
-        description="Simulate an EQueue program and print the profiling "
-        "summary (§IV-B).",
+        description="Simulate EQueue programs and print the profiling "
+        "summary (§IV-B).  Multiple inputs run as a batch.",
     )
     parser.add_argument(
-        "input", nargs="?", default="-",
-        help="input .mlir file ('-' for stdin)",
+        "input", nargs="*", default=["-"],
+        help="input .mlir file(s) ('-' for stdin)",
     )
     parser.add_argument(
         "--pipeline", default="",
@@ -33,7 +40,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace", default="",
-        help="write a Chrome Trace Event JSON file to this path",
+        help="write a Chrome Trace Event JSON file to this path "
+        "(single input only)",
     )
     parser.add_argument(
         "--inputs", default="",
@@ -56,52 +64,110 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable block-plan compilation and run the reference "
         "interpreter (slower; for differential debugging)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="simulate a multi-file batch across this many worker "
+        "processes (0 = all usable CPUs; default 1 = serial)",
+    )
     return parser
+
+
+def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
+    """Batch worker: simulate one program, return (name, output, error).
+
+    Module-level and fed purely picklable data so it is spawn-safe for
+    :class:`~repro.sim.batch.SweepRunner` workers.
+    """
+    (
+        name, source, pipeline, inputs_path, dump_buffers,
+        max_cycles, strict_capacity, interpret, trace_path,
+    ) = payload
+    lines: List[str] = []
+    try:
+        module = parse_module(source)
+        verify(module)
+        if pipeline:
+            PassManager.parse(pipeline).run(module)
+        options = EngineOptions(
+            trace=bool(trace_path),
+            detailed_trace=bool(trace_path),
+            max_cycles=max_cycles,
+            strict_capacity=strict_capacity,
+            compile_plans=not interpret,
+        )
+        inputs = None
+        if inputs_path:
+            import numpy as np
+
+            with np.load(inputs_path) as data:
+                inputs = {key: data[key] for key in data.files}
+        result = simulate(module, options, inputs=inputs)
+    except Exception as error:  # CLI boundary: report, don't traceback
+        return name, "", str(error)
+    lines.append(result.summary.format())
+    for buffer_name in dump_buffers:
+        try:
+            lines.append(
+                f"{buffer_name} = {result.buffer(buffer_name).tolist()}"
+            )
+        except Exception as error:
+            return name, "\n".join(lines), str(error)
+    if trace_path:
+        result.trace.to_json(trace_path)
+        lines.append(
+            f"trace written to {trace_path} ({len(result.trace)} records)"
+        )
+    return name, "\n".join(lines), None
 
 
 def main(argv=None) -> int:
     args = build_arg_parser().parse_args(argv)
-    if args.input == "-":
-        source = sys.stdin.read()
-    else:
-        with open(args.input, "r", encoding="utf-8") as handle:
-            source = handle.read()
-
-    try:
-        module = parse_module(source)
-        verify(module)
-        if args.pipeline:
-            PassManager.parse(args.pipeline).run(module)
-        options = EngineOptions(
-            trace=bool(args.trace),
-            detailed_trace=bool(args.trace),
-            max_cycles=args.max_cycles,
-            strict_capacity=args.strict_capacity,
-            compile_plans=not args.interpret,
+    if args.trace and len(args.input) > 1:
+        print(
+            "equeue-sim: error: --trace supports a single input file",
+            file=sys.stderr,
         )
-        inputs = None
-        if args.inputs:
-            import numpy as np
-
-            with np.load(args.inputs) as data:
-                inputs = {name: data[name] for name in data.files}
-        result = simulate(module, options, inputs=inputs)
-    except Exception as error:  # CLI boundary: report, don't traceback
-        print(f"equeue-sim: error: {error}", file=sys.stderr)
         return 1
 
-    print(result.summary.format())
-    for name in args.dump_buffer:
-        try:
-            print(f"{name} = {result.buffer(name).tolist()}")
-        except Exception as error:
-            print(f"equeue-sim: error: {error}", file=sys.stderr)
-            return 1
-    if args.trace:
-        result.trace.to_json(args.trace)
-        print(f"trace written to {args.trace} "
-              f"({len(result.trace)} records)")
-    return 0
+    sources = []
+    stdin_source = None
+    for name in args.input:
+        if name == "-":
+            if stdin_source is None:  # stdin is consumable exactly once
+                stdin_source = sys.stdin.read()
+            sources.append(("<stdin>", stdin_source))
+        else:
+            try:
+                with open(name, "r", encoding="utf-8") as handle:
+                    sources.append((name, handle.read()))
+            except OSError as error:
+                print(f"equeue-sim: error: {error}", file=sys.stderr)
+                return 1
+
+    payloads = [
+        (
+            name, source, args.pipeline, args.inputs, args.dump_buffer,
+            args.max_cycles, args.strict_capacity, args.interpret,
+            args.trace,
+        )
+        for name, source in sources
+    ]
+    jobs = args.jobs if args.jobs > 0 else None
+    runner = SweepRunner(jobs=1 if len(payloads) == 1 else jobs)
+    failed = False
+    batch = len(payloads) > 1
+    for name, output, error in runner.map(_simulate_payload, payloads):
+        if batch:
+            print(f"== {name} ==")
+        if output:
+            print(output)
+        if error is not None:
+            # Name the file on stderr too: batch headers go to stdout
+            # only, and the streams may be captured separately.
+            prefix = f"{name}: " if batch else ""
+            print(f"equeue-sim: error: {prefix}{error}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

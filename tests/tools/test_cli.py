@@ -150,6 +150,42 @@ class TestEqueueSim:
         )
         assert "no buffer named" in capsys.readouterr().err
 
+    def test_multi_input_batch_preserves_order(self, program_file, capsys):
+        """Multiple inputs simulate as a batch; summaries print in input
+        order with per-file headers, identically for --jobs 2."""
+        argv = [str(program_file), str(program_file), "--jobs", "2"]
+        assert equeue_sim.main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count(f"== {program_file} ==") == 2
+        assert out.count("simulated runtime") == 2
+        serial = equeue_sim.main([str(program_file), str(program_file)])
+        assert serial == 0
+
+        def semantic(text):  # everything but the wall-clock line
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("simulator execution time")
+            ]
+
+        assert semantic(capsys.readouterr().out) == semantic(out)
+
+    def test_multi_input_trace_rejected(self, program_file, tmp_path, capsys):
+        code = equeue_sim.main(
+            [str(program_file), str(program_file),
+             "--trace", str(tmp_path / "t.json")]
+        )
+        assert code == 1
+        assert "--trace supports a single input" in capsys.readouterr().err
+
+    def test_multi_input_error_reported_per_file(self, program_file,
+                                                 tmp_path, capsys):
+        bad = tmp_path / "bad.mlir"
+        bad.write_text("((((")
+        assert equeue_sim.main([str(program_file), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "simulated runtime" in captured.out  # good file still ran
+        assert "error" in captured.err
+
     def test_shipped_toy_accelerator_program(self, capsys, tmp_path):
         """The .mlir file shipped under examples/programs simulates through
         the CLI, including its leading // comments."""
