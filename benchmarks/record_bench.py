@@ -11,11 +11,17 @@ repository root so the performance trajectory is tracked across PRs::
     PYTHONPATH=src python benchmarks/record_bench.py --engine-only
     PYTHONPATH=src python benchmarks/record_bench.py --sweep-jobs 8
 
-The engine snapshot records events/s for the compiled and interpreted
-engines; the sweep snapshot records whole-sweep points/s for the serial
-reference loop versus the sharded batch runner (``jobs=N`` with
-cross-simulation compile caching and structural result reuse), after
-checking the two produce bit-identical DSE points.
+The engine snapshot records events/s for the compiled engine on both
+scheduler backends (the tiered event wheel and the binary-heap
+reference) plus the interpreted engine; the sweep snapshot records
+whole-sweep points/s for the serial reference loop versus the sharded
+batch runner (``jobs=N`` with cross-simulation compile caching and
+structural result reuse), after checking the two produce bit-identical
+DSE points.
+
+``--check-regression`` additionally diffs the fresh engine snapshot
+against the committed one and exits non-zero on a >10% events/s drop,
+so CI fails when a change slows the engine down.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ SWEEP_OUTPUT = REPO_ROOT / "BENCH_sweep_throughput.json"
 SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
 
 
-def run_workload(compile_plans: bool) -> dict:
+def run_workload(compile_plans: bool, scheduler: str = "wheel") -> dict:
     from repro.dialects.linalg import ConvDims
     from repro.generators.systolic import (
         SystolicConfig,
@@ -52,7 +58,7 @@ def run_workload(compile_plans: bool) -> dict:
     started = time.perf_counter()
     result = simulate(
         program.module,
-        EngineOptions(compile_plans=compile_plans),
+        EngineOptions(compile_plans=compile_plans, scheduler=scheduler),
         inputs=inputs,
     )
     wall_clock_s = time.perf_counter() - started
@@ -60,10 +66,14 @@ def run_workload(compile_plans: bool) -> dict:
     events = summary.scheduler_events
     return {
         "compile_plans": compile_plans,
+        "scheduler": scheduler,
         "cycles": result.cycles,
         "scheduler_events": events,
         "wall_clock_s": round(wall_clock_s, 6),
         "events_per_s": round(events / wall_clock_s) if wall_clock_s else 0,
+        "microtask_events": summary.microtask_events,
+        "wheel_events": summary.wheel_events,
+        "heap_events": summary.heap_events,
         "launches_executed": summary.launches_executed,
         "plans_compiled": summary.plans_compiled,
         "plan_cache_hits": summary.plan_cache_hits,
@@ -142,7 +152,7 @@ def run_sweep_scenario(jobs, compile_cache, reuse_results) -> dict:
     }
 
 
-def _sweep_scenario_subprocess(**kwargs) -> dict:
+def _scenario_subprocess(flag: str, **kwargs) -> dict:
     """Run one scenario in a fresh interpreter, so scenarios cannot
     contaminate each other (warm caches, heap growth, inherited state)."""
     import subprocess
@@ -154,7 +164,7 @@ def _sweep_scenario_subprocess(**kwargs) -> dict:
     command = [
         sys.executable,
         str(Path(__file__).resolve()),
-        "--sweep-scenario",
+        flag,
         json.dumps(kwargs),
     ]
     proc = subprocess.run(
@@ -162,9 +172,21 @@ def _sweep_scenario_subprocess(**kwargs) -> dict:
     )
     if proc.returncode != 0:
         raise SystemExit(
-            f"sweep scenario {kwargs} failed:\n{proc.stderr}"
+            f"scenario {flag} {kwargs} failed:\n{proc.stderr}"
         )
     return json.loads(proc.stdout)
+
+
+def _sweep_scenario_subprocess(**kwargs) -> dict:
+    return _scenario_subprocess("--sweep-scenario", **kwargs)
+
+
+def _engine_scenario_subprocess(**kwargs) -> dict:
+    """One engine-speed workload in its own interpreter: the wheel, heap,
+    and interpreted rows must not share a process, or the later rows run
+    against a warmer, more fragmented heap than the first (the same
+    isolation rule the sweep scenarios follow)."""
+    return _scenario_subprocess("--engine-scenario", **kwargs)
 
 
 def record_sweep_throughput(output: Path, jobs: int) -> dict:
@@ -253,23 +275,62 @@ def main(argv=None) -> int:
         help="worker processes for the parallel sweep run (default 4)",
     )
     parser.add_argument(
+        "--check-regression", action="store_true",
+        help="compare the fresh engine snapshot against the committed one "
+        "at the output path and fail on a >10%% drop of the "
+        "machine-neutral compiled/interpreted events/s ratio; raw "
+        "events/s diffs are printed informationally (CI guard; the "
+        "fresh snapshot is still written)",
+    )
+    parser.add_argument(
+        "--regression-threshold", type=float, default=0.10,
+        help="fractional events/s drop tolerated by --check-regression "
+        "(default 0.10)",
+    )
+    parser.add_argument(
         "--sweep-scenario", default="", help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--engine-scenario", default="", help=argparse.SUPPRESS,
     )
     args = parser.parse_args(argv)
 
     if args.sweep_scenario:
         print(json.dumps(run_sweep_scenario(**json.loads(args.sweep_scenario))))
         return 0
+    if args.engine_scenario:
+        print(json.dumps(run_workload(**json.loads(args.engine_scenario))))
+        return 0
 
     if args.sweep_only:
         record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
         return 0
 
+    output = Path(args.output)
+    committed = None
+    if args.check_regression and output.exists():
+        committed = json.loads(output.read_text(encoding="utf-8"))
+
     runs = []
     if not args.interpret_only:
-        runs.append(run_workload(compile_plans=True))
-    runs.append(run_workload(compile_plans=False))
+        runs.append(
+            _engine_scenario_subprocess(compile_plans=True, scheduler="wheel")
+        )
+        # The scheduler-backend ablation row: same compiled engine on the
+        # reference binary-heap scheduler.
+        runs.append(
+            _engine_scenario_subprocess(compile_plans=True, scheduler="heap")
+        )
+    runs.append(_engine_scenario_subprocess(compile_plans=False))
     compiled = next((r for r in runs if r["compile_plans"]), None)
+    heap_run = next(
+        (
+            r
+            for r in runs
+            if r["compile_plans"] and r["scheduler"] == "heap"
+        ),
+        None,
+    )
     interpreted = next(r for r in runs if not r["compile_plans"])
     snapshot = {
         "benchmark": "bench_engine_speed",
@@ -287,7 +348,20 @@ def main(argv=None) -> int:
                 "compiled/interpreted cycle mismatch: "
                 f"{compiled['cycles']} != {interpreted['cycles']}"
             )
-    output = Path(args.output)
+    if compiled is not None and heap_run is not None:
+        snapshot["scheduler_speedup"] = round(
+            heap_run["wall_clock_s"]
+            / max(compiled["wall_clock_s"], 1e-9),
+            3,
+        )
+        if heap_run["cycles"] != compiled["cycles"] or (
+            heap_run["scheduler_events"] != compiled["scheduler_events"]
+        ):
+            raise SystemExit(
+                "wheel/heap scheduler mismatch: "
+                f"{compiled['cycles']}cy/{compiled['scheduler_events']}ev "
+                f"!= {heap_run['cycles']}cy/{heap_run['scheduler_events']}ev"
+            )
     output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
     headline = compiled or interpreted
     print(
@@ -299,9 +373,94 @@ def main(argv=None) -> int:
             else ")"
         )
     )
+    if committed is not None:
+        check_engine_regression(
+            committed, snapshot, args.regression_threshold
+        )
     if not args.engine_only:
         record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
     return 0
+
+
+def _events_per_s(snapshot: dict, compile_plans: bool) -> int:
+    """The snapshot's first run with the given engine strategy (any
+    scheduler — pre-wheel snapshots lack the field), or 0."""
+    for run in snapshot.get("runs", []):
+        if bool(run.get("compile_plans")) == compile_plans:
+            return run.get("events_per_s", 0)
+    return 0
+
+
+def check_engine_regression(
+    committed: dict, fresh: dict, threshold: float
+) -> None:
+    """Fail (exit non-zero) when events/s regressed beyond tolerance.
+
+    The gate is the **compiled/interpreted events/s ratio**, measured
+    within each snapshot, at ``threshold`` (default 10%): it is
+    machine-neutral, so a committed baseline recorded on different
+    hardware cannot trip it, and it catches regressions of the compiled
+    fast path.  The raw events/s diff is printed *informationally only*:
+    this class of single-CPU environment swings raw throughput by well
+    over 30% on identical code (clock throttling, runner-class
+    variance), so any raw cross-machine tolerance either flakes or is
+    too loose to mean anything — a slowdown hitting both engine
+    strategies proportionally must be judged from the printed numbers
+    (or a local A/B), not gated in CI.
+
+    Runs are compared like-for-like (compiled vs compiled, falling back
+    to interpreted vs interpreted for ``--interpret-only`` snapshots);
+    an exceeded tolerance aborts so CI fails on the regression.
+    """
+    checks = []  # (metric, before, after, tolerance or None=informational)
+    before = _events_per_s(committed, True)
+    after = _events_per_s(fresh, True)
+    if before and after:
+        checks.append(("events/s (compiled)", before, after, None))
+        base_before = _events_per_s(committed, False)
+        base_after = _events_per_s(fresh, False)
+        if base_before and base_after:
+            checks.append(
+                (
+                    "compiled/interpreted events/s ratio",
+                    round(before / base_before, 4),
+                    round(after / base_after, 4),
+                    threshold,
+                )
+            )
+    else:
+        before = _events_per_s(committed, False)
+        after = _events_per_s(fresh, False)
+        if before and after:
+            checks.append(("events/s (interpreted)", before, after, None))
+    if not checks:
+        print(
+            "regression check: no comparable runs between committed and "
+            "fresh snapshots; skipped"
+        )
+        return
+    failures = []
+    for metric, before, after, tolerance in checks:
+        change = (after - before) / before
+        if tolerance is None:
+            print(
+                f"regression check [{metric}]: committed {before:,} -> "
+                f"fresh {after:,} ({change:+.1%}, informational)"
+            )
+            continue
+        verdict = "OK" if change >= -tolerance else "REGRESSION"
+        print(
+            f"regression check [{metric}]: committed {before:,} -> fresh "
+            f"{after:,} ({change:+.1%}, tolerance -{tolerance:.0%}): "
+            f"{verdict}"
+        )
+        if change < -tolerance:
+            failures.append(f"{metric} fell {-change:.1%} (> {tolerance:.0%})")
+    if failures:
+        raise SystemExit(
+            "engine-speed regression vs the committed "
+            "BENCH_engine_speed.json: " + "; ".join(failures)
+        )
 
 
 if __name__ == "__main__":

@@ -49,7 +49,9 @@ _TOKEN_SPEC = [
     ("WS", r"[ \t\r\n]+"),
     ("COMMENT", r"//[^\n]*"),
     ("ARROW", r"->"),
-    ("NUMBER", r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+|inf|nan)"),
+    # inf/nan need the word boundary so identifiers such as "infx" still
+    # lex as IDENT rather than NUMBER("inf") + IDENT("x").
+    ("NUMBER", r"-?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+|inf\b|nan\b)"),
     ("STRING", r'"(?:[^"\\]|\\.)*"'),
     ("PERCENT", r"%[A-Za-z0-9_.$-]+"),
     ("CARET", r"\^[A-Za-z0-9_.$-]+"),
@@ -314,7 +316,14 @@ class Parser:
         return attrs
 
     def _parse_attr_entry(self) -> Tuple[str, Attribute]:
-        key = self.expect("IDENT").text
+        token = self.current
+        if token.kind == "NUMBER" and token.text in ("inf", "nan"):
+            # Bare inf/nan lex as NUMBER (they are float literals in value
+            # position), but both are also legal attribute *names*.
+            self.advance()
+            key = token.text
+        else:
+            key = self.expect("IDENT").text
         self.expect("PUNCT", "=")
         return key, self.parse_attr()
 

@@ -39,8 +39,10 @@ from .engine import (
     simulate,
 )
 from .kernel import (
+    WHEEL_SIZE,
     AllOf,
     AnyOf,
+    HeapSimulator,
     Process,
     ScheduleQueue,
     SimEvent,
@@ -48,6 +50,7 @@ from .kernel import (
     Simulator,
     all_of,
     any_of,
+    make_simulator,
 )
 from .oplib import OpFunction, OpLibError, lookup, register_op_function
 from .plan import BlockPlan, PlanCache
@@ -66,8 +69,9 @@ __all__ = [
     "default_jobs", "deterministic_conv_inputs", "process_compile_cache",
     "sample_conv_inputs", "simulate_systolic_cached",
     "structural_signature",
-    "AllOf", "AnyOf", "Process", "ScheduleQueue", "SimEvent",
-    "SimulationError", "Simulator", "all_of", "any_of",
+    "AllOf", "AnyOf", "HeapSimulator", "Process", "ScheduleQueue",
+    "SimEvent", "SimulationError", "Simulator", "WHEEL_SIZE", "all_of",
+    "any_of", "make_simulator",
     "OpFunction", "OpLibError", "lookup", "register_op_function",
     "BlockPlan", "PlanCache",
     "ConnectionReport", "MemoryReport", "ProfilingSummary",

@@ -435,16 +435,23 @@ def deterministic_conv_inputs(dims, seed: int):
 def measure_systolic_point(payload) -> Dict[str, float]:
     """Spawn-safe DES measurement worker: one systolic config, one dict.
 
-    ``payload`` is ``(cfg, seed)``.  Runs the configuration with
+    ``payload`` is ``(cfg, seed)`` or ``(cfg, seed, option_overrides)``
+    where ``option_overrides`` is a picklable dict of
+    :class:`~repro.sim.engine.EngineOptions` field overrides (e.g.
+    ``{"scheduler": "heap"}`` to run a whole sweep on the reference
+    scheduler for differential checks).  Runs the configuration with
     deterministic random conv inputs through the cached-compile path and
     returns the scalar measurements sweep-style benchmarks plot (cycles,
     ofmap-SRAM write traffic and average write bandwidth).
     """
-    cfg, seed = payload
+    cfg, seed, *rest = payload
+    options = None
+    if rest and rest[0]:
+        options = EngineOptions(**{"verify_module": False, **rest[0]})
     ifmap, weights = deterministic_conv_inputs(cfg.dims, seed)
     cached = _PROCESS_CACHE.lookup(cfg)
     result = cached.simulate(
-        cached.program(cfg).prepare_inputs(ifmap, weights)
+        cached.program(cfg).prepare_inputs(ifmap, weights), options
     )
     report = result.summary.memory_named("ofmap_mem")
     bytes_written = report.bytes_written if report else 0

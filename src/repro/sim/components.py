@@ -21,6 +21,7 @@ Kind           cycles/access              intent
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -166,7 +167,10 @@ class ProcessorModel(Component):
     def __init__(self, name: str, kind: str):
         super().__init__(name, kind)
         self.spec = processor_spec(kind)
-        self.queue = []  # FIFO of EventEntry (head-checked by the engine)
+        #: FIFO of EventEntry (head-checked by the engine).  A deque: the
+        #: engine pops the head once per executed entry, and launch-heavy
+        #: programs keep hundreds of entries queued per processor.
+        self.queue: deque = deque()
         self.wake: Optional[SimEvent] = None
         self.busy_cycles = 0
         self.executed_events = 0

@@ -31,6 +31,13 @@ Execution has two interchangeable strategies (``EngineOptions.compile_plans``):
   bodies collapse into single batched NumPy evaluations.  Observable
   results (cycles, buffers, statistics) are bit-identical to the
   interpreter; see ``docs/performance.md`` for the full story.
+
+Orthogonally, ``EngineOptions.scheduler`` selects the DES scheduler
+backend: the tiered event wheel (``"wheel"``, default — microtask ring
+for zero-delay resumes, calendar buckets for short latencies, heap
+overflow for far-future times) or the classic binary heap (``"heap"``,
+the reference both must match bit-for-bit; see
+:mod:`repro.sim.kernel`).
 """
 
 from __future__ import annotations
@@ -61,7 +68,9 @@ from .components import (
     memory_spec,
     register_memory_kind,
 )
-from .kernel import AllOf, SimEvent, Simulator
+from .kernel import AllOf, SimEvent, make_simulator
+from .plan import _EMPTY as _NO_RETURNS
+from .plan import _inline_run
 from .profiling import ConnectionReport, MemoryReport, ProfilingSummary
 from .tracing import TraceRecorder
 
@@ -102,6 +111,12 @@ class EngineOptions:
     #: Allow compiled plans to batch contention-free ``affine.for`` bodies
     #: into single NumPy evaluations (requires ``compile_plans``).
     vectorize_loops: bool = True
+    #: Discrete-event scheduler backend: ``"wheel"`` (the tiered
+    #: microtask-ring + calendar-wheel scheduler, the default) or
+    #: ``"heap"`` (the classic binary-heap reference).  Both produce
+    #: bit-identical simulations; the heap is kept as an escape hatch
+    #: mirroring ``compile_plans`` (see ``--scheduler`` on equeue-sim).
+    scheduler: str = "wheel"
 
 
 class Future:
@@ -211,14 +226,13 @@ class Engine:
         self.module = module
         self.options = options or EngineOptions()
         self.inputs = dict(inputs or {})
-        self.sim = Simulator()
+        self.sim = make_simulator(self.options.scheduler)
         self.env: Dict[Value, object] = {}
         self.processors: List[ProcessorModel] = []
         self.memories: List[MemoryModel] = []
         self.connections: List[ConnectionModel] = []
         self.buffers: Dict[str, Buffer] = {}
         self.trace = TraceRecorder(enabled=self.options.trace)
-        self.launches_executed = 0
         self._elaborated: set = set()
         self._name_counter = 0
         self._ideal_memory: Optional[MemoryModel] = None
@@ -410,6 +424,15 @@ class Engine:
         return f"{default}{self._name_counter}"
 
     @property
+    def launches_executed(self) -> int:
+        """Total processor-queue entries executed (launches + memcpys).
+
+        Derived from the per-processor counters instead of a separate
+        engine-level increment in the hot entry loop.
+        """
+        return sum(proc.executed_events for proc in self.processors)
+
+    @property
     def ideal_memory(self) -> MemoryModel:
         """Backing store for plain ``memref`` buffers (zero-latency)."""
         if self._ideal_memory is None:
@@ -432,30 +455,68 @@ class Engine:
         # One reusable execution state per processor: entries run to
         # completion before the next is popped, and the pending counter is
         # always flushed to zero by then.
+        # This loop resumes once per scheduler event, so everything it
+        # touches repeatedly — the queue, the wake label, the plan cache —
+        # is hoisted into locals (a generator keeps its locals across
+        # yields).
         body_ex = _BodyExec(proc)
         sim = self.sim
+        queue = proc.queue
         trace_enabled = self.options.trace
+        plans = self._plans
+        wake_label = f"{proc.name}.wake"
         while True:
             # Stage 1/2: set up the entry and check the queue head.
-            while not proc.queue:
-                wake = proc.wake = sim.event(f"{proc.name}.wake")
+            while not queue:
+                wake = proc.wake = sim.event(wake_label)
                 yield wake
                 # The wake event is consumed by exactly this yield; recycle
                 # it to keep idle/wake cycles allocation-free.
                 proc.wake = None
                 sim.release(wake)
-            entry: EventEntry = proc.queue[0]
+            entry: EventEntry = queue[0]
             if not entry.dep.triggered:
                 yield entry.dep
                 continue
-            proc.queue.pop(0)
+            queue.popleft()
             entry.ready_time = (
                 entry.dep.time if entry.dep.time is not None else sim.now
             )
             entry.start_time = sim.now
-            # Stage 3: schedule (execute) the operation.
+            # Stage 3: schedule (execute) the operation.  The launch path
+            # runs inline (no per-entry sub-generator): hot bodies whose
+            # compiled plan never suspends complete without allocating a
+            # single generator frame, and the trailing pending-cycles
+            # flush is a plain yield.
             if entry.kind == "launch":
-                returns = yield from self._exec_launch(proc, entry, body_ex)
+                block, env, captured = entry.payload
+                # Launch entries get a fresh env (isolation); the top
+                # entry shares the engine env so top-level bindings
+                # persist into the result.
+                local_env = env if env is not None else {}
+                for arg, value in zip(block.arguments, captured):
+                    if type(value) is Future:
+                        value = value.value  # dep guarantees resolution
+                    local_env[arg] = value
+                if plans is not None:
+                    plan = plans.plan_for(block)
+                    if plan.inlineable:
+                        # An inlineable plan has no K_RET step, so there
+                        # are never return values to collect.
+                        returns = _NO_RETURNS
+                        suspended = _inline_run(plan, body_ex, local_env)
+                        if suspended is not None:
+                            yield from suspended
+                    else:
+                        returns = yield from plan.run(body_ex, local_env)
+                else:
+                    returns = yield from self._run_block(
+                        body_ex, block, local_env
+                    )
+                pending = body_ex.pending
+                if pending:
+                    body_ex.pending = 0
+                    yield pending
             elif entry.kind == "memcpy":
                 returns = yield from self._exec_memcpy(proc, entry)
             else:  # pragma: no cover
@@ -464,7 +525,6 @@ class Engine:
             entry.end_time = sim.now
             proc.busy_cycles += entry.end_time - entry.start_time
             proc.executed_events += 1
-            self.launches_executed += 1
             if trace_enabled:
                 self.trace.record(
                     entry.label or entry.kind,
@@ -475,29 +535,6 @@ class Engine:
                     entry.end_time - entry.start_time,
                 )
             entry.done.trigger(returns)
-
-    def _exec_launch(
-        self,
-        proc: ProcessorModel,
-        entry: EventEntry,
-        ex: Optional[_BodyExec] = None,
-    ):
-        block, env, captured = entry.payload
-        # Launch entries get a fresh env (isolation); the top entry shares
-        # the engine env so top-level bindings persist into the result.
-        local_env = env if env is not None else {}
-        for arg, value in zip(block.arguments, captured):
-            if type(value) is Future:
-                value = value.value  # dep guarantees resolution
-            local_env[arg] = value
-        if ex is None:
-            ex = _BodyExec(proc)
-        if self._plans is not None:
-            returns = yield from self._plans.plan_for(block).run(ex, local_env)
-        else:
-            returns = yield from self._run_block(ex, block, local_env)
-        yield from self._flush(ex)
-        return returns
 
     def _exec_memcpy(self, proc: ProcessorModel, entry: EventEntry):
         source, destination, conn, src_offset, dst_offset, count = entry.payload
@@ -781,16 +818,20 @@ class Engine:
     def _launch_impl(self, ex, op, env):
         cached = self._static.get(id(op))
         if cached is None:
+            results = tuple(op.results)
             cached = (
                 op.operand(0),
                 op.operand(1),
                 tuple(op.operand_values[2:]),
                 op.regions[0].entry_block,
                 op.get_attr("label", "launch"),
-                tuple(op.results),
+                results[0],
+                results[1:],
             )
             self._static[id(op)] = cached
-        dep_ssa, target_ssa, captured_ssa, block, label, results = cached
+        dep_ssa, target_ssa, captured_ssa, block, label, done_ssa, value_ssa = (
+            cached
+        )
         dep = self._resolve(env, dep_ssa)
         target = self._resolve(env, target_ssa)
         if not isinstance(target, ProcessorModel):
@@ -804,19 +845,17 @@ class Engine:
                 if value is None:
                     raise EngineError(f"unbound captured value {ssa!r}")
             captured.append(value)
-        done = self.sim.event("launch.done")
-        entry = EventEntry(
-            kind="launch",
-            dep=dep,
-            done=done,
-            payload=(block, None, captured),
-            label=label,
-            issue_time=self.sim.now,
+        sim = self.sim
+        done = sim.event("launch.done")
+        target.enqueue(
+            EventEntry(
+                "launch", dep, done, (block, None, captured), label, sim.now
+            )
         )
-        target.enqueue(entry)
-        env[results[0]] = done
-        for i, result in enumerate(results[1:]):
-            env[result] = Future(done, i)
+        env[done_ssa] = done
+        if value_ssa:
+            for i, result in enumerate(value_ssa):
+                env[result] = Future(done, i)
 
     def _h_launch(self, ex, op, env):
         def gen():
@@ -1267,12 +1306,17 @@ class Engine:
             )
         else:
             compiled = hits = vec_loops = vec_iters = vec_falls = 0
+        sim = self.sim
         return ProfilingSummary(
             execution_time_s=elapsed,
             cycles=cycles,
             connections=connections,
             memories=memories,
-            scheduler_events=self.sim.processed_events,
+            scheduler_events=sim.processed_events,
+            scheduler=sim.kind,
+            microtask_events=sim.microtask_events,
+            wheel_events=sim.wheel_events,
+            heap_events=sim.heap_events,
             launches_executed=self.launches_executed,
             plans_compiled=compiled,
             plan_cache_hits=hits,

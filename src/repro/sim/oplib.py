@@ -82,6 +82,10 @@ def registered_signatures() -> Tuple[str, ...]:
 
 
 def _mac(a, b, c):
+    # Scalar operands (the per-PE hot path: register reads yield Python
+    # ints) multiply-accumulate directly; arrays go through NumPy.
+    if type(a) is int and type(b) is int and type(c) is int:
+        return (a * b + c,)
     return (np.asarray(a) * np.asarray(b) + np.asarray(c),)
 
 

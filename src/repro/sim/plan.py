@@ -19,13 +19,22 @@ is bit-identical to the interpreted path; the
 ``EngineOptions.compile_plans`` escape hatch keeps the interpreter
 available for differential testing.
 
+Plans integrate with the tiered event-wheel scheduler of
+:mod:`repro.sim.kernel`: the durations their steps yield reach
+``Simulator.schedule_bucket`` (a calendar-wheel bucket append for the
+common 1–64 cycle latencies), their event waits resume through the
+zero-delay microtask ring (``schedule_soon``), and a plan that never
+suspends completes through :meth:`BlockPlan.execute` without touching
+the scheduler — or allocating a generator frame — at all.
+
 Step kinds
 ==========
 
 =================  ========================================================
 ``K_CONST``        bind a constant into the environment (no call at all)
-``K_CYCLES``       pre-bound closure returning a local cycle cost
-``K_DYN``          closure returning a cost *or* a generator (read/write)
+``K_DYN``          pre-bound closure returning a local cycle cost *or* a
+                   generator (arith, reads/writes, coarse models) — the
+                   hot kind, checked first by both executors
 ``K_FLUSH_CALL``   flush pending cycles, then a plain call (launch, memcpy,
                    control events — their handlers never suspend)
 ``K_GEN``          flush pending cycles, then drive a generator (await)
@@ -34,6 +43,10 @@ Step kinds
 ``K_VEC``          a vectorized ``affine.for`` (see below)
 ``K_RET``          flush, resolve the block's return values, stop
 =================  ========================================================
+
+(``K_CYCLES`` — a closure guaranteed to return an int — still exists as a
+name, but the compiler emits ``K_DYN`` for those steps: the executors'
+``type(result) is int`` check subsumes it, and one hot branch beats two.)
 
 Vectorized loops
 ================
@@ -109,6 +122,17 @@ class BlockPlan:
         self.steps = steps
         self.inlineable = all(k in _INLINEABLE for k, _, _ in steps)
 
+    def execute(self, ex, env):
+        """Run under the inline/suspend protocol: ``None`` when the plan
+        completed without suspending (the hot case — no generator frame
+        was allocated), else a generator the caller must drive to finish
+        the remaining work.  Callers that need ``equeue.return_values``
+        must use :meth:`run` instead; inlineable plans never contain a
+        ``K_RET`` step, so they have no return values to lose."""
+        if self.inlineable:
+            return _inline_run(self, ex, env)
+        return self.run(ex, env)
+
     def run(self, ex, env, steps=None):
         """Execute the plan; a generator with the engine's yield protocol.
 
@@ -122,13 +146,7 @@ class BlockPlan:
             steps = self.steps
         returns = _EMPTY
         for kind, a, b in steps:
-            if kind == K_CYCLES:
-                cost = a(ex, env)
-                if cost:
-                    ex.pending += cost
-            elif kind == K_CONST:
-                env[a] = b
-            elif kind == K_DYN:
+            if kind == K_DYN:
                 result = a(ex, env)
                 if type(result) is int:
                     if result:
@@ -138,6 +156,12 @@ class BlockPlan:
                         pending, ex.pending = ex.pending, 0
                         yield pending
                     yield from result
+            elif kind == K_CONST:
+                env[a] = b
+            elif kind == K_CYCLES:
+                cost = a(ex, env)
+                if cost:
+                    ex.pending += cost
             elif kind == K_FLUSH_CALL:
                 if ex.pending:
                     pending, ex.pending = ex.pending, 0
@@ -188,17 +212,20 @@ def _inline_run(plan, ex, env):
     """
     steps = plan.steps
     for index, (kind, a, b) in enumerate(steps):
-        if kind == K_CYCLES:
-            cost = a(ex, env)
-            if cost:
-                ex.pending += cost
+        if kind == K_DYN:
+            result = a(ex, env)
+            if type(result) is int:
+                if result:
+                    ex.pending += result
+                continue
+            return _resume(plan, ex, env, result, index, True)
         elif kind == K_CONST:
             env[a] = b
         elif kind == K_FLUSH_CALL:
             if ex.pending:
                 return plan.run(ex, env, steps[index:])
             a(ex, env)
-        else:  # K_DYN / K_CTRL / K_VEC
+        else:  # K_CYCLES / K_CTRL / K_VEC
             result = a(ex, env)
             if result is None:
                 continue
@@ -206,7 +233,7 @@ def _inline_run(plan, ex, env):
                 if result:
                     ex.pending += result
                 continue
-            return _resume(plan, ex, env, result, index, kind == K_DYN)
+            return _resume(plan, ex, env, result, index, False)
     return None
 
 
@@ -223,15 +250,13 @@ def _resume(plan, ex, env, gen, index, flush):
 def _step_body(plan, ex, env):
     """Execute one loop-body iteration under the inline/suspend protocol.
 
-    The single place that decides between generator-free inline execution
-    and full plan replay; every scalar loop (compiled ``affine.for`` /
-    ``affine.parallel`` and the vectorizer's guard fallback) goes through
-    here.  Returns ``None`` when the iteration completed inline, or a
-    generator the caller must drive.
+    Every scalar loop (compiled ``affine.for`` / ``affine.parallel`` and
+    the vectorizer's guard fallback) goes through here; the engine's
+    launch path uses :meth:`BlockPlan.execute` directly.  Returns ``None``
+    when the iteration completed inline, or a generator the caller must
+    drive.
     """
-    if plan.inlineable:
-        return _inline_run(plan, ex, env)
-    return plan.run(ex, env)
+    return plan.execute(ex, env)
 
 
 class PlanCache:
@@ -332,13 +357,20 @@ class PlanCache:
         for op in block.ops:
             name = op.name
             if name == "equeue.return_values":
-                steps.append(
-                    (
-                        K_RET,
-                        tuple(o.value for o in op.operands),
-                        engine._resolve,
+                # An empty return compiles to nothing: there are no values
+                # to resolve, and its flush is indistinguishable from the
+                # caller's own post-plan flush (the engine's launch path
+                # flushes pending cycles immediately after the plan).
+                # Dropping the step keeps value-less launch bodies — the
+                # hot case — inlineable end to end.
+                if op.operands:
+                    steps.append(
+                        (
+                            K_RET,
+                            tuple(o.value for o in op.operands),
+                            engine._resolve,
+                        )
                     )
-                )
                 break
             if name in ("affine.yield", "scf.yield"):
                 break
@@ -522,7 +554,7 @@ def _c_arith(cache, engine, op):
             env[result] = evaluate(name, operands, attrs)
             return 0 if is_free else ex.proc.spec.arith_cycles
 
-    return (K_CYCLES, _maybe_trace(cache, op, step), None)
+    return (K_DYN, _maybe_trace(cache, op, step), None)
 
 
 @_compiles("equeue.op")
@@ -548,7 +580,7 @@ def _c_external(cache, engine, op):
             return fixed_cycles
         return int(cycles(operands))
 
-    return (K_CYCLES, _maybe_trace(cache, op, step), None)
+    return (K_DYN, _maybe_trace(cache, op, step), None)
 
 
 # -- pre-bound handler steps ---------------------------------------------------
@@ -566,6 +598,24 @@ def _bound(cache, func, op):
 
 
 _MISSING = object()
+
+
+def _static_index_tuple(indices_ssa) -> Optional[Tuple[int, ...]]:
+    """The compile-time value of an all-``arith.constant`` index list.
+
+    PE step bodies address their flow/stationary registers with constant
+    coordinates baked in by the generators; folding them at plan-compile
+    time removes every per-execution environment lookup and ``int()``
+    conversion from those accesses.  Returns ``None`` when any index is
+    dynamic (a block argument or computed value).
+    """
+    values = []
+    for ssa in indices_ssa:
+        owner = getattr(ssa, "owner", None)
+        if owner is None or getattr(owner, "name", None) != "arith.constant":
+            return None
+        values.append(int(owner.get_attr("value")))
+    return tuple(values)
 
 
 def _plain_access_cost(memory, is_write) -> int:
@@ -593,11 +643,39 @@ def _c_read(cache, engine, op):
     resolve = engine._resolve
     # Last-seen memory and its 1-element read cost (-1: slow path).
     state = cache.access_memo()
+    const_idx = _static_index_tuple(indices_ssa)
 
     # Scalar element read, no connection: for stateless memories the cost
     # is address-independent, so zero-cost and posted accesses complete
     # without touching the schedule queue — the hot path of PE register
     # traffic.  Anything else falls back to the full handler.
+    # ``ndarray.item(*indices)`` yields the Python scalar directly,
+    # skipping the intermediate NumPy scalar of plain indexing.
+    if const_idx is not None:
+
+        def step(ex, env):
+            try:
+                buffer = env[buffer_ssa]
+            except KeyError:
+                buffer = resolve(env, buffer_ssa)
+            if type(buffer) is Future:
+                buffer = buffer.value
+            memory = buffer.memory
+            if memory is not state[0]:
+                state[1] = _plain_access_cost(memory, False)
+                state[0] = memory
+            cost = state[1]
+            if cost == 0 or (posted and cost > 0):
+                env[result] = buffer.array.item(*const_idx)
+                memory.bytes_read += buffer.element_bits >> 3
+                memory.reads += 1
+                if cost:
+                    memory.queue.posted_busy_cycles += cost
+                return 0
+            return general(ex, env)
+
+        return (K_DYN, step, None)
+
     def step(ex, env):
         try:
             buffer = env[buffer_ssa]
@@ -611,14 +689,14 @@ def _c_read(cache, engine, op):
             state[0] = memory
         cost = state[1]
         if cost == 0 or (posted and cost > 0):
-            indices = []
-            for ssa in indices_ssa:
-                value = env.get(ssa, _MISSING)
-                if value is _MISSING or type(value) is Future:
-                    return general(ex, env)
-                indices.append(int(value))
-            value = buffer.array[tuple(indices)]
-            env[result] = value.item() if hasattr(value, "item") else value
+            try:
+                # int(Future) raises TypeError, a missing binding KeyError;
+                # both mean "take the general handler".
+                env[result] = buffer.array.item(
+                    *[int(env[s]) for s in indices_ssa]
+                )
+            except (KeyError, TypeError):
+                return general(ex, env)
             memory.bytes_read += buffer.element_bits >> 3
             memory.reads += 1
             if cost:
@@ -641,8 +719,8 @@ def _c_write(cache, engine, op):
         return (K_DYN, general, None)
     value_ssa = op.operand(0)
     resolve = engine._resolve
-
     state = cache.access_memo()
+    const_idx = _static_index_tuple(indices_ssa)
 
     def step(ex, env):
         try:
@@ -660,13 +738,15 @@ def _c_write(cache, engine, op):
             stored = env.get(value_ssa, _MISSING)
             if stored is _MISSING or type(stored) is Future:
                 return general(ex, env)
-            indices = []
-            for ssa in indices_ssa:
-                index = env.get(ssa, _MISSING)
-                if index is _MISSING or type(index) is Future:
+            if const_idx is not None:
+                target = const_idx
+            else:
+                try:
+                    # int(Future) raises TypeError, a missing binding
+                    # KeyError; both mean "take the general handler".
+                    target = tuple([int(env[s]) for s in indices_ssa])
+                except (KeyError, TypeError):
                     return general(ex, env)
-                indices.append(int(index))
-            target = tuple(indices)
             if isinstance(stored, np.ndarray):
                 buffer.array[target] = np.asarray(stored).reshape(
                     buffer.array[target].shape
@@ -693,6 +773,7 @@ def _c_load(cache, engine, op):
     result = op.result()
     resolve = engine._resolve
     state = cache.access_memo()
+    const_idx = _static_index_tuple(indices_ssa)
 
     def step(ex, env):
         try:
@@ -706,14 +787,15 @@ def _c_load(cache, engine, op):
             state[1] = _plain_access_cost(memory, False)
             state[0] = memory
         if state[1] == 0:
-            indices = []
-            for ssa in indices_ssa:
-                value = env.get(ssa, _MISSING)
-                if value is _MISSING or type(value) is Future:
+            if const_idx is not None:
+                env[result] = buffer.array.item(*const_idx)
+            else:
+                try:
+                    env[result] = buffer.array.item(
+                        *[int(env[s]) for s in indices_ssa]
+                    )
+                except (KeyError, TypeError):
                     return general(ex, env)
-                indices.append(int(value))
-            value = buffer.array[tuple(indices)]
-            env[result] = value.item() if hasattr(value, "item") else value
             memory.bytes_read += buffer.element_bits >> 3
             memory.reads += 1
             return 0
@@ -732,6 +814,7 @@ def _c_store(cache, engine, op):
     indices_ssa = tuple(op.operand_values[2:])
     resolve = engine._resolve
     state = cache.access_memo()
+    const_idx = _static_index_tuple(indices_ssa)
 
     def step(ex, env):
         try:
@@ -748,13 +831,14 @@ def _c_store(cache, engine, op):
             stored = env.get(value_ssa, _MISSING)
             if stored is _MISSING or type(stored) is Future:
                 return general(ex, env)
-            indices = []
-            for ssa in indices_ssa:
-                index = env.get(ssa, _MISSING)
-                if index is _MISSING or type(index) is Future:
+            if const_idx is not None:
+                target = const_idx
+            else:
+                try:
+                    target = tuple([int(env[s]) for s in indices_ssa])
+                except (KeyError, TypeError):
                     return general(ex, env)
-                indices.append(int(index))
-            buffer.array[tuple(indices)] = stored
+            buffer.array[target] = stored
             memory.bytes_written += buffer.element_bits >> 3
             memory.writes += 1
             return 0
@@ -818,7 +902,7 @@ def _c_local(cache, engine, op):
         "linalg.fill": cls._h_fill,
     }
     step = _bound(cache, handlers[op.name], op)
-    return (K_CYCLES, _maybe_trace(cache, op, step), None)
+    return (K_DYN, _maybe_trace(cache, op, step), None)
 
 
 # -- structured control flow ---------------------------------------------------

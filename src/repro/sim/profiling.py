@@ -80,6 +80,15 @@ class ProfilingSummary:
     memories: Dict[str, MemoryReport] = field(default_factory=dict)
     scheduler_events: int = 0
     launches_executed: int = 0
+    #: Scheduler backend that ran the simulation (``"wheel"`` | ``"heap"``).
+    scheduler: str = "wheel"
+    #: Callbacks served by the zero-delay microtask ring (wheel scheduler).
+    microtask_events: int = 0
+    #: Callbacks served by a calendar-wheel bucket (short delays).
+    wheel_events: int = 0
+    #: Callbacks served by the far-future overflow heap (every event, for
+    #: the heap scheduler).
+    heap_events: int = 0
     #: Block plans compiled by the compile-once/execute-many fast path
     #: (0 when the engine ran fully interpreted).
     plans_compiled: int = 0
@@ -116,6 +125,11 @@ class ProfilingSummary:
         lines.append(f"simulator execution time: {self.execution_time_s:.4f} s")
         lines.append(f"simulated runtime:        {self.cycles} cycles")
         lines.append(f"scheduler events:         {self.scheduler_events}")
+        lines.append(
+            f"scheduler tiers:          {self.scheduler} "
+            f"({self.microtask_events} microtask, {self.wheel_events} wheel, "
+            f"{self.heap_events} heap)"
+        )
         lines.append(f"launches executed:        {self.launches_executed}")
         if self.plans_compiled or self.plan_cache_hits:
             lines.append(

@@ -65,6 +65,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "interpreter (slower; for differential debugging)",
     )
     parser.add_argument(
+        "--scheduler", choices=("wheel", "heap"), default="wheel",
+        help="discrete-event scheduler backend: the tiered event wheel "
+        "(default) or the classic binary heap (slower; for differential "
+        "debugging, mirroring --interpret)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="simulate a multi-file batch across this many worker "
         "processes (0 = all usable CPUs; default 1 = serial)",
@@ -80,7 +86,7 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
     """
     (
         name, source, pipeline, inputs_path, dump_buffers,
-        max_cycles, strict_capacity, interpret, trace_path,
+        max_cycles, strict_capacity, interpret, scheduler, trace_path,
     ) = payload
     lines: List[str] = []
     try:
@@ -94,6 +100,7 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
             max_cycles=max_cycles,
             strict_capacity=strict_capacity,
             compile_plans=not interpret,
+            scheduler=scheduler,
         )
         inputs = None
         if inputs_path:
@@ -148,7 +155,7 @@ def main(argv=None) -> int:
         (
             name, source, args.pipeline, args.inputs, args.dump_buffer,
             args.max_cycles, args.strict_capacity, args.interpret,
-            args.trace,
+            args.scheduler, args.trace,
         )
         for name, source in sources
     ]

@@ -91,8 +91,7 @@ class TestFig12:
         from repro.generators.systolic import build_systolic_program
         from repro.sim import simulate
 
-        times, cycles = [], []
-        for size in (4, 8, 12):
+        def measure(size):
             dims = ConvDims(n=1, c=2, h=size, w=size, fh=2, fw=2)
             cfg = SystolicConfig("WS", 4, 4, dims)
             program = build_systolic_program(cfg)
@@ -103,11 +102,21 @@ class TestFig12:
             )
             start = time.perf_counter()
             result = simulate(program.module, inputs=inputs)
-            times.append(time.perf_counter() - start)
-            cycles.append(result.cycles)
+            return time.perf_counter() - start, result.cycles
+
+        measured = [measure(size) for size in (4, 8, 12)]
+        times = [t for t, _ in measured]
+        cycles = [c for _, c in measured]
         assert cycles == sorted(cycles)
         # Wall-clock should grow with cycle count (allowing noise: the
-        # largest run must be slower than the smallest).
+        # largest run must be slower than the smallest).  A CPU
+        # contention spike can momentarily invert even that on a shared
+        # single-CPU box, so on inversion compare best-of-two instead.
+        if times[-1] <= times[0]:
+            times = [
+                min(old, measure(size)[0])
+                for old, size in zip(times, (4, 8, 12))
+            ]
         assert times[-1] > times[0]
 
     def test_iteration_rule_identifies_good_shapes(self):

@@ -101,6 +101,24 @@ class TestBasicRoundtrip:
         text = roundtrip(module)
         assert "1e-07" in text
 
+    def test_inf_nan_as_attribute_names(self, module_and_builder):
+        """inf/nan lex as float literals in value position, but they (and
+        identifiers merely starting with them) are legal attribute keys."""
+        module, builder = module_and_builder
+        builder.create(
+            "test.attrs", [], [],
+            {"inf": 1, "nan": "x", "infx": 2, "nano": True},
+        )
+        roundtrip(module)
+
+    def test_non_finite_float_values(self, module_and_builder):
+        module, builder = module_and_builder
+        builder.create(
+            "test.attrs", [], [],
+            {"pos": float("inf"), "neg": float("-inf")},
+        )
+        roundtrip(module)
+
 
 class TestTypeParsing:
     @pytest.mark.parametrize(

@@ -184,4 +184,4 @@ class TestBufferAndDMA:
         )
         proc.enqueue(entry)
         assert proc.wake.triggered
-        assert proc.queue == [entry]
+        assert list(proc.queue) == [entry]

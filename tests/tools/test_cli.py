@@ -105,6 +105,30 @@ class TestEqueueSim:
         assert "simulated runtime" in out
         assert "1 cycles" in out
 
+    def test_scheduler_flag_matches_default(self, program_file, capsys):
+        """--scheduler heap is the escape hatch: identical summary output
+        (timing lines aside) to the default event-wheel scheduler."""
+
+        def summary_lines(argv):
+            assert equeue_sim.main(argv) == 0
+            out = capsys.readouterr().out
+            return [
+                line
+                for line in out.splitlines()
+                if not line.startswith(
+                    ("simulator execution time", "scheduler tiers")
+                )
+            ]
+
+        wheel = summary_lines([str(program_file)])
+        heap = summary_lines([str(program_file), "--scheduler", "heap"])
+        assert wheel == heap
+
+    def test_bad_scheduler_choice_rejected(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            equeue_sim.main([str(program_file), "--scheduler", "quantum"])
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_trace_written(self, program_file, tmp_path, capsys):
         trace_path = tmp_path / "trace.json"
         assert equeue_sim.main(
