@@ -1,0 +1,71 @@
+"""Per-scenario engine throughput: events/s across the whole registry.
+
+The registry makes throughput a *breadth* measurement: one row per
+registered workload (default config, compiled engine, event-wheel
+scheduler), each oracle-checked, so the bench doubles as an end-to-end
+correctness sweep.  ``record_bench.py`` snapshots the same rows —
+measured in isolated subprocesses — into ``BENCH_engine_speed.json``
+under ``scenario_runs`` so the per-workload trajectory is tracked
+across PRs.
+"""
+
+import time
+
+from repro.scenarios import get_scenario, scenario_names
+
+from conftest import emit
+
+
+def run_scenario_workload(name: str, seed: int = 0) -> dict:
+    """Build + simulate one scenario's default config; oracle-checked.
+
+    A cold build each call (no process caches) so rows are comparable
+    across scenarios and across runs.
+    """
+    scenario = get_scenario(name)
+    cfg = scenario.configure()
+    module = scenario.build(cfg)
+    inputs = scenario.make_inputs(cfg, seed)
+    from repro.sim import EngineOptions, simulate
+
+    started = time.perf_counter()
+    result = simulate(module, EngineOptions(verify_module=False), inputs)
+    wall_clock_s = time.perf_counter() - started
+    scenario.check(cfg, result, seed)
+    events = result.summary.scheduler_events
+    return {
+        "scenario": name,
+        "cycles": result.cycles,
+        "scheduler_events": events,
+        "launches_executed": result.summary.launches_executed,
+        "wall_clock_s": round(wall_clock_s, 6),
+        "events_per_s": round(events / wall_clock_s) if wall_clock_s else 0,
+        "checked": True,
+    }
+
+
+def test_scenario_throughput_rows(benchmark):
+    """One events/s row per registered scenario, every oracle passing."""
+
+    def sweep():
+        return [run_scenario_workload(name) for name in scenario_names()]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'scenario':>10} {'cycles':>8} {'events':>8} {'launches':>9} "
+        f"{'wall-clock':>11} {'events/s':>12}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:>10} {row['cycles']:>8} "
+            f"{row['scheduler_events']:>8} {row['launches_executed']:>9} "
+            f"{row['wall_clock_s']:>10.3f}s {row['events_per_s']:>12,}"
+        )
+    lines.append(
+        "(every row oracle-checked: functional output, closed-form "
+        "cycles/traffic)"
+    )
+    emit("scenario_throughput", lines)
+    assert len(rows) >= 5
+    assert all(row["checked"] for row in rows)
+    assert all(row["cycles"] > 0 for row in rows)

@@ -13,7 +13,10 @@ repository root so the performance trajectory is tracked across PRs::
 
 The engine snapshot records events/s for the compiled engine on both
 scheduler backends (the tiered event wheel and the binary-heap
-reference) plus the interpreted engine; the sweep snapshot records
+reference) plus the interpreted engine, and one oracle-checked
+events/s row per registered workload scenario (``scenario_runs``,
+from :mod:`repro.scenarios` via ``bench_scenarios.py`` — each row in
+its own subprocess); the sweep snapshot records
 whole-sweep points/s for the serial reference loop versus the sharded
 batch runner (``jobs=N`` with cross-simulation compile caching and
 structural result reuse), after checking the two produce bit-identical
@@ -189,6 +192,34 @@ def _engine_scenario_subprocess(**kwargs) -> dict:
     return _scenario_subprocess("--engine-scenario", **kwargs)
 
 
+def _workload_row_subprocess(**kwargs) -> dict:
+    """One registry-scenario row in its own interpreter (same isolation
+    rule: rows must not inherit each other's warm caches and heaps)."""
+    return _scenario_subprocess("--scenario-row", **kwargs)
+
+
+def run_scenario_row(name: str) -> dict:
+    """One per-workload events/s row (shared with bench_scenarios.py)."""
+    from bench_scenarios import run_scenario_workload
+
+    return run_scenario_workload(name)
+
+
+def record_scenario_rows() -> list:
+    from repro.scenarios import scenario_names
+
+    rows = [
+        _workload_row_subprocess(name=name) for name in scenario_names()
+    ]
+    for row in rows:
+        print(
+            f"  scenario {row['scenario']:>10}: {row['events_per_s']:,} "
+            f"events/s ({row['cycles']} cycles, "
+            f"{row['scheduler_events']} events, oracle-checked)"
+        )
+    return rows
+
+
 def record_sweep_throughput(output: Path, jobs: int) -> dict:
     # The reference scenario is run_sweep's jobs=1 default: the cold
     # serial loop.  The parallel scenario matches run_sweep's defaults
@@ -288,10 +319,17 @@ def main(argv=None) -> int:
         "(default 0.10)",
     )
     parser.add_argument(
+        "--skip-scenarios", action="store_true",
+        help="skip the per-workload scenario rows in the engine snapshot",
+    )
+    parser.add_argument(
         "--sweep-scenario", default="", help=argparse.SUPPRESS,
     )
     parser.add_argument(
         "--engine-scenario", default="", help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--scenario-row", default="", help=argparse.SUPPRESS,
     )
     args = parser.parse_args(argv)
 
@@ -300,6 +338,9 @@ def main(argv=None) -> int:
         return 0
     if args.engine_scenario:
         print(json.dumps(run_workload(**json.loads(args.engine_scenario))))
+        return 0
+    if args.scenario_row:
+        print(json.dumps(run_scenario_row(**json.loads(args.scenario_row))))
         return 0
 
     if args.sweep_only:
@@ -362,7 +403,6 @@ def main(argv=None) -> int:
                 f"{compiled['cycles']}cy/{compiled['scheduler_events']}ev "
                 f"!= {heap_run['cycles']}cy/{heap_run['scheduler_events']}ev"
             )
-    output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
     headline = compiled or interpreted
     print(
         f"{output}: {headline['events_per_s']:,} events/s "
@@ -373,6 +413,9 @@ def main(argv=None) -> int:
             else ")"
         )
     )
+    if not args.skip_scenarios:
+        snapshot["scenario_runs"] = record_scenario_rows()
+    output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
     if committed is not None:
         check_engine_regression(
             committed, snapshot, args.regression_threshold

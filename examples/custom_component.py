@@ -81,7 +81,6 @@ def main():
     start = eq.control_start()
 
     def body(b, buf_arg):
-        inner = EQueueBuilder(b)
 
         def walk(b2, iv):
             loop_inner = EQueueBuilder(b2)

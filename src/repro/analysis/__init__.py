@@ -1,6 +1,10 @@
 """Analysis utilities: the dataflow iteration-count model, the design-space
 exploration sweep of §VI-E, and source-size measurement for the §VI-C LOC
-comparison."""
+comparison.
+
+:func:`run_sweep` also accepts registry grids
+(:func:`repro.scenarios.scenario_grid`), sweeping any registered
+workload scenario through the same sharded, compile-cached runner."""
 
 from .dataflow_model import (
     best_array_shape,

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..dialects.linalg import ConvDims
 from ..generators.systolic import SystolicConfig, build_systolic_program
+from ..scenarios.sweep import ScenarioGrid, run_scenario_sweep
 from ..sim import simulate
 from ..sim.batch import (
     SweepRunner,
@@ -221,6 +222,19 @@ def run_sweep(
 ) -> List[DSEPoint]:
     """Evaluate the sweep.
 
+    ``spec`` may also be a :class:`repro.scenarios.ScenarioGrid` — a
+    registry sweep grid over any registered workload — in which case
+    the evaluation delegates to
+    :func:`repro.scenarios.run_scenario_sweep` (always DES; returns
+    :class:`~repro.scenarios.ScenarioPoint` rows instead of
+    :class:`DSEPoint`) with the same
+    ``jobs``/``chunk_size``/``seed``/``sample`` semantics, including
+    bit-identical parallel merging.  The systolic-specific knobs do not
+    transfer: ``use_des`` is ignored (scenario points are always
+    simulated — there is no per-scenario analytical model) and
+    ``max_cycles``/``compile_cache``/``reuse_results`` raise
+    ``ValueError`` rather than being silently dropped.
+
     ``sample``: evaluate only a deterministic subsample of that many points
     (used when ``use_des`` to keep bench runtimes reasonable).
     ``max_cycles``: skip configurations whose analytical estimate exceeds
@@ -239,6 +253,23 @@ def run_sweep(
     ``reuse_results``: memoize whole DES measurements per structural
     signature (``None`` = same policy; see :func:`_sweep_worker`).
     """
+    if isinstance(spec, ScenarioGrid):
+        unsupported = {
+            "max_cycles": max_cycles,
+            "compile_cache": compile_cache,
+            "reuse_results": reuse_results,
+        }
+        passed = [key for key, value in unsupported.items() if value is not None]
+        if passed:
+            raise ValueError(
+                "run_sweep over a ScenarioGrid does not support "
+                + ", ".join(passed)
+                + " (scenario sweeps always use the per-process program "
+                "cache and have no analytical cycle estimate)"
+            )
+        return run_scenario_sweep(
+            spec, jobs=jobs, seed=seed, sample=sample, chunk_size=chunk_size
+        )
     points = list(spec.points())
     if sample is not None and sample < len(points):
         rng = np.random.default_rng(seed)

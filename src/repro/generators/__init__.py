@@ -5,6 +5,11 @@
 * :mod:`repro.generators.fir` — AI Engine FIR filter pipelines (§VII).
 * :mod:`repro.generators.pipeline` — the Linalg→Affine→Reassign→Systolic
   lowering pipeline driver (§VI-D, Fig. 11).
+
+All three are also registered as first-class workload *scenarios*
+(:mod:`repro.scenarios`) — name, overridable config, build hook,
+reference-stats oracle, sweep grid — alongside the GEMM and mesh
+workloads; enumerate them with ``equeue-sim --list-scenarios``.
 """
 
 from .systolic import SystolicConfig, SystolicProgram, build_systolic_program

@@ -389,7 +389,6 @@ def _build_kernel_body(
 ) -> None:
     from ..dialects import affine
 
-    eq = EQueueBuilder(b)
     ah, aw, t_len = cfg.array_height, cfg.array_width, cfg.stream_length
     steps = t_len + ah + aw - 2
     tile = ah * aw

@@ -86,7 +86,6 @@ def _ops_in_subtree(roots: Sequence[Operation]) -> Set[int]:
 
 def _collect_captures(moved: Sequence[Operation]) -> List[Value]:
     """Values used inside ``moved`` but defined outside them, in use order."""
-    inside = _ops_in_subtree(moved)
     defined_inside: Set[int] = set()
     for root in moved:
         for op in root.walk():

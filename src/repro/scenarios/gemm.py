@@ -1,0 +1,335 @@
+"""Double-buffered tiled GEMM accelerator (the DMA ping-pong workload).
+
+The classic latency-hiding structure the EQueue dialect was designed to
+express: ``C[m, n] = A[m, k] @ B[k, n]`` computed as a sequence of
+``k_tiles = k / tile_k`` rank-``tile_k`` updates.  Operand tiles live in
+DRAM (10 cycles/access) and are staged by a DMA into SRAM **ping-pong
+buffer pairs**: while the PE computes the rank update for chunk ``j``
+out of one pair, the DMA prefetches chunk ``j+1`` into the other, so
+DRAM latency overlaps compute instead of serializing with it.
+
+Dependency structure (``j`` = reduction chunk)::
+
+    load[j]     on DMA, dep = compute_done[j-2]   (buffer pair j%2 free)
+    compute[j]  on PE,  dep = load_a[j] & load_b[j]
+    drain       on DMA, dep = compute_done[last]  (acc -> c_out SRAM)
+
+With ``double_buffer=False`` the same program runs through a *single*
+buffer pair (``load[j]`` waits on ``compute_done[j-1]``), which fully
+serializes transfer and compute — the differential test holds the
+double-buffered variant strictly faster on the same data, the overlap
+the structure exists to buy.
+
+The accumulator lives in a PE-local register file (0-cycle access) and
+the rank update itself is the registered ``gemm_tile`` operation
+function — ``tile_k`` MACs per output element, one MAC per cycle,
+exactly the paper's §III-E mechanism for modeling a hardware GEMM
+primitive (as ``mul4``/``mac4`` model the AI Engine intrinsics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..dialects import arith
+from ..dialects.equeue import EQueueBuilder
+from ..ir import Builder, InsertionPoint, create_module, i32, index
+from ..ir.module import ModuleOp
+from ..ir.values import Value
+from ..sim.oplib import OpFunction, register_op_function
+
+
+@dataclass(frozen=True)
+class GemmConfig:
+    """A tiled-GEMM workload configuration."""
+
+    m: int = 4
+    k: int = 16
+    n: int = 4
+    #: Reduction-dimension tile staged per DMA transfer.
+    tile_k: int = 4
+    #: Ping-pong staging (the latency-hiding structure); ``False`` keeps
+    #: one buffer pair and serializes transfer against compute.
+    double_buffer: bool = True
+    #: DRAM ports: parallel servers for the 10-cycle accesses.
+    dram_ports: int = 4
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n, self.tile_k, self.dram_ports) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+        if self.k % self.tile_k != 0:
+            raise ValueError(
+                f"k={self.k} is not a multiple of tile_k={self.tile_k}"
+            )
+
+    @property
+    def k_tiles(self) -> int:
+        return self.k // self.tile_k
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates: the PE's busy-cycle floor."""
+        return self.m * self.n * self.k
+
+    @property
+    def tile_elements(self) -> Tuple[int, int]:
+        """(A-tile, B-tile) element counts per chunk."""
+        return self.m * self.tile_k, self.tile_k * self.n
+
+    @property
+    def dram_read_bytes(self) -> int:
+        """Exact DRAM traffic: every operand element read exactly once."""
+        a_tile, b_tile = self.tile_elements
+        return 4 * self.k_tiles * (a_tile + b_tile)
+
+    @property
+    def load_cycle_floor(self) -> int:
+        """DMA busy-cycle floor: the DRAM-side service time of all loads."""
+        a_tile, b_tile = self.tile_elements
+        per_chunk = (
+            math.ceil(a_tile / self.dram_ports)
+            + math.ceil(b_tile / self.dram_ports)
+        ) * 10
+        return self.k_tiles * per_chunk
+
+    @property
+    def cycle_floor(self) -> int:
+        """No schedule can beat the busier of the two resources."""
+        return max(self.macs, self.load_cycle_floor)
+
+
+# ---------------------------------------------------------------------------
+# The gemm_tile operation function (§III-E extension mechanism)
+# ---------------------------------------------------------------------------
+
+
+def _gemm_tile(a, b, acc):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    acc = np.asarray(acc)
+    return (acc + a @ b,)
+
+
+def _gemm_tile_cycles(operands) -> int:
+    """One MAC per cycle: m * n * tile_k for an (m,t) @ (t,n) update."""
+    a = np.asarray(operands[0])
+    b = np.asarray(operands[1])
+    return int(a.shape[0] * a.shape[1] * b.shape[1])
+
+
+register_op_function(
+    OpFunction("gemm_tile", _gemm_tile_cycles, _gemm_tile), replace=True
+)
+
+
+# ---------------------------------------------------------------------------
+# Data marshalling
+# ---------------------------------------------------------------------------
+
+
+def prepare_gemm_inputs(
+    cfg: GemmConfig, a: np.ndarray, b: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Lay A and B out chunk-major so every DMA transfer is contiguous.
+
+    Chunk ``j`` of ``a_dram`` holds ``A[:, j*t:(j+1)*t]`` row-major and
+    chunk ``j`` of ``b_dram`` holds ``B[j*t:(j+1)*t, :]`` row-major —
+    exactly the layouts the SRAM tile buffers use, so a flat
+    ``memcpy(offset, count)`` lands each tile in place.
+    """
+    a = np.asarray(a, dtype=np.int32)
+    b = np.asarray(b, dtype=np.int32)
+    if a.shape != (cfg.m, cfg.k) or b.shape != (cfg.k, cfg.n):
+        raise ValueError(
+            f"expected A {(cfg.m, cfg.k)} and B {(cfg.k, cfg.n)}, "
+            f"got {a.shape} and {b.shape}"
+        )
+    t = cfg.tile_k
+    a_chunks = [a[:, j * t : (j + 1) * t].ravel() for j in range(cfg.k_tiles)]
+    b_chunks = [b[j * t : (j + 1) * t, :].ravel() for j in range(cfg.k_tiles)]
+    return {
+        "a_dram": np.concatenate(a_chunks),
+        "b_dram": np.concatenate(b_chunks),
+    }
+
+
+def sample_gemm_operands(cfg: GemmConfig, seed: int):
+    """Deterministic small-int operands (the sweep/bench convention)."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-3, 4, (cfg.m, cfg.k)).astype(np.int32)
+    b = rng.integers(-3, 4, (cfg.k, cfg.n)).astype(np.int32)
+    return a, b
+
+
+def gemm_inputs(cfg: GemmConfig, seed: int = 0) -> Dict[str, np.ndarray]:
+    a, b = sample_gemm_operands(cfg, seed)
+    return prepare_gemm_inputs(cfg, a, b)
+
+
+def extract_gemm_output(result) -> np.ndarray:
+    """The computed C matrix from a finished simulation."""
+    return result.buffer("c_out")
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+# ---------------------------------------------------------------------------
+
+
+def build_gemm_module(cfg: GemmConfig) -> ModuleOp:
+    """Generate the EQueue module for a tiled-GEMM configuration."""
+    module = create_module()
+    builder = Builder(InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+
+    host = eq.create_proc("ARMr5", name="kernel")
+    pe = eq.create_proc("MAC", name="pe")
+    dma = eq.create_dma(name="dma")
+
+    a_tile, b_tile = cfg.tile_elements
+    dram = eq.create_mem(
+        "DRAM", cfg.m * cfg.k + cfg.k * cfg.n, i32,
+        ports=cfg.dram_ports, name="dram",
+    )
+    pairs = 2 if cfg.double_buffer else 1
+    sram = eq.create_mem(
+        "SRAM", pairs * (a_tile + b_tile) + cfg.m * cfg.n, i32,
+        banks=2, ports=2, name="sram",
+    )
+    regfile = eq.create_mem(
+        "Register", cfg.m * cfg.n, i32, name="regfile"
+    )
+
+    a_dram = eq.alloc(dram, [cfg.k_tiles * a_tile], i32, name="a_dram")
+    b_dram = eq.alloc(dram, [cfg.k_tiles * b_tile], i32, name="b_dram")
+    a_tiles = [
+        eq.alloc(sram, [cfg.m, cfg.tile_k], i32, name=f"a_tile_{p}")
+        for p in range(pairs)
+    ]
+    b_tiles = [
+        eq.alloc(sram, [cfg.tile_k, cfg.n], i32, name=f"b_tile_{p}")
+        for p in range(pairs)
+    ]
+    c_out = eq.alloc(sram, [cfg.m, cfg.n], i32, name="c_out")
+    acc = eq.alloc(regfile, [cfg.m, cfg.n], i32, name="acc")
+
+    captures = [a_dram, b_dram, *a_tiles, *b_tiles, c_out, acc, pe, dma]
+    start = eq.control_start()
+
+    def kernel_body(b: Builder, *args: Value) -> None:
+        pos = 0
+        a_dram_a = args[pos]; pos += 1
+        b_dram_a = args[pos]; pos += 1
+        a_tiles_a = list(args[pos : pos + pairs]); pos += pairs
+        b_tiles_a = list(args[pos : pos + pairs]); pos += pairs
+        c_out_a = args[pos]; pos += 1
+        acc_a = args[pos]; pos += 1
+        pe_a = args[pos]; pos += 1
+        dma_a = args[pos]
+        _build_kernel_body(
+            b, cfg, a_dram_a, b_dram_a, a_tiles_a, b_tiles_a,
+            c_out_a, acc_a, pe_a, dma_a,
+        )
+
+    done = eq.launch(
+        start, host, args=captures, body=kernel_body, label="gemm_main"
+    )[0]
+    eq.await_(done)
+    return module
+
+
+def _build_kernel_body(
+    b: Builder,
+    cfg: GemmConfig,
+    a_dram: Value,
+    b_dram: Value,
+    a_tiles: List[Value],
+    b_tiles: List[Value],
+    c_out: Value,
+    acc: Value,
+    pe: Value,
+    dma: Value,
+) -> None:
+    eq = EQueueBuilder(b)
+    a_tile, b_tile = cfg.tile_elements
+    pairs = len(a_tiles)
+    zero = arith.constant(b, 0, index)
+    start = eq.control_start()
+
+    def compute_body(bb: Builder, a_arg: Value, b_arg: Value, acc_arg: Value):
+        eq2 = EQueueBuilder(bb)
+        a_t = eq2.read(a_arg)
+        b_t = eq2.read(b_arg)
+        acc_t = eq2.read(acc_arg)
+        updated = eq2.op("gemm_tile", [a_t, b_t, acc_t], [acc_t.type])[0]
+        eq2.write(updated, acc_arg)
+
+    compute_done: List[Value] = []
+    for j in range(cfg.k_tiles):
+        pair = j % pairs
+        # The pair is free once the compute that last read it finished;
+        # with one pair that is the previous chunk (full serialization).
+        reuse = j - pairs
+        dep = start if reuse < 0 else compute_done[reuse]
+        a_offset = arith.constant(b, j * a_tile, index)
+        load_a = eq.memcpy(
+            dep, a_dram, a_tiles[pair], dma,
+            offsets=[a_offset, zero], count=a_tile,
+        )
+        b_offset = arith.constant(b, j * b_tile, index)
+        load_b = eq.memcpy(
+            dep, b_dram, b_tiles[pair], dma,
+            offsets=[b_offset, zero], count=b_tile,
+        )
+        ready = eq.control_and([load_a, load_b])
+        done = eq.launch(
+            ready, pe,
+            args=[a_tiles[pair], b_tiles[pair], acc],
+            body=compute_body,
+            label=f"gemm_tile_{j}",
+        )[0]
+        compute_done.append(done)
+
+    drained = eq.memcpy(compute_done[-1], acc, c_out, dma)
+    eq.await_(drained)
+
+
+# ---------------------------------------------------------------------------
+# The reference-stats oracle
+# ---------------------------------------------------------------------------
+
+
+def check_gemm(cfg: GemmConfig, result, seed: int = 0) -> Dict[str, object]:
+    """Assert functional output, exact DRAM/SRAM traffic, and the
+    resource-floor cycle bound; returns the stats it verified."""
+    a, b = sample_gemm_operands(cfg, seed)
+    expected = a @ b  # int32, matching the engine's dtype arithmetic
+    np.testing.assert_array_equal(extract_gemm_output(result), expected)
+
+    summary = result.summary
+    dram = summary.memory_named("dram")
+    assert dram is not None
+    assert dram.bytes_read == cfg.dram_read_bytes, (
+        f"DRAM read traffic {dram.bytes_read} != {cfg.dram_read_bytes}"
+    )
+    assert dram.bytes_written == 0
+    sram = summary.memory_named("sram")
+    assert sram is not None
+    # Every staged element is written once by the DMA and read once by
+    # the PE; the drain adds the C write.
+    assert sram.bytes_written == cfg.dram_read_bytes + 4 * cfg.m * cfg.n
+    assert sram.bytes_read == cfg.dram_read_bytes
+    assert result.cycles >= cfg.cycle_floor, (
+        f"cycles {result.cycles} beat the resource floor {cfg.cycle_floor}"
+    )
+    return {
+        "output": "A@B",
+        "dram_bytes_read": dram.bytes_read,
+        "sram_bytes_written": sram.bytes_written,
+        "cycle_floor": cfg.cycle_floor,
+        "cycles": result.cycles,
+    }

@@ -1,0 +1,289 @@
+"""Multi-core mesh scenario: an N x M processor grid with per-hop links.
+
+Each grid cell owns a processor; neighboring cells are joined by
+*directed* bandwidth-limited ``Streaming`` connections, so every
+neighbor read is a timed per-hop transfer (``ceil(4 bytes / bandwidth)``
+cycles — the 1-4 cycle short-delay regime that rides the event wheel's
+calendar buckets rather than its microtask ring or overflow heap).
+
+The workload is an iterative nearest-neighbor relaxation: every round,
+each cell reads its own value and its von-Neumann neighbors' values
+from the round's read buffer and writes their sum into the write buffer
+(A/B parity double buffering, exactly the systolic array's flow-register
+discipline).  All cells of a round run concurrently on their own
+processors behind a barrier, so an ``R x C`` grid keeps ``R*C``
+processors, up to ``4*R*C`` connections, and ``R*C`` launches per round
+in flight — a component count and event mix none of the paper's case
+studies reach, which is what makes it the stress scenario for the
+scheduler's short-delay path and the sweep runner's signature grouping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..dialects import affine, arith, scf
+from ..dialects.equeue import EQueueBuilder
+from ..ir import Builder, InsertionPoint, create_module, i32, index
+from ..ir.module import ModuleOp
+from ..ir.values import Value
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """A mesh grid + relaxation workload configuration."""
+
+    rows: int = 4
+    cols: int = 4
+    rounds: int = 4
+    #: Per-link bytes/cycle; 0 models unconstrained links (0-cycle hops).
+    link_bandwidth: int = 2
+
+    def __post_init__(self):
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("mesh needs at least a 2x2 grid")
+        if self.rounds < 1:
+            raise ValueError("rounds must be positive")
+        if self.link_bandwidth < 0:
+            raise ValueError("link_bandwidth must be >= 0")
+
+    @property
+    def hop_cycles(self) -> int:
+        """Cycles to move one 4-byte value over one link."""
+        if self.link_bandwidth <= 0:
+            return 0
+        return math.ceil(4 / self.link_bandwidth)
+
+    @property
+    def cores(self) -> int:
+        return self.rows * self.cols
+
+    def neighbors(self, r: int, c: int) -> List[Tuple[int, int]]:
+        """Von-Neumann neighborhood, clipped at the mesh edge."""
+        candidates = ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+        return [
+            (nr, nc)
+            for nr, nc in candidates
+            if 0 <= nr < self.rows and 0 <= nc < self.cols
+        ]
+
+    @property
+    def directed_links(self) -> int:
+        """Directed neighbor links: one per (neighbor -> cell) pair."""
+        return sum(
+            len(self.neighbors(r, c))
+            for r in range(self.rows)
+            for c in range(self.cols)
+        )
+
+    @property
+    def final_buffer(self) -> str:
+        """Where the last round wrote: rounds alternate grid_a/grid_b."""
+        return "grid_a" if self.rounds % 2 == 0 else "grid_b"
+
+
+# ---------------------------------------------------------------------------
+# Data + reference model
+# ---------------------------------------------------------------------------
+
+
+def sample_mesh_grid(cfg: MeshConfig, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(-4, 5, (cfg.rows, cfg.cols)).astype(np.int32)
+
+
+def mesh_inputs(cfg: MeshConfig, seed: int = 0) -> Dict[str, np.ndarray]:
+    return {"grid_a": sample_mesh_grid(cfg, seed)}
+
+
+def mesh_reference(cfg: MeshConfig, grid: np.ndarray) -> np.ndarray:
+    """``rounds`` relaxation steps in exact int32 (wrapping) arithmetic."""
+    state = np.asarray(grid, dtype=np.int32).copy()
+    for _ in range(cfg.rounds):
+        acc = state.copy()
+        acc[1:, :] += state[:-1, :]   # north neighbor
+        acc[:-1, :] += state[1:, :]   # south neighbor
+        acc[:, 1:] += state[:, :-1]   # west neighbor
+        acc[:, :-1] += state[:, 1:]   # east neighbor
+        state = acc
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+# ---------------------------------------------------------------------------
+
+
+def build_mesh_module(cfg: MeshConfig) -> ModuleOp:
+    """Generate the EQueue module for a mesh configuration."""
+    module = create_module()
+    builder = Builder(InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+
+    host = eq.create_proc("ARMr5", name="mesh_host")
+    cores = [
+        [eq.create_proc("Generic", name=f"core_{r}_{c}")
+         for c in range(cfg.cols)]
+        for r in range(cfg.rows)
+    ]
+    eq.create_comp(
+        " ".join(
+            f"core_{r}_{c}"
+            for r in range(cfg.rows)
+            for c in range(cfg.cols)
+        ),
+        [cores[r][c] for r in range(cfg.rows) for c in range(cfg.cols)],
+    )
+
+    regfile = eq.create_mem(
+        "Register", 2 * cfg.cores, i32, name="mesh_regs"
+    )
+    grid_a = eq.alloc(regfile, [cfg.rows, cfg.cols], i32, name="grid_a")
+    grid_b = eq.alloc(regfile, [cfg.rows, cfg.cols], i32, name="grid_b")
+
+    # One directed Streaming link per (neighbor -> cell) hop; the reader
+    # times its neighbor fetch through the incoming link.
+    links: Dict[Tuple[int, int, int, int], Value] = {}
+    for r in range(cfg.rows):
+        for c in range(cfg.cols):
+            for nr, nc in cfg.neighbors(r, c):
+                conn = eq.create_connection("Streaming", cfg.link_bandwidth)
+                conn.name_hint = f"link_{nr}_{nc}_to_{r}_{c}"
+                links[(nr, nc, r, c)] = conn
+
+    flat_cores = [
+        cores[r][c] for r in range(cfg.rows) for c in range(cfg.cols)
+    ]
+    # Capture order: per-cell incoming links, grouped by cell.
+    cell_links: List[List[Value]] = []
+    for r in range(cfg.rows):
+        for c in range(cfg.cols):
+            cell_links.append(
+                [links[(nr, nc, r, c)] for nr, nc in cfg.neighbors(r, c)]
+            )
+    flat_links = [conn for group in cell_links for conn in group]
+    captures = [grid_a, grid_b, *flat_cores, *flat_links]
+
+    start = eq.control_start()
+
+    def kernel_body(b: Builder, *args: Value) -> None:
+        ga, gb = args[0], args[1]
+        core_args = args[2 : 2 + cfg.cores]
+        link_args = args[2 + cfg.cores :]
+        link_groups: List[Tuple[Value, ...]] = []
+        pos = 0
+        for group in cell_links:
+            link_groups.append(tuple(link_args[pos : pos + len(group)]))
+            pos += len(group)
+        _build_rounds(b, cfg, ga, gb, core_args, link_groups)
+
+    done = eq.launch(
+        start, host, args=captures, body=kernel_body, label="mesh_main"
+    )[0]
+    eq.await_(done)
+    return module
+
+
+def _build_rounds(
+    b: Builder,
+    cfg: MeshConfig,
+    grid_a: Value,
+    grid_b: Value,
+    core_args,
+    link_groups: List[Tuple[Value, ...]],
+) -> None:
+    def round_body(b2: Builder, s: Value) -> None:
+        eq2 = EQueueBuilder(b2)
+        round_start = eq2.control_start()
+        dones: List[Value] = []
+        for cell in range(cfg.cores):
+            r, c = divmod(cell, cfg.cols)
+            done = eq2.launch(
+                round_start,
+                core_args[cell],
+                args=[s, grid_a, grid_b, *link_groups[cell]],
+                body=lambda bb, *vals, _r=r, _c=c: _cell_step(
+                    bb, cfg, _r, _c, vals
+                ),
+                label=f"cell_{r}_{c}",
+            )[0]
+            dones.append(done)
+        barrier = eq2.control_and(dones)
+        eq2.await_(barrier)
+
+    affine.for_loop(b, 0, cfg.rounds, body=round_body)
+
+
+def _cell_step(b: Builder, cfg: MeshConfig, r: int, c: int, vals) -> None:
+    """One cell, one round: parity picks the read/write buffer."""
+    s, grid_a, grid_b = vals[0], vals[1], vals[2]
+    conns = vals[3:]
+    zero = arith.constant(b, 0, index)
+    two = arith.constant(b, 2, index)
+    parity = arith.remsi(b, s, two)
+    is_even = arith.cmpi(b, "eq", parity, zero)
+    scf.if_op(
+        b,
+        is_even,
+        lambda b2: _cell_round(b2, cfg, r, c, grid_a, grid_b, conns),
+        lambda b2: _cell_round(b2, cfg, r, c, grid_b, grid_a, conns),
+    )
+
+
+def _cell_round(
+    b: Builder,
+    cfg: MeshConfig,
+    r: int,
+    c: int,
+    read_buf: Value,
+    write_buf: Value,
+    conns,
+) -> None:
+    eq = EQueueBuilder(b)
+    r_const = arith.constant(b, r, index)
+    c_const = arith.constant(b, c, index)
+    value = eq.read_element(read_buf, [r_const, c_const])
+    for conn, (nr, nc) in zip(conns, cfg.neighbors(r, c)):
+        nr_const = arith.constant(b, nr, index)
+        nc_const = arith.constant(b, nc, index)
+        neighbor = eq.read_element(
+            read_buf, [nr_const, nc_const], conn=conn
+        )
+        value = arith.addi(b, value, neighbor)
+    eq.write_element(value, write_buf, [r_const, c_const])
+
+
+# ---------------------------------------------------------------------------
+# The reference-stats oracle
+# ---------------------------------------------------------------------------
+
+
+def check_mesh(cfg: MeshConfig, result, seed: int = 0) -> Dict[str, object]:
+    """Assert the relaxation result, exact per-link traffic, and the
+    per-hop cycle floor; returns the stats it verified."""
+    grid = sample_mesh_grid(cfg, seed)
+    expected = mesh_reference(cfg, grid)
+    np.testing.assert_array_equal(result.buffer(cfg.final_buffer), expected)
+
+    summary = result.summary
+    links = [
+        report
+        for name, report in summary.connections.items()
+        if "link_" in name
+    ]
+    assert len(links) == cfg.directed_links
+    # Every directed link carries exactly one 4-byte value per round.
+    for report in links:
+        assert report.bytes_read == 4 * cfg.rounds, report.name
+        assert report.bytes_written == 0, report.name
+    assert result.cycles >= cfg.rounds * cfg.hop_cycles
+    return {
+        "final_buffer": cfg.final_buffer,
+        "directed_links": len(links),
+        "link_bytes_read": 4 * cfg.rounds,
+        "cycles": result.cycles,
+    }

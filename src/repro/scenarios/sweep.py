@@ -1,0 +1,216 @@
+"""Sweep execution over registry grids.
+
+A :class:`ScenarioGrid` is the registry-native analogue of
+:class:`repro.analysis.SweepSpec`: a scenario name plus config axes that
+expand into config instances.  :func:`run_scenario_sweep` evaluates a
+grid point-by-point through the same machinery the systolic DSE uses —
+:class:`~repro.sim.batch.SweepRunner` sharding with signature-affine
+chunking, a per-process program cache keyed on
+:meth:`~.registry.Scenario.signature` (module built and verified once
+per structure, compiled block plans shared via a per-structure
+:class:`~repro.sim.plan.PlanCache`), and deterministic submission-order
+merging — so ``jobs=N`` results are bit-identical to ``jobs=1``.
+
+``repro.analysis.run_sweep`` accepts a :class:`ScenarioGrid` directly
+and delegates here, which is how registry grids ride the existing sweep
+entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim import EngineOptions, simulate
+from ..sim.batch import SweepRunner
+from ..sim.plan import PlanCache
+from .registry import Scenario, get_scenario
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A registry sweep space: scenario name + config axes (+ fixed base).
+
+    Stored as tuples so grids are hashable and pickle cleanly into
+    worker processes.
+    """
+
+    scenario: str
+    axes: Tuple[Tuple[str, Tuple], ...]
+    base: Tuple[Tuple[str, object], ...] = ()
+
+    def points(self) -> List[object]:
+        """Expand the axes into config instances (invalid combos skipped)."""
+        return get_scenario(self.scenario).grid_points(
+            dict(self.axes), **dict(self.base)
+        )
+
+    def count(self) -> int:
+        return len(self.points())
+
+
+def scenario_grid(
+    name: str,
+    axes: Optional[Mapping[str, Sequence]] = None,
+    **base,
+) -> ScenarioGrid:
+    """A grid over a registered scenario.
+
+    ``axes`` defaults to the scenario's declared sweep grid; ``base``
+    pins non-swept config fields.
+    """
+    scenario = get_scenario(name)
+    grid = scenario.default_grid() if axes is None else dict(axes)
+    return ScenarioGrid(
+        scenario=name,
+        axes=tuple((axis, tuple(values)) for axis, values in grid.items()),
+        base=tuple(sorted(base.items())),
+    )
+
+
+@dataclass
+class ScenarioPoint:
+    """One sweep measurement for one scenario config."""
+
+    scenario: str
+    config: object
+    cycles: int
+    scheduler_events: int
+    launches_executed: int
+    execution_time_s: float
+    #: Reference stats the oracle verified (``None`` when not requested).
+    checked: Optional[Dict] = None
+
+
+# ---------------------------------------------------------------------------
+# The per-process scenario program cache
+# ---------------------------------------------------------------------------
+
+#: Built-and-verified modules plus their shared plan caches, keyed by
+#: :meth:`Scenario.signature`.  One per process: in a pool worker it
+#: persists across chunks, which is what signature-affine sharding pays
+#: into (the registry generalization of ``batch.CompileCache``).
+_PROGRAM_CACHE: Dict[Tuple, Tuple[object, PlanCache]] = {}
+
+
+def cached_scenario_program(scenario: Scenario, cfg):
+    """This process's (module, plan_cache) for a config's structure."""
+    key = scenario.signature(cfg)
+    entry = _PROGRAM_CACHE.get(key)
+    if entry is None:
+        entry = (scenario.build(cfg), PlanCache())
+        _PROGRAM_CACHE[key] = entry
+    return entry
+
+
+def clear_scenario_caches() -> None:
+    """Drop this process's scenario program cache (cold-path benches)."""
+    _PROGRAM_CACHE.clear()
+
+
+def simulate_scenario(
+    name_or_scenario,
+    cfg=None,
+    seed: int = 0,
+    options: Optional[EngineOptions] = None,
+    check: bool = False,
+):
+    """Simulate one scenario config through the per-process cache.
+
+    Returns ``(result, checked_stats)`` where ``checked_stats`` is the
+    oracle's dict when ``check`` is set, else ``None``.  Results are
+    bit-identical to a cold build-and-simulate of the same config.
+    """
+    scenario = (
+        name_or_scenario
+        if isinstance(name_or_scenario, Scenario)
+        else get_scenario(name_or_scenario)
+    )
+    if cfg is None:
+        cfg = scenario.configure()
+    module, plan_cache = cached_scenario_program(scenario, cfg)
+    if options is None:
+        options = EngineOptions(verify_module=False)
+    result = simulate(
+        module,
+        options,
+        inputs=scenario.make_inputs(cfg, seed),
+        plan_cache=plan_cache if options.compile_plans else None,
+    )
+    checked = scenario.check(cfg, result, seed) if check else None
+    return result, checked
+
+
+# ---------------------------------------------------------------------------
+# The sweep entry point
+# ---------------------------------------------------------------------------
+
+
+def _scenario_sweep_worker(payload: Tuple) -> ScenarioPoint:
+    """Spawn-safe worker: evaluate one (scenario, config) sweep point."""
+    name, cfg, seed, option_overrides, check = payload
+    scenario = get_scenario(name)
+    options = EngineOptions(
+        **{"verify_module": False, **(option_overrides or {})}
+    )
+    started = time.perf_counter()
+    result, checked = simulate_scenario(
+        scenario, cfg, seed=seed, options=options, check=check
+    )
+    elapsed = time.perf_counter() - started
+    return ScenarioPoint(
+        scenario=name,
+        config=cfg,
+        cycles=result.cycles,
+        scheduler_events=result.summary.scheduler_events,
+        launches_executed=result.summary.launches_executed,
+        execution_time_s=elapsed,
+        checked=checked,
+    )
+
+
+def _payload_signature(payload: Tuple) -> Tuple:
+    """Shard key: group structurally identical points in one worker."""
+    return get_scenario(payload[0]).signature(payload[1])
+
+
+def run_scenario_sweep(
+    grid: ScenarioGrid,
+    jobs: Optional[int] = 1,
+    seed: int = 0,
+    sample: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    option_overrides: Optional[Dict] = None,
+    check: bool = False,
+) -> List[ScenarioPoint]:
+    """Evaluate every grid point with the DES; results in point order.
+
+    ``jobs`` follows :func:`repro.analysis.run_sweep`'s convention
+    (``1`` = in-process serial loop, ``None``/``0`` = all usable CPUs);
+    any parallel value routes through :class:`SweepRunner` with
+    signature-affine sharding and is bit-identical to the serial loop.
+    ``sample`` evaluates only a deterministic subsample of that many
+    points (same convention as the systolic sweep).
+    ``option_overrides`` restates :class:`EngineOptions` fields (e.g.
+    ``{"scheduler": "heap"}`` for a differential sweep); ``check`` runs
+    each point's reference-stats oracle in the worker.
+    """
+    points = grid.points()
+    if sample is not None and sample < len(points):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(points), size=sample, replace=False)
+        points = [points[i] for i in sorted(chosen)]
+    payloads = [
+        (grid.scenario, cfg, seed, option_overrides, check) for cfg in points
+    ]
+    if jobs is not None and jobs <= 0:
+        jobs = None
+    if jobs == 1:
+        return [_scenario_sweep_worker(payload) for payload in payloads]
+    runner = SweepRunner(
+        jobs=jobs, chunk_size=chunk_size, key=_payload_signature
+    )
+    return runner.map(_scenario_sweep_worker, payloads)

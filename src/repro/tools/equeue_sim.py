@@ -5,11 +5,19 @@ Usage::
     equeue-sim program.mlir --trace trace.json
     equeue-sim program.mlir --pipeline "equeue-read-write,..." --max-cycles 100000
     equeue-sim a.mlir b.mlir c.mlir --jobs 4
+    equeue-sim --scenario gemm:k=32,tile_k=8 --seed 7
+    equeue-sim --list-scenarios
 
 Multiple input files form a batch: each program is an independent
 simulation, so ``--jobs N`` shards them across a process pool (see
 :mod:`repro.sim.batch`).  Summaries are printed in input order either
 way, so parallel output is identical to serial output.
+
+``--scenario NAME[:key=val,...]`` simulates a registered workload from
+:mod:`repro.scenarios` instead of an input file: the scenario's module
+is built and verified, deterministic inputs are generated from
+``--seed``, and after the summary the scenario's reference-stats oracle
+runs against the result.  ``--list-scenarios`` enumerates the registry.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import List, Optional, Tuple
 from .. import dialects  # noqa: F401  (register dialects)
 from ..ir import parse_module, verify
 from ..passes import PassManager
+from ..scenarios import ScenarioError, all_scenarios, parse_scenario_spec
 from ..sim import EngineOptions, SweepRunner, simulate
 
 
@@ -75,6 +84,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="simulate a multi-file batch across this many worker "
         "processes (0 = all usable CPUs; default 1 = serial)",
     )
+    parser.add_argument(
+        "--scenario", default="",
+        help="simulate a registered workload instead of an input file: "
+        "NAME or NAME:key=val,... (see --list-scenarios)",
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list the registered workload scenarios and exit",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for deterministic scenario input generation (default 0)",
+    )
     return parser
 
 
@@ -111,24 +133,133 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
         result = simulate(module, options, inputs=inputs)
     except Exception as error:  # CLI boundary: report, don't traceback
         return name, "", str(error)
-    lines.append(result.summary.format())
+    emitted, error = _emit_result(result, dump_buffers, trace_path)
+    lines.extend(emitted)
+    return name, "\n".join(lines), error
+
+
+def _emit_result(
+    result, dump_buffers, trace_path
+) -> Tuple[List[str], Optional[str]]:
+    """Summary, buffer dumps, and trace write for one finished simulation.
+
+    Returns ``(lines, error)``; shared by the file and --scenario paths
+    so output and error handling cannot drift between them.
+    """
+    lines = [result.summary.format()]
     for buffer_name in dump_buffers:
         try:
             lines.append(
                 f"{buffer_name} = {result.buffer(buffer_name).tolist()}"
             )
         except Exception as error:
-            return name, "\n".join(lines), str(error)
+            return lines, str(error)
     if trace_path:
-        result.trace.to_json(trace_path)
+        try:
+            result.trace.to_json(trace_path)
+        except OSError as error:
+            # A bad --trace path must report cleanly, not traceback
+            # (the simulation itself succeeded; only the write failed).
+            return lines, str(error)
         lines.append(
             f"trace written to {trace_path} ({len(result.trace)} records)"
         )
-    return name, "\n".join(lines), None
+    return lines, None
+
+
+def _print_scenarios() -> None:
+    scenarios = all_scenarios()
+    print("available scenarios:")
+    width = max(len(s.name) for s in scenarios)
+    for scenario in scenarios:
+        cfg = scenario.configure()
+        defaults = ",".join(
+            f"{f}={getattr(cfg, f)}" for f in scenario.field_names()
+        )
+        print(f"  {scenario.name:<{width}}  {scenario.summary}")
+        print(f"  {'':<{width}}  defaults: {defaults}")
+
+
+def _engine_options(args, trace: bool) -> EngineOptions:
+    return EngineOptions(
+        trace=trace,
+        detailed_trace=trace,
+        max_cycles=args.max_cycles,
+        strict_capacity=args.strict_capacity,
+        compile_plans=not args.interpret,
+        scheduler=args.scheduler,
+    )
+
+
+def _run_scenario(args, scenario, cfg) -> int:
+    """Build, simulate, and oracle-check one registry scenario."""
+    try:
+        module = scenario.build(cfg)
+        inputs = scenario.make_inputs(cfg, args.seed)
+        result = simulate(
+            module, _engine_options(args, bool(args.trace)), inputs=inputs
+        )
+    except Exception as error:  # CLI boundary: report, don't traceback
+        print(f"equeue-sim: error: {error}", file=sys.stderr)
+        return 1
+    print(f"== scenario {scenario.name}: {cfg} ==")
+    lines, error = _emit_result(result, args.dump_buffer, args.trace)
+    print("\n".join(lines))
+    if error is not None:
+        print(f"equeue-sim: error: {error}", file=sys.stderr)
+        return 1
+    if result.truncated:
+        print("reference check: skipped (simulation truncated)")
+        return 0
+    try:
+        checked = scenario.check(cfg, result, args.seed)
+    except AssertionError as error:
+        print(
+            f"equeue-sim: error: scenario {scenario.name!r} failed its "
+            f"reference check: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    summary = ", ".join(f"{key}={value}" for key, value in checked.items())
+    print(f"reference check: OK ({summary})" if checked
+          else "reference check: OK")
+    return 0
 
 
 def main(argv=None) -> int:
-    args = build_arg_parser().parse_args(argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_scenarios:
+        _print_scenarios()
+        return 0
+    # Flag-value validation happens at the argparse boundary so bad
+    # values exit with a clean usage error, never a traceback.
+    if args.max_cycles < 0:
+        parser.error(f"--max-cycles must be >= 0, got {args.max_cycles}")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.seed < 0:
+        parser.error(f"--seed must be >= 0, got {args.seed}")
+    if args.scenario:
+        if args.input != ["-"]:
+            parser.error("--scenario replaces input files; drop the paths")
+        # Batch/file-only flags would be silently meaningless here, and a
+        # user passing them likely expects them to apply — reject loudly.
+        if args.pipeline:
+            parser.error("--pipeline does not apply to --scenario runs")
+        if args.inputs:
+            parser.error(
+                "--inputs does not apply to --scenario runs (scenario "
+                "inputs are generated from --seed)"
+            )
+        if args.jobs != 1:
+            parser.error("--jobs applies to multi-file batches, not "
+                         "--scenario runs")
+        try:
+            scenario, cfg = parse_scenario_spec(args.scenario)
+        except ScenarioError as error:
+            parser.error(str(error))
+        return _run_scenario(args, scenario, cfg)
     if args.trace and len(args.input) > 1:
         print(
             "equeue-sim: error: --trace supports a single input file",

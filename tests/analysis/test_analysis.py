@@ -12,7 +12,6 @@ from repro.analysis import (
     recommend_dataflow,
     run_sweep,
 )
-from repro.analysis.dse import evaluate_point
 from repro.dialects.linalg import ConvDims
 
 

@@ -162,7 +162,7 @@ class TestMemcpyPasses:
         eq.create_dma(name="dma")
         sram = eq.create_mem("SRAM", 1024, ir.i32, name="sram")
         regs = eq.create_mem("Register", 1024, ir.i32, name="regfile")
-        src = eq.alloc(sram, [8], ir.i32, name="src")
+        eq.alloc(sram, [8], ir.i32, name="src")
         dst = eq.alloc(regs, [8], ir.i32, name="dst")
         start = eq.control_start()
 
@@ -274,7 +274,7 @@ class TestReassignBuffer:
         sram = eq.create_mem("SRAM", 64, ir.i32, name="sram")
         regs = eq.create_mem("Register", 64, ir.i32, name="regfile")
         slow = eq.alloc(sram, [4], ir.i32, name="slow")
-        fast = eq.alloc(regs, [4], ir.i32, name="fast")
+        eq.alloc(regs, [4], ir.i32, name="fast")
         start = eq.control_start()
         done, = eq.launch(
             start, kernel, args=[slow],
@@ -349,7 +349,7 @@ class TestParallelToEqueueAndLowerExtraction:
         from repro.dialects.equeue import types as eqt
 
         i = arith.constant(builder, 2, ir.index)
-        templated = builder.create(
+        builder.create(
             "equeue.get_comp", [comp, i], [eqt.proc],
             {"name_template": "pe_{0}"},
         )

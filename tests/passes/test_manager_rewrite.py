@@ -8,7 +8,6 @@ from repro.ir import PassError
 from repro.passes import (
     Pass,
     PassManager,
-    PatternRewriter,
     RewritePattern,
     apply_patterns,
     lookup_pass,
@@ -66,7 +65,7 @@ class TestRegistry:
 class TestPassManagerExecution:
     def test_verifies_after_each_pass(self, module_and_builder):
         module, builder = module_and_builder
-        value = arith.constant(builder, 1, ir.i32)
+        arith.constant(builder, 1, ir.i32)
 
         @register_pass
         class BreakerPass(Pass):

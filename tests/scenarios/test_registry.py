@@ -1,0 +1,229 @@
+"""Unit tests for the scenario registry (ISSUE 4's tentpole surface)."""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import verify
+from repro.scenarios import (
+    GemmConfig,
+    MeshConfig,
+    Scenario,
+    ScenarioError,
+    all_scenarios,
+    get_scenario,
+    parse_scenario_spec,
+    register_scenario,
+    scenario_grid,
+    scenario_names,
+    simulate_scenario,
+)
+
+EXPECTED_NAMES = ("fir", "gemm", "mesh", "pipeline", "systolic")
+
+
+class TestRegistryLookup:
+    def test_builtin_scenarios_registered(self):
+        names = scenario_names()
+        assert len(names) >= 5
+        for name in EXPECTED_NAMES:
+            assert name in names
+
+    def test_unknown_name_error_lists_valid_scenarios(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            get_scenario("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        for name in EXPECTED_NAMES:
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_scenario("gemm")
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_scenario(existing)
+        # replace=True is the explicit override path.
+        assert register_scenario(existing, replace=True) is existing
+
+    def test_all_scenarios_sorted_by_name(self):
+        listed = [s.name for s in all_scenarios()]
+        assert listed == sorted(listed)
+
+
+class TestConfigOverrides:
+    def test_int_coercion(self):
+        scenario, cfg = parse_scenario_spec("gemm:m=8,k=32")
+        assert scenario.name == "gemm"
+        assert cfg == GemmConfig(m=8, k=32)
+        assert isinstance(cfg.m, int)
+
+    def test_bool_coercion(self):
+        for text, expected in (
+            ("true", True), ("1", True), ("on", True), ("yes", True),
+            ("false", False), ("0", False), ("off", False), ("no", False),
+        ):
+            _, cfg = parse_scenario_spec(f"gemm:double_buffer={text}")
+            assert cfg.double_buffer is expected
+
+    def test_str_fields_pass_through(self):
+        _, cfg = parse_scenario_spec("systolic:dataflow=OS")
+        assert cfg.dataflow == "OS"
+        _, cfg = parse_scenario_spec("pipeline:stage=affine")
+        assert cfg.stage == "affine"
+
+    def test_spaces_and_empty_parts_tolerated(self):
+        _, cfg = parse_scenario_spec("mesh: rows = 3 , cols=5 ,")
+        assert (cfg.rows, cfg.cols) == (3, 5)
+
+    def test_unknown_key_lists_valid_keys(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario_spec("mesh:hops=3")
+        message = str(excinfo.value)
+        assert "hops" in message
+        for key in ("rows", "cols", "rounds", "link_bandwidth"):
+            assert key in message
+
+    def test_bad_int_value_rejected(self):
+        with pytest.raises(ScenarioError, match="not an integer"):
+            parse_scenario_spec("gemm:m=wide")
+
+    def test_bad_bool_value_rejected(self):
+        with pytest.raises(ScenarioError, match="not a boolean"):
+            parse_scenario_spec("gemm:double_buffer=perhaps")
+
+    def test_malformed_override_rejected(self):
+        with pytest.raises(ScenarioError, match="malformed override"):
+            parse_scenario_spec("gemm:m")
+
+    def test_config_validation_errors_wrapped(self):
+        # k not a multiple of tile_k: the config's own ValueError
+        # surfaces as a ScenarioError naming the scenario.
+        with pytest.raises(ScenarioError, match="gemm"):
+            parse_scenario_spec("gemm:k=10,tile_k=4")
+        with pytest.raises(ScenarioError, match="mesh"):
+            parse_scenario_spec("mesh:rows=1")
+
+    def test_plain_name_uses_defaults(self):
+        scenario, cfg = parse_scenario_spec("mesh")
+        assert scenario.name == "mesh"
+        assert cfg == MeshConfig()
+
+
+class TestEveryScenario:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_builds_and_verifies(self, name):
+        scenario = get_scenario(name)
+        cfg = scenario.configure()
+        module = scenario.build(cfg)
+        verify(module)  # build() verifies too; re-verify explicitly
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_simulates_and_oracle_passes(self, name):
+        scenario = get_scenario(name)
+        result, checked = simulate_scenario(
+            scenario, scenario.configure(), seed=3, check=True
+        )
+        assert result.cycles > 0
+        assert isinstance(checked, dict) and checked
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_default_grid_expands(self, name):
+        scenario = get_scenario(name)
+        points = scenario.grid_points()
+        assert points
+        for cfg in points:
+            assert isinstance(cfg, scenario.config_cls)
+        # Grid points are distinct configurations.
+        assert len(set(points)) == len(points)
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_signature_is_hashable_and_stable(self, name):
+        scenario = get_scenario(name)
+        cfg = scenario.configure()
+        assert scenario.signature(cfg) == scenario.signature(cfg)
+        assert hash(scenario.signature(cfg)) is not None
+
+
+class TestGridHelpers:
+    def test_scenario_grid_defaults_to_declared_axes(self):
+        grid = scenario_grid("mesh")
+        assert grid.count() == len(get_scenario("mesh").grid_points())
+
+    def test_grid_skips_invalid_combinations(self):
+        grid = scenario_grid("gemm", axes={"k": (8,), "tile_k": (4, 3)})
+        # k=8/tile_k=3 is invalid and silently skipped.
+        assert [cfg.tile_k for cfg in grid.points()] == [4]
+
+    def test_base_overrides_pin_fields(self):
+        grid = scenario_grid("mesh", axes={"rows": (2, 3)}, rounds=2)
+        assert all(cfg.rounds == 2 for cfg in grid.points())
+
+    def test_custom_scenario_registration_roundtrip(self):
+        @dataclasses.dataclass(frozen=True)
+        class ToyConfig:
+            width: int = 2
+
+        def build(cfg):
+            from repro import ir
+            from repro.dialects.equeue import EQueueBuilder
+
+            module = ir.create_module()
+            builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+            eq = EQueueBuilder(builder)
+            proc = eq.create_proc("MAC", name="toy")
+            mem = eq.create_mem("Register", cfg.width, ir.i32, name="regs")
+            buf = eq.alloc(mem, [cfg.width], ir.i32, name="buf")
+            start = eq.control_start()
+            done, = eq.launch(
+                start, proc, args=[buf],
+                body=lambda b, arg: EQueueBuilder(b).write(
+                    EQueueBuilder(b).read(arg), arg
+                ),
+                label="toy",
+            )
+            eq.await_(done)
+            return module
+
+        toy = Scenario(
+            name="_toy_test_scenario",
+            summary="registration round-trip probe",
+            config_cls=ToyConfig,
+            builder=build,
+            grid=(("width", (2, 4)),),
+        )
+        register_scenario(toy, replace=True)
+        try:
+            assert "_toy_test_scenario" in scenario_names()
+            result, checked = simulate_scenario("_toy_test_scenario")
+            assert result.cycles >= 0
+            assert checked is None  # no oracle requested
+            assert len(scenario_grid("_toy_test_scenario").points()) == 2
+        finally:
+            from repro.scenarios import registry
+
+            registry._REGISTRY.pop("_toy_test_scenario", None)
+
+
+class TestRunSweepDelegation:
+    def test_run_sweep_accepts_scenario_grid(self):
+        from repro.analysis import run_sweep
+
+        grid = scenario_grid("gemm", axes={"k": (8, 16)})
+        points = run_sweep(grid, jobs=1)
+        assert [p.config.k for p in points] == [8, 16]
+        assert all(p.cycles > 0 for p in points)
+
+    def test_run_sweep_scenario_grid_honors_sample(self):
+        from repro.analysis import run_sweep
+
+        grid = scenario_grid("mesh", axes={"rows": (2, 3, 4)}, rounds=2)
+        points = run_sweep(grid, sample=2, seed=1)
+        assert len(points) == 2
+
+    def test_run_sweep_scenario_grid_rejects_systolic_only_knobs(self):
+        from repro.analysis import run_sweep
+
+        grid = scenario_grid("gemm", axes={"k": (8,)})
+        with pytest.raises(ValueError, match="max_cycles"):
+            run_sweep(grid, max_cycles=100)
+        with pytest.raises(ValueError, match="compile_cache"):
+            run_sweep(grid, compile_cache=True)

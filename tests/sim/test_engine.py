@@ -65,7 +65,7 @@ class TestBasicTiming:
         def body(b):
             a = arith.constant(b, 1, ir.i32)
             c = arith.addi(b, a, a)       # 1 cycle (data)
-            d = arith.muli(b, c, c)       # 1 cycle (data)
+            arith.muli(b, c, c)           # 1 cycle (data)
             i = arith.constant(b, 1, ir.index)
             arith.addi(b, i, i)           # free (index)
             return None

@@ -9,7 +9,7 @@ from repro import ir
 from repro.dialects import affine, arith, linalg, memref
 from repro.dialects.equeue import EQueueBuilder
 from repro.dialects.equeue import types as eqt
-from repro.sim import EngineOptions, simulate
+from repro.sim import simulate
 
 
 def make_program():

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.sim.tracing import TraceRecord, TraceRecorder
+from repro.sim.tracing import TraceRecorder
 from repro.sim.visualize import render_lanes, render_trace, utilization
 
 

@@ -210,6 +210,25 @@ class TestEqueueSim:
         assert "simulated runtime" in captured.out  # good file still ran
         assert "error" in captured.err
 
+    def test_trace_write_failure_reports_cleanly(self, program_file, capsys):
+        """A bad --trace path exits 1 with a message, not a traceback
+        (regression: the trace write used to escape the error boundary)."""
+        code = equeue_sim.main(
+            [str(program_file), "--trace", "/nonexistent-dir/t.json"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "equeue-sim: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_negative_max_cycles_rejected_via_argparse(
+        self, program_file, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main([str(program_file), "--max-cycles", "-3"])
+        assert excinfo.value.code == 2
+        assert "--max-cycles" in capsys.readouterr().err
+
     def test_shipped_toy_accelerator_program(self, capsys, tmp_path):
         """The .mlir file shipped under examples/programs simulates through
         the CLI, including its leading // comments."""
@@ -230,3 +249,109 @@ class TestEqueueSim:
         out = capsys.readouterr().out
         assert "5 cycles" in out          # 4-cycle DMA copy + 1-cycle MAC
         assert "buf0 = [2, 6, 12, 20]" in out
+
+
+class TestEqueueSimScenarios:
+    """The --scenario / --list-scenarios registry surface."""
+
+    def test_list_scenarios(self, capsys):
+        assert equeue_sim.main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "available scenarios:" in out
+        for name in ("systolic", "fir", "pipeline", "gemm", "mesh"):
+            assert name in out
+        assert "defaults:" in out
+
+    def test_scenario_runs_and_checks(self, capsys):
+        code = equeue_sim.main(
+            ["--scenario", "gemm:k=8,tile_k=4", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario gemm" in out
+        assert "simulated runtime" in out
+        assert "reference check: OK" in out
+
+    def test_scenario_respects_engine_flags(self, capsys):
+        """--scheduler heap + --interpret produce the same semantic
+        summary as the default backends (the CLI-level differential)."""
+
+        def semantic(argv):
+            assert equeue_sim.main(argv) == 0
+            return [
+                line
+                for line in capsys.readouterr().out.splitlines()
+                if not line.startswith(
+                    ("simulator execution time", "scheduler tiers",
+                     "block plans", "vectorized loops")
+                )
+            ]
+
+        base = ["--scenario", "mesh:rows=2,cols=2,rounds=2"]
+        assert semantic(base) == semantic(
+            base + ["--scheduler", "heap", "--interpret"]
+        )
+
+    def test_unknown_scenario_exits_cleanly_listing_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main(["--scenario", "warp-drive"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'warp-drive'" in err
+        for name in ("systolic", "fir", "pipeline", "gemm", "mesh"):
+            assert name in err
+        assert "Traceback" not in err
+
+    def test_bad_override_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main(["--scenario", "gemm:m=wide"])
+        assert excinfo.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_invalid_config_combination_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main(["--scenario", "gemm:k=10,tile_k=4"])
+        assert excinfo.value.code == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_scenario_with_input_files_rejected(self, program_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main([str(program_file), "--scenario", "mesh"])
+        assert excinfo.value.code == 2
+        assert "--scenario replaces input files" in capsys.readouterr().err
+
+    def test_scenario_trace_and_dump_buffer(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "gemm_trace.json"
+        code = equeue_sim.main(
+            [
+                "--scenario", "gemm:k=8",
+                "--trace", str(trace_path),
+                "--dump-buffer", "c_out",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c_out = " in out
+        events = json.loads(trace_path.read_text())
+        assert any("gemm" in event["name"] for event in events)
+
+    def test_scenario_truncation_skips_check(self, capsys):
+        code = equeue_sim.main(
+            ["--scenario", "mesh:rows=2,cols=2", "--max-cycles", "3"]
+        )
+        assert code == 0
+        assert "reference check: skipped" in capsys.readouterr().out
+
+    def test_scenario_rejects_file_only_flags(self, capsys):
+        for extra in (
+            ["--pipeline", "equeue-read-write"],
+            ["--inputs", "data.npz"],
+            ["--jobs", "2"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                equeue_sim.main(["--scenario", "mesh"] + extra)
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert extra[0] in err
