@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Record the performance benchmarks as machine-readable JSON snapshots.
 
-Runs the ``bench_engine_speed`` workload (the §VI-C wall-clock comparison)
-and the sweep-throughput workload (the §VI-E whole-sweep scalability
-story) directly — no pytest involved — and writes
-``BENCH_engine_speed.json`` and ``BENCH_sweep_throughput.json`` at the
-repository root so the performance trajectory is tracked across PRs::
+Runs the ``bench_engine_speed`` workload (the §VI-C wall-clock
+comparison), the sweep-throughput workload (the §VI-E whole-sweep
+scalability story), and the service-throughput workload (``equeue-serve``
+cold vs warm requests/s — see ``docs/serving.md``) directly — no pytest
+involved — and writes ``BENCH_engine_speed.json``,
+``BENCH_sweep_throughput.json``, and ``BENCH_service_throughput.json``
+at the repository root so the performance trajectory is tracked across
+PRs::
 
     PYTHONPATH=src python benchmarks/record_bench.py
     PYTHONPATH=src python benchmarks/record_bench.py --engine-only
@@ -39,6 +42,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine_speed.json"
 SWEEP_OUTPUT = REPO_ROOT / "BENCH_sweep_throughput.json"
+SERVICE_OUTPUT = REPO_ROOT / "BENCH_service_throughput.json"
 SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
 
 
@@ -205,6 +209,43 @@ def run_scenario_row(name: str) -> dict:
     return run_scenario_workload(name)
 
 
+def run_service_scenario() -> dict:
+    """The cold/warm/restart service passes (shared with
+    bench_service.py; run via subprocess isolation like every scenario)."""
+    from bench_service import run_service_throughput
+
+    return run_service_throughput()
+
+
+def record_service_throughput(output: Path) -> dict:
+    """Snapshot ``equeue-serve`` cold-vs-warm requests/s.
+
+    The warm/cold ratio is the serving subsystem's acceptance headline
+    (warm responses must not pay simulation cost), so a recorded ratio
+    below 10x fails the run — unlike raw events/s it is measured within
+    one process on one machine, with the same clock applied to both
+    passes, so it is stable enough to gate.
+    """
+    snapshot = _scenario_subprocess("--service-scenario")
+    output.write_text(json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+    runs = {run["pass"]: run for run in snapshot["runs"]}
+    print(
+        f"{output}: cold {runs['cold']['requests_per_s']} req/s -> warm "
+        f"{runs['warm']['requests_per_s']} req/s "
+        f"({snapshot['warm_speedup']}x, hit rate "
+        f"{snapshot['warm_hit_rate']:.0%}, restart "
+        f"{snapshot['restart_speedup']}x)"
+    )
+    if snapshot["warm_speedup"] < 10.0:
+        raise SystemExit(
+            "service warm/cold requests/s ratio "
+            f"{snapshot['warm_speedup']}x fell below the 10x acceptance "
+            "floor (warm-path latency is no longer decoupled from "
+            "simulation cost)"
+        )
+    return snapshot
+
+
 def record_scenario_rows() -> list:
     from repro.scenarios import scenario_names
 
@@ -297,6 +338,19 @@ def main(argv=None) -> int:
         help="record only the sweep-throughput snapshot",
     )
     parser.add_argument(
+        "--service-only", action="store_true",
+        help="record only the service-throughput snapshot",
+    )
+    parser.add_argument(
+        "--skip-service", action="store_true",
+        help="skip the service-throughput snapshot",
+    )
+    parser.add_argument(
+        "--service-output", default=str(SERVICE_OUTPUT),
+        help="service snapshot path (default: repo-root "
+        "BENCH_service_throughput.json)",
+    )
+    parser.add_argument(
         "--sweep-output", default=str(SWEEP_OUTPUT),
         help="sweep snapshot path (default: repo-root "
         "BENCH_sweep_throughput.json)",
@@ -331,6 +385,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenario-row", default="", help=argparse.SUPPRESS,
     )
+    parser.add_argument(
+        "--service-scenario", default="", help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
 
     if args.sweep_scenario:
@@ -342,9 +399,17 @@ def main(argv=None) -> int:
     if args.scenario_row:
         print(json.dumps(run_scenario_row(**json.loads(args.scenario_row))))
         return 0
+    if args.service_scenario:
+        print(json.dumps(run_service_scenario(
+            **json.loads(args.service_scenario)
+        )))
+        return 0
 
     if args.sweep_only:
         record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
+        return 0
+    if args.service_only:
+        record_service_throughput(Path(args.service_output))
         return 0
 
     output = Path(args.output)
@@ -422,6 +487,8 @@ def main(argv=None) -> int:
         )
     if not args.engine_only:
         record_sweep_throughput(Path(args.sweep_output), args.sweep_jobs)
+        if not args.skip_service:
+            record_service_throughput(Path(args.service_output))
     return 0
 
 

@@ -1,10 +1,31 @@
-"""Legacy setup shim.
+"""Packaging (classic setup.py).
 
 The execution environment has no network and no ``wheel`` package, so PEP
-517 editable installs fail; this shim lets ``pip install -e . --no-build-isolation``
-fall back to the classic develop path.
+517 editable installs fail; this classic setup lets ``pip install -e .
+--no-build-isolation`` fall back to the develop path.  It is also where
+the console entry points live: the ``equeue-opt`` / ``equeue-sim``
+compiler-and-simulator drivers and the ``equeue-serve`` simulation
+service (see ``docs/serving.md``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="equeue-repro",
+    version="0.5.0",
+    description=(
+        "Compiler-driven simulation of reconfigurable hardware "
+        "accelerators (EQueue dialect reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "equeue-opt = repro.tools.equeue_opt:main",
+            "equeue-sim = repro.tools.equeue_sim:main",
+            "equeue-serve = repro.tools.equeue_serve:main",
+        ]
+    },
+)

@@ -19,7 +19,14 @@ from .dse import (
     paper_sweep_spec,
     run_sweep,
 )
-from .export import from_csv, to_csv
+from .export import (
+    from_csv,
+    from_jsonl,
+    points_to_jsonl,
+    record_line,
+    to_csv,
+    to_jsonl,
+)
 from .loc import generator_loc_report, measure_loc
 
 __all__ = [
@@ -33,7 +40,11 @@ __all__ = [
     "paper_sweep_spec",
     "run_sweep",
     "from_csv",
+    "from_jsonl",
+    "points_to_jsonl",
+    "record_line",
     "to_csv",
+    "to_jsonl",
     "generator_loc_report",
     "measure_loc",
 ]

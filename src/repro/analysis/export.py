@@ -1,17 +1,29 @@
-"""Export sweep results for external plotting.
+"""Export simulation and sweep results for external tools.
 
 The paper's Fig. 12 scatter plots are produced from sweep records; this
-module serializes :class:`~repro.analysis.dse.DSEPoint` lists as CSV (one
-row per point, stable column order) so any plotting tool can regenerate
-the figures from bench output.
+module serializes :class:`~repro.analysis.dse.DSEPoint` lists as CSV
+(one row per point, stable column order) so any plotting tool can
+regenerate the figures from bench output.
+
+It is also the home of the repository's **canonical JSON-lines record
+format**: one JSON object per line, keys sorted, compact separators,
+NumPy scalars/arrays converted to native values.  The service result
+store (:mod:`repro.service.store`) writes its blobs through
+:func:`record_line`, and sweep exports reuse the same writer, so every
+machine-readable result in the system shares one stable serialization.
+
+CSV and JSONL both derive from one :func:`point_record` mapping — the
+column list and the per-column CSV text formatting are declared once, so
+the two formats cannot drift.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from .dse import DSEPoint
 
@@ -28,21 +40,42 @@ COLUMNS = [
     "simulated",
 ]
 
+#: CSV text rendering per column; columns not listed emit ``str(value)``.
+_CSV_CONVERT: Dict[str, Callable[[object], object]] = {
+    "execution_time_s": lambda value: f"{value:.6f}",
+    "ofmap_write_bw": lambda value: f"{value:.4f}",
+    "simulated": lambda value: int(value),
+}
 
-def point_row(point: DSEPoint) -> List[object]:
+
+def point_record(point: DSEPoint) -> Dict[str, object]:
+    """One sweep point as a plain dict (native types, ``COLUMNS`` keys).
+
+    The single source of truth for both the CSV rows and the JSONL
+    records.
+    """
     cfg = point.config
     dims = cfg.dims
+    return {
+        "dataflow": point.dataflow,
+        "array_height": cfg.array_height,
+        "array_width": cfg.array_width,
+        "n": dims.n, "c": dims.c, "h": dims.h, "w": dims.w,
+        "fh": dims.fh, "fw": dims.fw,
+        "macs": dims.macs,
+        "loop_iterations": point.loop_iterations,
+        "cycles": point.cycles,
+        "execution_time_s": point.execution_time_s,
+        "ofmap_write_bw": point.peak_write_bw_x_portion,
+        "simulated": point.simulated,
+    }
+
+
+def point_row(point: DSEPoint) -> List[object]:
+    """The CSV rendering of :func:`point_record`, in ``COLUMNS`` order."""
+    record = point_record(point)
     return [
-        point.dataflow,
-        cfg.array_height,
-        cfg.array_width,
-        dims.n, dims.c, dims.h, dims.w, dims.fh, dims.fw,
-        dims.macs,
-        point.loop_iterations,
-        point.cycles,
-        f"{point.execution_time_s:.6f}",
-        f"{point.peak_write_bw_x_portion:.4f}",
-        int(point.simulated),
+        _CSV_CONVERT.get(column, str)(record[column]) for column in COLUMNS
     ]
 
 
@@ -79,3 +112,59 @@ def from_csv(path: Union[str, Path]) -> List[dict]:
                 }
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON-lines records
+# ---------------------------------------------------------------------------
+
+
+def _json_default(value):
+    """Convert NumPy scalars/arrays (oracle stats sometimes carry them)."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    raise TypeError(
+        f"{type(value).__name__} is not JSON-serializable"
+    )
+
+
+def record_line(record: Mapping) -> str:
+    """One record as its canonical JSON line (no trailing newline).
+
+    Keys sorted, compact separators, NumPy values converted — the byte
+    format shared by JSONL exports and the service store's blobs, so a
+    record always serializes to the same bytes regardless of insertion
+    order.
+    """
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def to_jsonl(
+    records: Iterable[Mapping],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialize records as JSON lines; optionally write to ``path``."""
+    text = "".join(record_line(record) + "\n" for record in records)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def from_jsonl(source: Union[str, Path]) -> List[dict]:
+    """Read JSON-lines records from a path (blank lines ignored)."""
+    text = Path(source).read_text(encoding="utf-8")
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def points_to_jsonl(
+    points: Iterable[DSEPoint],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Sweep points as JSON lines (same records as the CSV columns)."""
+    return to_jsonl((point_record(point) for point in points), path)

@@ -34,6 +34,7 @@ from .sweep import (
     cached_scenario_program,
     clear_scenario_caches,
     run_scenario_sweep,
+    scenario_cache_stats,
     scenario_grid,
     simulate_scenario,
 )
@@ -44,6 +45,6 @@ __all__ = [
     "Scenario", "ScenarioError", "all_scenarios", "get_scenario",
     "parse_scenario_spec", "register_scenario", "scenario_names",
     "ScenarioGrid", "ScenarioPoint", "cached_scenario_program",
-    "clear_scenario_caches", "run_scenario_sweep", "scenario_grid",
-    "simulate_scenario",
+    "clear_scenario_caches", "run_scenario_sweep", "scenario_cache_stats",
+    "scenario_grid", "simulate_scenario",
 ]

@@ -94,6 +94,26 @@ class ScenarioPoint:
 _PROGRAM_CACHE: Dict[Tuple, Tuple[object, PlanCache]] = {}
 
 
+@dataclass
+class ScenarioCacheStats:
+    """Build/hit accounting for this process's scenario program cache.
+
+    The service layer reports these through ``equeue-serve``'s stats
+    endpoint; tests use them to prove a warm store path builds nothing.
+    """
+
+    programs_built: int = 0
+    program_hits: int = 0
+
+
+_CACHE_STATS = ScenarioCacheStats()
+
+
+def scenario_cache_stats() -> ScenarioCacheStats:
+    """This process's scenario program-cache counters."""
+    return _CACHE_STATS
+
+
 def cached_scenario_program(scenario: Scenario, cfg):
     """This process's (module, plan_cache) for a config's structure."""
     key = scenario.signature(cfg)
@@ -101,12 +121,17 @@ def cached_scenario_program(scenario: Scenario, cfg):
     if entry is None:
         entry = (scenario.build(cfg), PlanCache())
         _PROGRAM_CACHE[key] = entry
+        _CACHE_STATS.programs_built += 1
+    else:
+        _CACHE_STATS.program_hits += 1
     return entry
 
 
 def clear_scenario_caches() -> None:
     """Drop this process's scenario program cache (cold-path benches)."""
     _PROGRAM_CACHE.clear()
+    _CACHE_STATS.programs_built = 0
+    _CACHE_STATS.program_hits = 0
 
 
 def simulate_scenario(

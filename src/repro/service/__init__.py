@@ -1,0 +1,53 @@
+"""The simulation service layer: persistent results, coalesced jobs,
+and the ``equeue-serve`` front end.
+
+The ROADMAP's north star is a system that serves heavy simulation
+traffic; the speedup lever that actually exists in that regime (and the
+only one on a single-CPU host) is *never paying for the same simulation
+twice*.  This package stacks three layers over the simulation stack to
+get there:
+
+* :mod:`repro.service.store` — a persistent, **content-addressed result
+  store** on disk.  Records are keyed by a digest of (structural
+  signature, inputs digest, engine-options digest, code version), written
+  as atomic single-record JSONL blobs, and safe to share between
+  processes.
+* :mod:`repro.service.scheduler` — an in-process **job scheduler** that
+  coalesces identical in-flight requests (N waiters, one simulation),
+  batches compatible queued jobs through the
+  :class:`~repro.sim.batch.SweepRunner` / per-process program-cache
+  path, and spills every computed record to the store.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  ``equeue-serve`` stdlib-only HTTP JSON API (submit scenario jobs,
+  poll or long-poll status, fetch stats) and the thin client used by
+  tests and benchmarks.
+
+Requests are registry scenario specs (:mod:`repro.scenarios`), responses
+are the canonical result records of
+:func:`repro.sim.batch.result_record`, and everything serializes through
+:func:`repro.analysis.export.record_line` — the same wire format end to
+end.  See ``docs/serving.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .scheduler import Job, JobRequest, JobScheduler
+from .store import (
+    ResultStore,
+    StoreStats,
+    code_version,
+    inputs_digest,
+    request_key,
+)
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "JobScheduler",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "StoreStats",
+    "code_version",
+    "inputs_digest",
+    "request_key",
+]

@@ -1,0 +1,148 @@
+"""The thin ``equeue-serve`` client (urllib, no dependencies).
+
+Tests, benchmarks, and the CI smoke all drive the service through this
+class, so the wire format is exercised end to end everywhere — nothing
+talks to the scheduler behind the API's back.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """A connection to one ``equeue-serve`` instance.
+
+    ``base_url`` like ``http://127.0.0.1:8421``; ``timeout`` is the
+    socket timeout for each round trip (long-polls add their ``wait``
+    on top).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=timeout or self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8"))
+                message = detail.get("error", str(error))
+            except Exception:  # noqa: BLE001 - best-effort decode
+                message = str(error)
+            raise ServiceError(message, status=error.code) from None
+        except URLError as error:
+            raise ServiceError(str(error)) from None
+
+    # -- the API -------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._call("GET", "/stats")
+
+    def scenarios(self) -> List[Dict]:
+        return self._call("GET", "/scenarios")["scenarios"]
+
+    def submit(
+        self,
+        scenario: str,
+        config: Optional[Dict] = None,
+        seed: int = 0,
+        options: Optional[Dict] = None,
+        check: bool = True,
+        wait: Optional[float] = None,
+    ) -> Dict:
+        """Submit a request; returns the job dict (record included once
+        done — immediately for store hits, or within ``wait`` seconds)."""
+        payload: Dict = {"scenario": scenario, "seed": seed, "check": check}
+        if config:
+            payload["config"] = config
+        if options:
+            payload["options"] = options
+        if wait is not None:
+            payload["wait"] = wait
+        response = self._call(
+            "POST",
+            "/jobs",
+            payload,
+            timeout=self.timeout + (wait or 0.0),
+        )
+        return response["job"]
+
+    def job(self, job_id: str, wait: Optional[float] = None) -> Dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        response = self._call(
+            "GET", path, timeout=self.timeout + (wait or 0.0)
+        )
+        return response["job"]
+
+    def result(self, job_id: str, wait: Optional[float] = None) -> Dict:
+        """The finished record for a job (long-polls when ``wait``)."""
+        path = f"/jobs/{job_id}/result"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._call("GET", path, timeout=self.timeout + (wait or 0.0))
+
+    def run(
+        self,
+        scenario: str,
+        config: Optional[Dict] = None,
+        seed: int = 0,
+        options: Optional[Dict] = None,
+        check: bool = True,
+        wait: float = 60.0,
+    ) -> Dict:
+        """Submit and wait: the one-call path benchmarks and tests use.
+
+        Returns the completed job dict (``job["record"]`` is the result
+        record, ``job["source"]`` says whether the engine ran).
+        """
+        job = self.submit(
+            scenario, config=config, seed=seed, options=options,
+            check=check, wait=wait,
+        )
+        if job["state"] == "error":
+            raise ServiceError(job["error"] or "job failed")
+        if job["state"] != "done":
+            job = self.job(job["id"], wait=wait)
+        if job["state"] == "error":
+            raise ServiceError(job["error"] or "job failed")
+        if job["state"] != "done":
+            raise ServiceError(f"job {job['id']} timed out ({job['state']})")
+        return job
+
+    def shutdown(self) -> Dict:
+        return self._call("POST", "/shutdown", {})

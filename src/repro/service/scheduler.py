@@ -1,0 +1,554 @@
+"""The in-process job scheduler: coalesce, batch, simulate, spill.
+
+Sitting between the HTTP front end and the simulation stack, the
+scheduler guarantees the service's core invariant — **identical
+requests never pay for simulation twice** — via three mechanisms, in
+lookup order:
+
+1. **Store hits.**  A submitted request whose key is already in the
+   :class:`~repro.service.store.ResultStore` completes immediately with
+   the persisted record; no job is queued, no engine work happens.
+2. **Request coalescing.**  A request whose key matches a queued or
+   running job joins that job instead of creating a new one — N callers
+   wait on one simulation, and each sees the same completed record.
+3. **Batched execution.**  Queued jobs are drained in batches: grouped
+   by engine-options digest (only compatible jobs share a batch),
+   ordered signature-affinely, and run through
+   :class:`~repro.sim.batch.SweepRunner` over the same per-process
+   program cache the sweep path uses
+   (:func:`~repro.scenarios.sweep.simulate_scenario`), so structurally
+   identical jobs in one batch compile once.  Every fresh record is
+   spilled to the store before waiters wake.
+
+Records are normalized through their canonical JSON line before a job
+completes, so a response is bit-identical whether it was simulated just
+now, coalesced onto another caller's job, or read back from the store
+warm — one of the service's determinism guarantees, and the one the
+warm==cold tests pin.
+
+The scheduler is synchronous-friendly (:meth:`JobScheduler.run_pending`
+drains the queue on the calling thread — deterministic, used by tests)
+and serves the HTTP front end from a background worker thread
+(:meth:`~JobScheduler.start` / :meth:`~JobScheduler.stop`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.export import record_line
+from ..scenarios import get_scenario, parse_scenario_spec, scenario_cache_stats
+from ..scenarios.sweep import simulate_scenario
+from ..sim.batch import SweepRunner, result_record
+from ..sim.engine import EngineOptions
+from .store import ResultStore, code_version, inputs_digest, request_key
+
+#: Engine-options fields a request may override.  Trace recording is
+#: excluded (traces are not part of the stored record), and
+#: ``verify_module`` is the service's own concern (programs verify once
+#: at build time in the program cache).
+_ALLOWED_OPTIONS = (
+    "scheduler",
+    "compile_plans",
+    "vectorize_loops",
+    "max_cycles",
+    "strict_capacity",
+    "linalg_mac_cycles",
+    "fill_cycles_per_element",
+)
+
+
+class RequestError(ValueError):
+    """A malformed request (unknown scenario/option, bad value)."""
+
+
+def _freeze(mapping: Optional[Mapping]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted((mapping or {}).items()))
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One fully resolved, hashable simulation request.
+
+    ``config`` holds *every* config field of the resolved scenario
+    config (not just the caller's overrides), so two spellings of the
+    same configuration — explicit defaults vs. omitted ones — resolve to
+    the same request and therefore the same key.
+    """
+
+    scenario: str
+    config: Tuple[Tuple[str, object], ...]
+    seed: int = 0
+    options: Tuple[Tuple[str, object], ...] = ()
+    check: bool = True
+
+    @classmethod
+    def make(
+        cls,
+        scenario: str,
+        config: Optional[Mapping] = None,
+        seed: int = 0,
+        options: Optional[Mapping] = None,
+        check: bool = True,
+    ) -> "JobRequest":
+        """Resolve a scenario spec into a request.
+
+        ``scenario`` is a registry name or a ``name:key=val,...`` spec
+        (the CLI syntax); ``config`` merges on top of the spec's
+        overrides.  Unknown scenarios, config keys, and option names
+        raise :class:`RequestError`.
+        """
+        from ..scenarios import ScenarioError
+
+        try:
+            scenario_obj, cfg = parse_scenario_spec(scenario)
+            if config:
+                merged = {**asdict(cfg), **dict(config)}
+                cfg = scenario_obj.configure(**merged)
+        except ScenarioError as error:
+            raise RequestError(str(error)) from None
+        # Scenario configs never type-check overrides themselves, so a
+        # JSON list/object would otherwise flow through to an unhashable
+        # (and unsimulatable) request.
+        for field_name, value in asdict(cfg).items():
+            if not isinstance(value, (bool, int, float, str)):
+                raise RequestError(
+                    f"config field {field_name!r} must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
+        for name, value in (options or {}).items():
+            if name not in _ALLOWED_OPTIONS:
+                raise RequestError(
+                    f"unknown engine option {name!r}; valid options: "
+                    + ", ".join(_ALLOWED_OPTIONS)
+                )
+            if not isinstance(value, (bool, int, float, str)):
+                raise RequestError(
+                    f"engine option {name!r} must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
+        try:
+            EngineOptions(**dict(options or {}))
+        except TypeError as error:
+            raise RequestError(f"invalid engine options: {error}") from None
+        return cls(
+            scenario=scenario_obj.name,
+            config=_freeze(asdict(cfg)),
+            seed=int(seed),
+            options=_freeze(options),
+            check=bool(check),
+        )
+
+    # -- derived views -------------------------------------------------
+
+    def config_instance(self):
+        return get_scenario(self.scenario).configure(**dict(self.config))
+
+    def key_parts(self) -> Dict:
+        """The identity parts the store key digests (JSON-ready)."""
+        scenario = get_scenario(self.scenario)
+        cfg = self.config_instance()
+        return {
+            "kind": "scenario-result/v1",
+            "scenario": self.scenario,
+            "structure": repr(scenario.signature(cfg)),
+            "inputs": inputs_digest(scenario.make_inputs(cfg, self.seed)),
+            "config": dict(self.config),
+            "seed": self.seed,
+            "options": dict(self.options),
+            "check": self.check,
+            "code": code_version(),
+        }
+
+    def key(self) -> str:
+        return request_key(self.key_parts())
+
+    def to_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "options": dict(self.options),
+            "check": self.check,
+        }
+
+
+#: Request -> store-key memo.  A key is a pure function of the (frozen,
+#: hashable) request and the code version, but computing one regenerates
+#: and digests the scenario's input arrays — noticeable on the warm path,
+#: where it would dominate the store read.  Bounded: cleared wholesale at
+#: the cap (requests are tiny; the cap is generous).
+_KEY_CACHE: Dict[Tuple[JobRequest, str], str] = {}
+_KEY_CACHE_CAP = 4096
+
+
+def request_store_key(request: JobRequest) -> str:
+    """The store key for a request, memoized per process."""
+    memo_key = (request, code_version())
+    key = _KEY_CACHE.get(memo_key)
+    if key is None:
+        if len(_KEY_CACHE) >= _KEY_CACHE_CAP:
+            _KEY_CACHE.clear()
+        key = request.key()
+        _KEY_CACHE[memo_key] = key
+    return key
+
+
+def evaluate_request(payload: Tuple) -> Dict:
+    """Spawn-safe batch worker: simulate one request, return its record.
+
+    ``payload`` is ``(scenario, config_items, seed, option_items,
+    check)`` — plain picklable data, so batches can shard across a
+    :class:`SweepRunner` pool.  Simulation rides the per-process scenario
+    program cache; failures come back as ``{"error": ...}`` records so
+    one bad job cannot take down its batch.
+    """
+    name, config, seed, options, check = payload
+    try:
+        scenario = get_scenario(name)
+        cfg = scenario.configure(**dict(config))
+        engine_options = EngineOptions(
+            **{"verify_module": False, **dict(options)}
+        )
+        result, checked = simulate_scenario(
+            scenario, cfg, seed=seed, options=engine_options, check=check
+        )
+        record = result_record(result, checked)
+    except Exception as error:  # noqa: BLE001 - job boundary
+        return {"error": f"{type(error).__name__}: {error}"}
+    record["scenario"] = name
+    record["config"] = dict(config)
+    record["seed"] = seed
+    record["options"] = dict(options)
+    return record
+
+
+def _payload_signature(payload: Tuple) -> Tuple:
+    """Signature-affine batch ordering (same rule as the sweep runner)."""
+    name, config = payload[0], payload[1]
+    scenario = get_scenario(name)
+    return scenario.signature(scenario.configure(**dict(config)))
+
+
+class Job:
+    """One scheduled request: state, waiters, and the eventual record."""
+
+    __slots__ = (
+        "id", "key", "request", "state", "record", "error", "source",
+        "waiters", "submitted_at", "finished_at", "_done",
+    )
+
+    def __init__(self, job_id: str, key: str, request: JobRequest):
+        self.id = job_id
+        self.key = key
+        self.request = request
+        self.state = "queued"  # queued | running | done | error
+        self.record: Optional[Dict] = None
+        self.error: Optional[str] = None
+        #: Where the record came from: "simulated" | "store".
+        self.source: Optional[str] = None
+        #: Callers sharing this job (1 = no coalescing happened).
+        self.waiters = 1
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job completes (True) or ``timeout`` passes."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Dict:
+        """The completed record; raises on error or timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.id} still {self.state}")
+        if self.error is not None:
+            raise RuntimeError(f"job {self.id} failed: {self.error}")
+        assert self.record is not None
+        return self.record
+
+    def _complete(self, record: Dict, source: str) -> None:
+        self.record = record
+        self.source = source
+        self.state = "done"
+        self.finished_at = time.time()
+        self._done.set()
+
+    def _fail(self, message: str) -> None:
+        self.error = message
+        self.state = "error"
+        self.finished_at = time.time()
+        self._done.set()
+
+    def to_dict(self, include_record: bool = True) -> Dict:
+        """The job's wire representation (the ``equeue-serve`` shape)."""
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "source": self.source,
+            "waiters": self.waiters,
+            "request": self.request.to_dict(),
+            "error": self.error,
+        }
+        if include_record and self.record is not None:
+            payload["record"] = self.record
+        return payload
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduler-level counters (store counters live on the store)."""
+
+    submitted: int = 0
+    #: Submissions answered by an already-queued/running identical job.
+    coalesced: int = 0
+    #: Submissions answered directly from the persistent store.
+    store_hits: int = 0
+    #: Jobs that actually ran the DES engine.
+    simulated: int = 0
+    errors: int = 0
+    batches: int = 0
+    #: Spills that failed at the store (disk full, root removed); the
+    #: job still completes from its in-memory record.
+    store_put_failures: int = 0
+    #: Completed jobs dropped from the id index by the retention cap.
+    jobs_pruned: int = 0
+
+
+class JobScheduler:
+    """Coalescing, batching scheduler over an optional result store.
+
+    ``store=None`` runs a pure in-memory service (coalescing still
+    applies; nothing persists).  ``jobs`` is the
+    :class:`SweepRunner` worker count for each drained batch (``1`` —
+    the default, and the right choice on single-CPU hosts — executes
+    batches on the draining thread over the per-process program cache).
+    ``max_jobs`` caps the by-id job index: beyond it, the oldest
+    *completed* jobs are dropped (their records live on in the store;
+    polling a pruned id is a 404, which long-running clients should
+    treat as "resubmit — it will be a store hit").
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        max_jobs: int = 10_000,
+    ):
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.max_jobs = max(1, int(max_jobs))
+        self.stats = SchedulerStats()
+        self._lock = threading.Condition()
+        self._queue: List[Job] = []
+        #: Coalescing index: key -> not-yet-finished job.
+        self._inflight: Dict[str, Job] = {}
+        #: Every job ever created, by id (the server's lookup table).
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, request: JobRequest) -> Job:
+        """Register a request; returns its (possibly shared) job.
+
+        Lookup order: in-flight job with the same key (coalesce) ->
+        persistent store (complete immediately) -> new queued job.  The
+        store read (disk I/O) happens *outside* the lock; the in-flight
+        index is re-checked afterwards, so a request that raced a
+        just-finishing twin either coalesces or hits the freshly spilled
+        blob — never simulates twice.
+        """
+        key = request_store_key(request)
+        with self._lock:
+            self.stats.submitted += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                self.stats.coalesced += 1
+                return inflight
+        stored = self.store.get(key) if self.store is not None else None
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                self.stats.coalesced += 1
+                return inflight
+            job = Job(self._next_id(), key, request)
+            self._jobs[job.id] = job
+            self._prune_jobs()
+            if stored is not None:
+                self.stats.store_hits += 1
+                job._complete(stored, source="store")
+                return job
+            self._inflight[key] = job
+            self._queue.append(job)
+            self._lock.notify_all()
+        return job
+
+    def _prune_jobs(self) -> None:
+        """Drop the oldest *completed* jobs beyond ``max_jobs`` (called
+        under the lock; dict order is insertion/creation order)."""
+        if len(self._jobs) <= self.max_jobs:
+            return
+        excess = len(self._jobs) - self.max_jobs
+        for job_id in [
+            job_id for job_id, job in self._jobs.items() if job.done
+        ][:excess]:
+            del self._jobs[job_id]
+            self.stats.jobs_pruned += 1
+
+    def job(self, job_id: str) -> Optional[Job]:
+        """Look a job up by id."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"job-{self._counter:06d}"
+
+    # -- execution -----------------------------------------------------
+
+    def run_pending(self) -> int:
+        """Drain the queue on this thread; returns jobs completed.
+
+        Queued jobs are grouped into batches of *compatible* work — same
+        engine-options digest — and each batch runs through a
+        :class:`SweepRunner` in signature-affine order, so structurally
+        identical jobs compile once per process.  Fresh records spill to
+        the store before their waiters wake.
+        """
+        with self._lock:
+            drained, self._queue = self._queue, []
+            for job in drained:
+                job.state = "running"
+        completed = 0
+        for batch in self._batches(drained):
+            self.stats.batches += 1
+            payloads = [
+                (
+                    job.request.scenario,
+                    job.request.config,
+                    job.request.seed,
+                    job.request.options,
+                    job.request.check,
+                )
+                for job in batch
+            ]
+            runner = SweepRunner(jobs=self.jobs, key=_payload_signature)
+            try:
+                records = runner.map(evaluate_request, payloads)
+            except Exception as error:  # noqa: BLE001 - batch boundary
+                # Pool-machinery failure (workers already catch their
+                # own): fail the whole batch's jobs, never wedge them.
+                message = f"{type(error).__name__}: {error}"
+                records = [{"error": message}] * len(batch)
+            for job, record in zip(batch, records):
+                self._finish(job, record)
+                completed += 1
+        return completed
+
+    def _batches(self, jobs: List[Job]) -> List[List[Job]]:
+        """Group compatible jobs (same engine options) into batches."""
+        groups: Dict[Tuple, List[Job]] = {}
+        for job in jobs:
+            groups.setdefault(job.request.options, []).append(job)
+        return list(groups.values())
+
+    def _finish(self, job: Job, record: Dict) -> None:
+        error = record.get("error")
+        if error is not None:
+            with self._lock:
+                self._inflight.pop(job.key, None)
+                self.stats.errors += 1
+            job._fail(error)
+            return
+        # Normalize through the canonical JSON line so a fresh record is
+        # byte-for-byte the record a warm store hit will serve tomorrow.
+        record = json.loads(record_line(record))
+        # Spill before waiters wake — and outside the lock, so a slow
+        # (or over-cap, LRU-scanning) put never stalls submitters.  A
+        # failed spill (disk full, root removed) is counted, not fatal:
+        # the job still completes from its in-memory record.
+        if self.store is not None:
+            try:
+                self.store.put(job.key, record)
+            except OSError:
+                with self._lock:
+                    self.stats.store_put_failures += 1
+        # Complete before deindexing: a submit racing this window either
+        # coalesces onto the (already done) job or hits the fresh blob —
+        # in neither case does it queue a duplicate simulation.
+        job._complete(record, source="simulated")
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            self.stats.simulated += 1
+
+    # -- the background worker -----------------------------------------
+
+    def start(self) -> None:
+        """Run a daemon worker that drains the queue as jobs arrive."""
+        if self._worker is not None:
+            return
+        self._stopping = False
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="equeue-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    def stop(self) -> None:
+        """Stop the worker after it finishes the current batch."""
+        worker = self._worker
+        if worker is None:
+            return
+        with self._lock:
+            self._stopping = True
+            self._lock.notify_all()
+        worker.join()
+        self._worker = None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._lock.wait()
+                if self._stopping and not self._queue:
+                    return
+            try:
+                self.run_pending()
+            except Exception:  # noqa: BLE001 - the worker must survive
+                # Jobs carry their own errors; anything reaching here is
+                # a scheduler bug, and dying silently would wedge every
+                # future submission behind a dead queue.
+                import sys
+                import traceback
+
+                traceback.print_exc(file=sys.stderr)
+
+    # -- reporting -----------------------------------------------------
+
+    def stats_dict(self) -> Dict:
+        """Scheduler + store + program-cache counters, JSON-ready."""
+        with self._lock:
+            payload = {
+                **asdict(self.stats),
+                "queued": len(self._queue),
+                "inflight": len(self._inflight),
+                "jobs": len(self._jobs),
+                "code_version": code_version(),
+            }
+        cache = scenario_cache_stats()
+        payload["program_cache"] = asdict(cache)
+        if self.store is not None:
+            payload["store"] = self.store.stats_dict()
+        return payload

@@ -1,0 +1,325 @@
+"""``equeue-serve``: the stdlib-only HTTP JSON front end.
+
+A thin, threaded HTTP layer over :class:`~repro.service.scheduler.JobScheduler`
+— no framework, no dependencies beyond the standard library.  The API
+(full examples in ``docs/serving.md``):
+
+* ``POST /jobs`` — submit a scenario request::
+
+      {"scenario": "gemm:k=32", "config": {"m": 8}, "seed": 0,
+       "options": {"scheduler": "wheel"}, "check": true,
+       "wait": 30}
+
+  Responds with the job's wire representation; ``wait`` (seconds,
+  optional) long-polls so a submit can return the finished record in
+  one round trip.  A request already persisted in the store completes
+  instantly with ``"source": "store"`` and no engine work.
+* ``GET /jobs/<id>[?wait=S]`` — poll (or long-poll) job status; the
+  record rides along once the state is ``done``.
+* ``GET /jobs/<id>/result[?wait=S]`` — just the result record (404
+  until the job completes, 504 on a ``wait`` timeout).
+* ``GET /scenarios`` — the registry: names, summaries, config defaults.
+* ``GET /stats`` — scheduler, store, and program-cache counters.
+* ``GET /healthz`` — liveness.
+* ``POST /shutdown`` — drain and exit cleanly (CI smoke uses this).
+
+Every response body is JSON.  Client errors are ``{"error": ...}`` with
+a 4xx status; the server never emits a traceback over the wire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..scenarios import all_scenarios
+from .scheduler import JobScheduler, JobRequest, RequestError
+from .store import ResultStore
+
+#: Ceiling on a single long-poll, so an absurd ``wait`` cannot pin a
+#: handler thread for hours.
+MAX_WAIT_S = 300.0
+
+#: Ceiling on a request body.  Job payloads are a few hundred bytes; a
+#: huge Content-Length would otherwise buffer arbitrary data in memory
+#: before validation.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's scheduler.  One instance per
+    request (http.server's model); shared state lives on ``self.server``."""
+
+    server_version = "equeue-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                "equeue-serve: %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        if length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _wait_seconds(self, query: Dict, body: Optional[Dict] = None):
+        raw = (body or {}).get("wait", None)
+        if raw is None and "wait" in query:
+            raw = query["wait"][0]
+        if raw is None:
+            return None
+        try:
+            return max(0.0, min(float(raw), MAX_WAIT_S))
+        except (TypeError, ValueError):
+            raise ValueError(f"bad wait value {raw!r}") from None
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"status": "ok"})
+            elif parts == ["stats"]:
+                self._send_json(200, self.scheduler.stats_dict())
+            elif parts == ["scenarios"]:
+                self._send_json(200, {"scenarios": _scenario_listing()})
+            elif len(parts) >= 2 and parts[0] == "jobs":
+                self._get_job(parts, query)
+            else:
+                self._send_json(404, {"error": f"no route {parsed.path!r}"})
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                self._post_job(parse_qs(parsed.query))
+            elif parts == ["shutdown"]:
+                self._send_json(200, {"status": "shutting-down"})
+                self.server.request_shutdown()  # type: ignore[attr-defined]
+            else:
+                self._send_json(404, {"error": f"no route {parsed.path!r}"})
+        except (ValueError, TypeError, json.JSONDecodeError) as error:
+            # TypeError included defensively: the contract is a JSON 4xx
+            # for any malformed body, never a traceback over the wire.
+            self._send_json(400, {"error": str(error)})
+
+    # -- handlers ------------------------------------------------------
+
+    def _post_job(self, query: Dict) -> None:
+        body = self._read_json()
+        spec = body.get("scenario")
+        if not spec or not isinstance(spec, str):
+            raise ValueError('missing "scenario" (a name or name:key=val spec)')
+        try:
+            request = JobRequest.make(
+                scenario=spec,
+                config=body.get("config"),
+                seed=body.get("seed", 0),
+                options=body.get("options"),
+                check=body.get("check", True),
+            )
+        except RequestError as error:
+            raise ValueError(str(error)) from None
+        # Validate wait before submitting: a 400 must not leave an
+        # orphaned job simulating with its id never returned.
+        wait = self._wait_seconds(query, body)
+        job = self.scheduler.submit(request)
+        if wait:
+            job.wait(wait)
+        self._send_json(200 if job.done else 202, {"job": job.to_dict()})
+
+    def _get_job(self, parts, query) -> None:
+        job = self.scheduler.job(parts[1])
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+            return
+        wait = self._wait_seconds(query)
+        if wait:
+            job.wait(wait)
+        if len(parts) == 2:
+            self._send_json(200, {"job": job.to_dict()})
+        elif parts[2:] == ["result"]:
+            if job.state == "error":
+                self._send_json(500, {"error": job.error})
+            elif not job.done:
+                status = 504 if wait else 404
+                self._send_json(
+                    status,
+                    {"error": f"job {job.id} still {job.state}"},
+                )
+            else:
+                self._send_json(200, job.record)
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+
+def _scenario_listing():
+    listing = []
+    for scenario in all_scenarios():
+        cfg = scenario.configure()
+        listing.append(
+            {
+                "name": scenario.name,
+                "summary": scenario.summary,
+                "defaults": asdict(cfg),
+                "grid": {
+                    axis: list(values)
+                    for axis, values in scenario.default_grid().items()
+                },
+            }
+        )
+    return listing
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server + its scheduler, wired for clean shutdown."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        scheduler: JobScheduler,
+        verbose: bool = False,
+    ):
+        super().__init__(address, ServiceHandler)
+        self.scheduler = scheduler
+        self.verbose = verbose
+        self._shutdown_requested = threading.Event()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (from a handler thread)."""
+        if not self._shutdown_requested.is_set():
+            self._shutdown_requested.set()
+            # shutdown() blocks until serve_forever returns, so it must
+            # run off the handler thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_path: Optional[str] = None,
+    max_entries: Optional[int] = None,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> ServiceServer:
+    """A ready-to-run service (scheduler started by :func:`serve_forever`
+    or by the caller).  ``port=0`` binds an ephemeral port — read the
+    actual one from ``server.server_address``."""
+    store = (
+        ResultStore(store_path, max_entries=max_entries)
+        if store_path
+        else None
+    )
+    scheduler = JobScheduler(store=store, jobs=jobs)
+    return ServiceServer((host, port), scheduler, verbose=verbose)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="equeue-serve",
+        description="Serve simulation requests over HTTP with a "
+        "persistent content-addressed result store (see docs/serving.md).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port; 0 binds an ephemeral port and prints it "
+        "(default 8421)",
+    )
+    parser.add_argument(
+        "--store", default="",
+        help="result-store directory (persistent across restarts); "
+        "empty = in-memory service, nothing persists",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=0,
+        help="LRU-evict the store beyond this many records "
+        "(0 = unbounded)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per drained batch (default 1: execute "
+        "batches on the scheduler thread)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="log each request to stderr",
+    )
+    args = parser.parse_args(argv)
+    if args.port < 0:
+        parser.error(f"--port must be >= 0, got {args.port}")
+    if args.max_entries < 0:
+        parser.error(f"--max-entries must be >= 0, got {args.max_entries}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        store_path=args.store or None,
+        max_entries=args.max_entries or None,
+        jobs=args.jobs,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    store_note = args.store if args.store else "(in-memory, no store)"
+    print(
+        f"equeue-serve listening on http://{host}:{port} "
+        f"store={store_note}",
+        flush=True,
+    )
+    server.scheduler.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.scheduler.stop()
+        server.server_close()
+    print("equeue-serve: stopped cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

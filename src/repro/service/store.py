@@ -1,0 +1,278 @@
+"""The persistent, content-addressed simulation result store.
+
+Every simulation in this repository is deterministic: the result is a
+pure function of (program structure, input data, engine options, code
+version).  This module makes that function a *durable* one — a result
+computed once is a key-value read forever after, across processes and
+across server restarts.
+
+**Addressing.**  A record's key is the SHA-256 of the canonical JSON
+(:func:`repro.analysis.export.record_line`) of its identity parts:
+the scenario's structural signature, a digest of the generated input
+arrays, the engine-options overrides, the seed, and
+:func:`code_version` — a digest of the ``repro`` package's own source.
+Any code change therefore changes every key, which is the store's whole
+cache-invalidation story: stale entries are never *read* again, they
+simply age out of the LRU (see ``docs/serving.md``).
+
+**Layout.**  ``root/objects/<k[:2]>/<k>.json``, each blob one canonical
+JSONL record.  Blobs are written to a temp file and published with
+``os.link`` (falling back to ``os.replace``), so
+
+* readers never observe a partially written blob, and
+* when two processes race to publish the same key, exactly one ``put``
+  reports the win — and since records are deterministic, both sides
+  subsequently read bit-identical bytes.
+
+**Accounting.**  Hits, misses, puts, lost races, and evictions are
+counted per :class:`ResultStore` instance (in-memory, per process);
+``equeue-serve`` exposes them on its stats endpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from ..analysis.export import record_line
+
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+#: Process-wide memo for :func:`code_version` (hashing ~100 source files
+#: once per process, not once per request).
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """A digest of the ``repro`` package's own source code.
+
+    Computed by hashing every ``*.py`` file under the package root (path
+    + contents, in sorted path order), so *any* code change — engine,
+    scenarios, serialization — bumps the version and thereby invalidates
+    every store key built from it.  ``EQUEUE_CODE_VERSION`` overrides the
+    digest (tests use it to simulate a version bump without editing
+    files).
+    """
+    global _CODE_VERSION
+    override = os.environ.get("EQUEUE_CODE_VERSION")
+    if override:
+        return hashlib.sha256(override.encode("utf-8")).hexdigest()[:16]
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def inputs_digest(inputs: Optional[Mapping]) -> str:
+    """A digest of an engine input dict (named NumPy arrays).
+
+    Hashes name, dtype, shape, and raw bytes of every array in name
+    order; ``None`` (self-contained programs) digests to a fixed token.
+    Two requests whose *generated data* is identical — not merely their
+    seeds — share a digest, which is what makes the store genuinely
+    content-addressed.
+    """
+    if inputs is None:
+        return "no-inputs"
+    digest = hashlib.sha256()
+    for name in sorted(inputs):
+        import numpy as np
+
+        array = np.ascontiguousarray(inputs[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def request_key(parts: Mapping) -> str:
+    """The store key for a request's identity parts.
+
+    ``parts`` must be JSON-serializable; the key is the SHA-256 of its
+    canonical JSON line, so key equality is exactly canonical-content
+    equality (insertion order never matters).
+    """
+    return hashlib.sha256(
+        record_line(parts).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Per-instance counters (reset when the instance is recreated)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Puts that found another process's blob already published.
+    lost_races: int = 0
+    evictions: int = 0
+
+
+class ResultStore:
+    """Content-addressed result records on disk, multi-process safe.
+
+    ``root`` is created on demand.  ``max_entries`` (optional) bounds the
+    store: after a winning put, the oldest blobs beyond the cap are
+    evicted (LRU by file mtime; hits refresh it).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: Optional[int] = None,
+    ):
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        # Entry accounting without a directory walk per put/stats call:
+        # scanned once here, then maintained on wins/evictions/clears.
+        # Approximate when other processes share the root (their puts
+        # are invisible until the next eviction scan resyncs it).
+        self._approx_entries = sum(1 for _ in self._blobs())
+
+    # -- paths ---------------------------------------------------------
+
+    def _blob_path(self, key: str) -> Path:
+        if not _KEY_PATTERN.match(key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _blobs(self) -> Iterator[Path]:
+        yield from (self.root / "objects").glob("??/*.json")
+
+    # -- the key-value API ---------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored record for ``key``, or ``None`` (a miss)."""
+        import json
+
+        path = self._blob_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        try:  # refresh LRU recency; best-effort (blob may be evicted)
+            os.utime(path)
+        except OSError:
+            pass
+        return json.loads(text)
+
+    def put(self, key: str, record: Mapping) -> bool:
+        """Publish ``record`` under ``key``; True when this call won.
+
+        The record is serialized to its canonical JSON line, written to
+        a temp file in the target directory, and published atomically —
+        ``os.link`` fails if the blob already exists, which is how
+        exactly one of N racing processes observes the win.  Readers can
+        never see a partial blob.
+        """
+        path = self._blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = record_line(record) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            try:
+                os.link(tmp_name, path)
+                won = True
+            except FileExistsError:
+                won = False
+            except OSError:
+                # Filesystems without hard links: atomic replace.  The
+                # win is then approximate (last writer), but records for
+                # one key are deterministic, so content is unaffected.
+                won = not path.exists()
+                os.replace(tmp_name, path)
+                tmp_name = None
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        if won:
+            self.stats.puts += 1
+            self._approx_entries += 1
+            if (
+                self.max_entries is not None
+                and self._approx_entries > self.max_entries
+            ):
+                self._evict_over(self.max_entries)
+        else:
+            self.stats.lost_races += 1
+        return won
+
+    # -- maintenance ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._blobs())
+
+    def keys(self) -> List[str]:
+        """Stored keys, sorted."""
+        return sorted(path.stem for path in self._blobs())
+
+    def _evict_over(self, max_entries: int) -> int:
+        """Drop least-recently-used blobs beyond ``max_entries``.
+
+        The one full-scan path — entered only when the maintained entry
+        count crosses the cap, and it resyncs that count from the scan's
+        ground truth (picking up other processes' puts as a side
+        effect).
+        """
+        blobs = []
+        for path in self._blobs():
+            try:
+                blobs.append((path.stat().st_mtime_ns, path))
+            except OSError:  # concurrently evicted elsewhere
+                continue
+        evicted = 0
+        blobs.sort()
+        for _, path in blobs[: max(0, len(blobs) - max_entries)]:
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                continue
+        self.stats.evictions += evicted
+        self._approx_entries = len(blobs) - evicted
+        return evicted
+
+    def clear(self) -> None:
+        """Remove every blob (counters keep accumulating)."""
+        for path in self._blobs():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        self._approx_entries = 0
+
+    def stats_dict(self) -> Dict:
+        """Counters plus the maintained entry count, JSON-ready.
+
+        ``entries`` is the walk-free running count — exact for a
+        single-writer store, approximate while other processes are
+        concurrently publishing (use ``len(store)`` for an authoritative
+        scan)."""
+        return {**asdict(self.stats), "entries": self._approx_entries}

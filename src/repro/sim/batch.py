@@ -361,10 +361,26 @@ class CompileCache:
     verification, *and* block-plan compilation.  Entries pin their
     modules (and the plans pin their blocks), so the cache is also what
     keeps ``id``-keyed plan lookups safe over time.
+
+    ``fill_hooks`` observe cache fills: each hook is called as
+    ``hook(signature, entry)`` right after a miss builds a new entry —
+    the observability point for anything accounting compile work over
+    this cache (mirroring ``scenario_cache_stats`` on the registry
+    path, which is how the service layer proves its warm path builds
+    nothing).
     """
 
     entries: Dict[Tuple, CachedProgram] = field(default_factory=dict)
     stats: CompileCacheStats = field(default_factory=CompileCacheStats)
+    fill_hooks: List[Callable[[Tuple, "CachedProgram"], None]] = field(
+        default_factory=list
+    )
+
+    def add_fill_hook(
+        self, hook: Callable[[Tuple, "CachedProgram"], None]
+    ) -> None:
+        """Observe future cache fills (misses that build a program)."""
+        self.fill_hooks.append(hook)
 
     def lookup(self, cfg) -> CachedProgram:
         """The cached artifacts for a configuration's structure."""
@@ -379,6 +395,8 @@ class CompileCache:
             )
             self.entries[signature] = entry
             self.stats.programs_built += 1
+            for hook in self.fill_hooks:
+                hook(signature, entry)
         else:
             self.stats.program_hits += 1
         return entry
@@ -414,6 +432,27 @@ def simulate_systolic_cached(
     """
     cache = _PROCESS_CACHE if cache is None else cache
     return cache.lookup(cfg).simulate(inputs, options)
+
+
+def result_record(
+    result: SimulationResult,
+    checked: Optional[Dict] = None,
+) -> Dict:
+    """The canonical machine-readable record of one simulation.
+
+    One stats format for every consumer — ``equeue-sim --stats-json``,
+    the service result store's blobs, ``equeue-serve`` responses — so
+    they cannot drift: a plain JSON-native dict with stable keys wrapping
+    :meth:`~repro.sim.profiling.ProfilingSummary.to_dict` plus the
+    result-level observables and the oracle's checked stats (``None``
+    when no oracle ran).
+    """
+    return {
+        "cycles": int(result.cycles),
+        "truncated": bool(result.truncated),
+        "summary": result.summary.to_dict(),
+        "checked": checked,
+    }
 
 
 def sample_conv_inputs(dims, rng):

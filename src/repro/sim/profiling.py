@@ -13,7 +13,7 @@ After a simulation the engine produces a :class:`ProfilingSummary` with:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 
@@ -117,6 +117,57 @@ class ProfilingSummary:
             if key == name or key.endswith("." + name) or report.name == name:
                 return report
         return None
+
+    # -- machine-readable round-trip serialization ---------------------------
+    #
+    # One stats format shared by ``equeue-sim --stats-json``, the service
+    # result store's blobs, and ``equeue-serve`` responses: plain dicts of
+    # JSON-native scalars with stable keys, reconstructible bit-identically.
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable dict of every field (stable keys).
+
+        Nested connection/memory reports become plain field dicts; the
+        result round-trips through :meth:`from_dict` to an equal summary
+        (``from_dict(s.to_dict()) == s``).
+        """
+        record = asdict(self)
+        record["connections"] = {
+            name: asdict(report)
+            for name, report in sorted(self.connections.items())
+        }
+        record["memories"] = {
+            name: asdict(report)
+            for name, report in sorted(self.memories.items())
+        }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "ProfilingSummary":
+        """Reconstruct a summary from :meth:`to_dict` output.
+
+        Unknown keys are ignored and missing counter fields take their
+        defaults, so records written by older code versions still load.
+        """
+        known = {f.name for f in fields(cls) if f.init}
+        payload = {
+            key: value for key, value in record.items() if key in known
+        }
+        def load(report_cls, report):
+            report_known = {f.name for f in fields(report_cls) if f.init}
+            return report_cls(
+                **{k: v for k, v in report.items() if k in report_known}
+            )
+
+        payload["connections"] = {
+            name: load(ConnectionReport, report)
+            for name, report in record.get("connections", {}).items()
+        }
+        payload["memories"] = {
+            name: load(MemoryReport, report)
+            for name, report in record.get("memories", {}).items()
+        }
+        return cls(**payload)
 
     def format(self) -> str:
         """Human-readable summary table."""

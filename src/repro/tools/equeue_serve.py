@@ -1,0 +1,13 @@
+"""``equeue-serve``: the simulation service console entry point.
+
+The implementation lives in :mod:`repro.service.server`; this module
+only anchors the ``equeue-serve`` console script next to ``equeue-sim``
+and ``equeue-opt`` in :mod:`repro.tools`.
+"""
+
+from ..service.server import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -57,6 +57,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="an .npz file whose arrays initialize same-named buffers",
     )
     parser.add_argument(
+        "--stats-json", default="",
+        help="write the machine-readable result record (the canonical "
+        "format shared with the service result store) to this path "
+        "(single input only)",
+    )
+    parser.add_argument(
         "--dump-buffer", action="append", default=[],
         help="print a named buffer's final contents (repeatable)",
     )
@@ -109,6 +115,7 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
     (
         name, source, pipeline, inputs_path, dump_buffers,
         max_cycles, strict_capacity, interpret, scheduler, trace_path,
+        stats_path,
     ) = payload
     lines: List[str] = []
     try:
@@ -133,18 +140,22 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
         result = simulate(module, options, inputs=inputs)
     except Exception as error:  # CLI boundary: report, don't traceback
         return name, "", str(error)
-    emitted, error = _emit_result(result, dump_buffers, trace_path)
+    emitted, error = _emit_result(result, dump_buffers, trace_path, stats_path)
     lines.extend(emitted)
     return name, "\n".join(lines), error
 
 
 def _emit_result(
-    result, dump_buffers, trace_path
+    result, dump_buffers, trace_path, stats_path="", checked=None
 ) -> Tuple[List[str], Optional[str]]:
-    """Summary, buffer dumps, and trace write for one finished simulation.
+    """Summary, buffer dumps, and trace/stats writes for one simulation.
 
     Returns ``(lines, error)``; shared by the file and --scenario paths
     so output and error handling cannot drift between them.
+    ``stats_path`` writes the canonical machine-readable record
+    (:func:`repro.sim.batch.result_record` — the same format the service
+    result store and ``equeue-serve`` responses use); ``checked`` is the
+    oracle's stats dict when one ran.
     """
     lines = [result.summary.format()]
     for buffer_name in dump_buffers:
@@ -164,6 +175,17 @@ def _emit_result(
         lines.append(
             f"trace written to {trace_path} ({len(result.trace)} records)"
         )
+    if stats_path:
+        from ..analysis.export import record_line
+        from ..sim.batch import result_record
+
+        try:
+            with open(stats_path, "w", encoding="utf-8") as handle:
+                handle.write(record_line(result_record(result, checked)))
+                handle.write("\n")
+        except OSError as error:
+            return lines, str(error)
+        lines.append(f"stats written to {stats_path}")
     return lines, None
 
 
@@ -202,8 +224,18 @@ def _run_scenario(args, scenario, cfg) -> int:
     except Exception as error:  # CLI boundary: report, don't traceback
         print(f"equeue-sim: error: {error}", file=sys.stderr)
         return 1
+    # Run the oracle before emitting so --stats-json records its stats.
+    checked = None
+    check_failure = None
+    if not result.truncated:
+        try:
+            checked = scenario.check(cfg, result, args.seed)
+        except AssertionError as error:
+            check_failure = str(error)
     print(f"== scenario {scenario.name}: {cfg} ==")
-    lines, error = _emit_result(result, args.dump_buffer, args.trace)
+    lines, error = _emit_result(
+        result, args.dump_buffer, args.trace, args.stats_json, checked
+    )
     print("\n".join(lines))
     if error is not None:
         print(f"equeue-sim: error: {error}", file=sys.stderr)
@@ -211,12 +243,10 @@ def _run_scenario(args, scenario, cfg) -> int:
     if result.truncated:
         print("reference check: skipped (simulation truncated)")
         return 0
-    try:
-        checked = scenario.check(cfg, result, args.seed)
-    except AssertionError as error:
+    if check_failure is not None:
         print(
             f"equeue-sim: error: scenario {scenario.name!r} failed its "
-            f"reference check: {error}",
+            f"reference check: {check_failure}",
             file=sys.stderr,
         )
         return 1
@@ -266,6 +296,12 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.stats_json and len(args.input) > 1:
+        print(
+            "equeue-sim: error: --stats-json supports a single input file",
+            file=sys.stderr,
+        )
+        return 1
 
     sources = []
     stdin_source = None
@@ -286,7 +322,7 @@ def main(argv=None) -> int:
         (
             name, source, args.pipeline, args.inputs, args.dump_buffer,
             args.max_cycles, args.strict_capacity, args.interpret,
-            args.scheduler, args.trace,
+            args.scheduler, args.trace, args.stats_json,
         )
         for name, source in sources
     ]

@@ -148,6 +148,54 @@ class TestExport:
         text = to_csv(points)
         assert len(text.splitlines()) == 4
 
+    def test_jsonl_roundtrip_matches_csv_records(self, tmp_path):
+        """CSV and JSONL derive from one point_record mapping — same
+        values, same keys, no drift."""
+        import json
+
+        from repro.analysis import from_csv, from_jsonl, points_to_jsonl, to_csv
+
+        spec = paper_sweep_spec()
+        points = run_sweep(spec, use_des=False, sample=10)
+        jsonl_path = tmp_path / "sweep.jsonl"
+        text = points_to_jsonl(points, jsonl_path)
+        assert len(text.splitlines()) == 10
+        records = from_jsonl(jsonl_path)
+        csv_path = tmp_path / "sweep.csv"
+        to_csv(points, csv_path)
+        csv_rows = from_csv(csv_path)
+        assert len(records) == len(csv_rows) == 10
+        for record, row, point in zip(records, csv_rows, points):
+            assert set(record) == set(row)
+            assert record["cycles"] == row["cycles"] == point.cycles
+            assert record["macs"] == row["macs"]
+            assert record["simulated"] is False
+            # JSONL keeps native types end to end.
+            assert isinstance(record["execution_time_s"], float)
+        # Every line is canonical: sorted keys, compact separators.
+        first = text.splitlines()[0]
+        assert first == json.dumps(
+            json.loads(first), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_record_line_is_canonical(self):
+        import numpy as np
+
+        from repro.analysis import record_line
+
+        line = record_line({"b": np.int64(2), "a": [1, np.float64(0.5)]})
+        assert line == '{"a":[1,0.5],"b":2}'
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            record_line({"x": object()})
+
+    def test_to_jsonl_from_jsonl(self, tmp_path):
+        from repro.analysis import from_jsonl, to_jsonl
+
+        path = tmp_path / "records.jsonl"
+        records = [{"k": 1}, {"k": 2, "nested": {"a": [1, 2]}}]
+        to_jsonl(records, path)
+        assert from_jsonl(path) == records
+
 
 class TestLOC:
     def test_measure_loc_skips_comments(self, tmp_path):

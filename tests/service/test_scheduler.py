@@ -1,0 +1,262 @@
+"""The job scheduler: request resolution, coalescing, batching, store
+spill, and the service's core determinism guarantee — warm-store
+responses are bit-identical to cold sweep results, with zero engine or
+compile work on the warm path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.service.scheduler as scheduler_module
+from repro.scenarios import (
+    clear_scenario_caches,
+    scenario_cache_stats,
+    scenario_grid,
+    scenario_names,
+)
+from repro.scenarios.sweep import run_scenario_sweep
+from repro.service import JobRequest, JobScheduler, ResultStore
+from repro.service.scheduler import RequestError
+
+
+class TestJobRequest:
+    def test_spec_and_config_dict_resolve_identically(self):
+        by_spec = JobRequest.make("gemm:m=8,k=8")
+        by_dict = JobRequest.make("gemm", config={"m": 8, "k": 8})
+        assert by_spec == by_dict
+        assert by_spec.key() == by_dict.key()
+
+    def test_defaults_are_materialized(self):
+        request = JobRequest.make("fir")
+        config = dict(request.config)
+        assert config["taps"] == 32  # full resolved config, not overrides
+        explicit = JobRequest.make("fir", config={"taps": 32})
+        assert explicit.key() == request.key()
+
+    def test_distinct_requests_get_distinct_keys(self):
+        base = JobRequest.make("fir")
+        assert JobRequest.make("fir", seed=1).key() != base.key()
+        assert JobRequest.make("fir", config={"taps": 16}).key() != base.key()
+        assert (
+            JobRequest.make("fir", options={"scheduler": "heap"}).key()
+            != base.key()
+        )
+        assert JobRequest.make("fir", check=False).key() != base.key()
+
+    def test_unknown_scenario_and_option_rejected(self):
+        with pytest.raises(RequestError, match="valid scenarios"):
+            JobRequest.make("nonesuch")
+        with pytest.raises(RequestError, match="valid options"):
+            JobRequest.make("fir", options={"trace": True})
+        with pytest.raises(RequestError, match="no config key"):
+            JobRequest.make("fir", config={"bogus": 1})
+
+    def test_non_scalar_values_rejected(self):
+        """JSON lists/objects must be refused at the boundary — they
+        would otherwise freeze into unhashable, unsimulatable requests."""
+        with pytest.raises(RequestError, match="must be a scalar"):
+            JobRequest.make("fir", config={"taps": [1, 2]})
+        with pytest.raises(RequestError, match="must be a scalar"):
+            JobRequest.make("fir", options={"max_cycles": [100]})
+
+    def test_code_version_is_part_of_the_key(self, monkeypatch):
+        before = JobRequest.make("fir").key()
+        monkeypatch.setenv("EQUEUE_CODE_VERSION", "v-next")
+        assert JobRequest.make("fir").key() != before
+
+
+class TestScheduling:
+    def test_cold_then_store_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scheduler = JobScheduler(store=store)
+        request = JobRequest.make("fir")
+        job = scheduler.submit(request)
+        assert job.state == "queued" and not job.done
+        assert scheduler.run_pending() == 1
+        assert job.done and job.source == "simulated"
+        record = job.result()
+        assert record["cycles"] > 0
+        assert record["checked"]["cycles"] == record["cycles"]
+        # A fresh submit of the same request never queues: store hit.
+        warm = scheduler.submit(request)
+        assert warm.done and warm.source == "store"
+        assert warm.record == record
+        assert scheduler.stats.store_hits == 1
+        assert scheduler.stats.simulated == 1
+
+    def test_inflight_coalescing(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        request = JobRequest.make("mesh")
+        first = scheduler.submit(request)
+        second = scheduler.submit(request)
+        assert second is first
+        assert first.waiters == 2
+        assert scheduler.stats.coalesced == 1
+        scheduler.run_pending()
+        assert first.done
+        assert scheduler.stats.simulated == 1
+
+    def test_batches_group_by_engine_options(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        scheduler.submit(JobRequest.make("fir"))
+        scheduler.submit(JobRequest.make("fir", seed=1))
+        scheduler.submit(JobRequest.make("fir", options={"scheduler": "heap"}))
+        assert scheduler.run_pending() == 3
+        assert scheduler.stats.batches == 2  # {} x2 and {"heap"} x1
+
+    def test_failing_job_reports_error_not_crash(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        # max_cycles=1 truncates the FIR run mid-launch, which the
+        # engine reports as an error — the job must carry it, not crash
+        # the batch.
+        bad = scheduler.submit(
+            JobRequest.make("fir", options={"max_cycles": 1})
+        )
+        good = scheduler.submit(JobRequest.make("fir"))
+        scheduler.run_pending()
+        assert bad.state == "error"
+        with pytest.raises(RuntimeError, match="failed"):
+            bad.result()
+        assert good.done and good.record["cycles"] > 0
+        assert scheduler.stats.errors == 1
+        # Errors are not persisted: nothing claims that key in the store.
+        assert scheduler.store.get(bad.key) is None
+
+    def test_truncated_uncheck_run_is_served(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        job = scheduler.submit(
+            JobRequest.make("gemm", options={"max_cycles": 5}, check=False)
+        )
+        scheduler.run_pending()
+        record = job.result()
+        assert record["truncated"] is True
+        assert record["checked"] is None
+
+    def test_store_put_failure_never_wedges_the_job(self, tmp_path):
+        """A failing spill (disk full, root removed) is counted; the job
+        still completes from its in-memory record and waiters wake."""
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+
+        def broken_put(key, record):
+            raise OSError("no space left on device")
+
+        scheduler.store.put = broken_put
+        job = scheduler.submit(JobRequest.make("fir"))
+        scheduler.run_pending()
+        assert job.done and job.source == "simulated"
+        assert job.result()["cycles"] > 0
+        assert scheduler.stats.store_put_failures == 1
+
+    def test_completed_jobs_pruned_beyond_cap(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path), max_jobs=2)
+        jobs = []
+        for seed in range(3):
+            jobs.append(scheduler.submit(JobRequest.make("mesh", seed=seed)))
+            scheduler.run_pending()
+        assert scheduler.stats.jobs_pruned == 1
+        assert scheduler.job(jobs[0].id) is None  # oldest done job dropped
+        assert scheduler.job(jobs[2].id) is jobs[2]
+        # The pruned job's record is still one store hit away.
+        again = scheduler.submit(JobRequest.make("mesh", seed=0))
+        assert again.done and again.source == "store"
+
+    def test_background_worker_drains(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        scheduler.start()
+        try:
+            job = scheduler.submit(JobRequest.make("fir"))
+            assert job.wait(timeout=60)
+            assert job.result()["cycles"] > 0
+        finally:
+            scheduler.stop()
+
+    def test_concurrent_submitters_share_one_record(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        request = JobRequest.make("gemm")
+        records = []
+        lock = threading.Lock()
+
+        def submit():
+            job = scheduler.submit(request)
+            job.wait(timeout=60)
+            with lock:
+                records.append(job.result())
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        scheduler.start()
+        try:
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            scheduler.stop()
+        assert len(records) == 4
+        assert all(record == records[0] for record in records)
+        # At most one simulation ran, no matter how submits interleaved
+        # with the worker (coalesced or store-served, never recomputed).
+        assert scheduler.stats.simulated == 1
+
+
+# ---------------------------------------------------------------------------
+# The determinism + zero-work acceptance criteria
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_warm_store_equals_cold_sweep(name, tmp_path, monkeypatch):
+    """For every registered scenario: the warm-store service response is
+    bit-identical to the cold ``run_scenario_sweep(jobs=1)`` reference,
+    and the warm path provably runs no simulation and builds no program."""
+    clear_scenario_caches()
+    [cold] = run_scenario_sweep(
+        scenario_grid(name, axes={}), jobs=1, seed=0, check=True
+    )
+
+    store = ResultStore(tmp_path)
+    warm_up = JobScheduler(store=store)
+    request = JobRequest.make(name)
+    first = warm_up.submit(request)
+    warm_up.run_pending()
+    record = first.result()
+
+    # The service record matches the cold sweep reference exactly.
+    assert record["cycles"] == cold.cycles
+    assert record["summary"]["scheduler_events"] == cold.scheduler_events
+    assert record["summary"]["launches_executed"] == cold.launches_executed
+    assert record["checked"] == cold.checked
+    assert record["truncated"] is False
+
+    # Warm path: a fresh scheduler over the same store (a restarted
+    # server, effectively), with the execution path booby-trapped — any
+    # simulation or program build would fail the test.
+    warm = JobScheduler(store=ResultStore(tmp_path))
+
+    def boom(*args, **kwargs):
+        raise AssertionError("warm path invoked the simulation engine")
+
+    monkeypatch.setattr(scheduler_module, "evaluate_request", boom)
+    monkeypatch.setattr("repro.scenarios.sweep.simulate", boom)
+    built_before = scenario_cache_stats().programs_built
+    job = warm.submit(request)
+    assert job.done and job.source == "store"
+    assert job.record == record  # bit-identical stats
+    assert job.record["summary"] == record["summary"]
+    assert scenario_cache_stats().programs_built == built_before
+    assert warm.stats.simulated == 0 and warm.stats.store_hits == 1
+
+
+def test_code_version_bump_invalidates_store(tmp_path, monkeypatch):
+    scheduler = JobScheduler(store=ResultStore(tmp_path))
+    request = JobRequest.make("fir")
+    job = scheduler.submit(request)
+    scheduler.run_pending()
+    assert job.done
+    # Same request under a bumped code version: the old record is
+    # unreachable (new key), so the job queues for fresh simulation.
+    monkeypatch.setenv("EQUEUE_CODE_VERSION", "v-next")
+    bumped = scheduler.submit(JobRequest.make("fir"))
+    assert not bumped.done and bumped.state == "queued"
+    assert bumped.key != job.key

@@ -1,0 +1,150 @@
+"""``equeue-serve`` end to end: the HTTP JSON API over an ephemeral
+port, driven exclusively through :class:`ServiceClient` (the wire format
+is the thing under test), plus the subprocess smoke."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.scenarios import scenario_names
+from repro.service import ServiceClient, ServiceError
+from repro.service.server import make_server
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port, with a persistent store."""
+    server = make_server(
+        host="127.0.0.1", port=0, store_path=str(tmp_path / "store")
+    )
+    server.scheduler.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+    try:
+        yield client, server
+    finally:
+        server.shutdown()
+        server.scheduler.stop()
+        server.server_close()
+        thread.join(timeout=30)
+
+
+class TestAPI:
+    def test_healthz_and_scenarios(self, service):
+        client, _ = service
+        assert client.healthz() == {"status": "ok"}
+        listing = client.scenarios()
+        assert sorted(entry["name"] for entry in listing) == list(
+            scenario_names()
+        )
+        gemm = next(entry for entry in listing if entry["name"] == "gemm")
+        assert gemm["defaults"]["tile_k"] == 4
+        assert gemm["summary"]
+
+    def test_submit_wait_then_store_hit(self, service):
+        client, _ = service
+        cold = client.run("mesh:rows=2,cols=2", wait=120.0)
+        assert cold["state"] == "done"
+        assert cold["source"] == "simulated"
+        record = cold["record"]
+        assert record["cycles"] > 0
+        assert record["checked"]["cycles"] == record["cycles"]
+        assert record["scenario"] == "mesh"
+        assert record["config"]["rows"] == 2
+
+        warm = client.run("mesh:rows=2,cols=2", wait=120.0)
+        assert warm["source"] == "store"
+        assert warm["record"] == record
+        # Equivalent spelling via the config dict: same key, same blob.
+        spelled = client.run(
+            "mesh", config={"rows": 2, "cols": 2}, wait=120.0
+        )
+        assert spelled["source"] == "store"
+        assert spelled["record"] == record
+
+        stats = client.stats()
+        assert stats["simulated"] == 1
+        assert stats["store_hits"] == 2
+        assert stats["store"]["entries"] == 1
+        assert stats["code_version"]
+
+    def test_submit_poll_and_result_endpoint(self, service):
+        client, _ = service
+        job = client.submit("fir", wait=None)
+        assert job["state"] in ("queued", "running", "done")
+        finished = client.job(job["id"], wait=120.0)
+        assert finished["state"] == "done"
+        record = client.result(job["id"])
+        assert record["cycles"] == finished["record"]["cycles"]
+
+    def test_error_responses(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="valid scenarios") as info:
+            client.submit("nonesuch")
+        assert info.value.status == 400
+        with pytest.raises(ServiceError, match="valid options") as info:
+            client.submit("fir", options={"trace": True})
+        assert info.value.status == 400
+        with pytest.raises(ServiceError, match="unknown job") as info:
+            client.job("job-999999")
+        assert info.value.status == 404
+        with pytest.raises(ServiceError, match="no config key") as info:
+            client.submit("fir", config={"bogus": 3})
+        assert info.value.status == 400
+        with pytest.raises(ServiceError, match="must be a scalar") as info:
+            client.submit("fir", config={"taps": [1, 2]})
+        assert info.value.status == 400
+
+    def test_oversized_body_rejected(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="too large") as info:
+            client._call(
+                "POST", "/jobs",
+                {"scenario": "fir", "pad": "x" * (1 << 20)},
+            )
+        assert info.value.status == 400
+
+    def test_bad_wait_rejected_without_orphan_job(self, service):
+        client, server = service
+        before = server.scheduler.stats.submitted
+        # Raw wire payload: the typed client can't produce a bad wait.
+        with pytest.raises(ServiceError, match="bad wait") as info:
+            client._call("POST", "/jobs", {"scenario": "fir", "wait": "soon"})
+        assert info.value.status == 400
+        # The 400 must not leave a queued job nobody can poll.
+        assert server.scheduler.stats.submitted == before
+
+    def test_failed_job_surfaces_as_error(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="EngineError"):
+            client.run("fir", options={"max_cycles": 1}, wait=120.0)
+
+    def test_unchecked_truncated_run_round_trips(self, service):
+        client, _ = service
+        job = client.run(
+            "gemm", options={"max_cycles": 7}, check=False, wait=120.0
+        )
+        assert job["record"]["truncated"] is True
+        assert job["record"]["cycles"] == 7
+        assert job["record"]["checked"] is None
+
+
+class TestSmoke:
+    def test_subprocess_smoke(self):
+        """The CI smoke end to end: real subprocess server, two requests,
+        second one a store hit, clean shutdown (exit 0)."""
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.service.smoke"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "warm served from store" in completed.stdout
+        assert "clean shutdown" in completed.stdout

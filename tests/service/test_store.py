@@ -1,0 +1,178 @@
+"""The persistent content-addressed result store: addressing, atomic
+publication, multi-process race semantics, counters, and eviction."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.service.store import (
+    ResultStore,
+    code_version,
+    inputs_digest,
+    request_key,
+)
+
+
+def key_of(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestAddressing:
+    def test_request_key_is_order_independent(self):
+        a = request_key({"x": 1, "y": [1, 2], "z": "s"})
+        b = request_key({"z": "s", "y": [1, 2], "x": 1})
+        assert a == b
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+    def test_request_key_changes_with_content(self):
+        base = {"x": 1, "y": 2}
+        assert request_key(base) != request_key({**base, "y": 3})
+
+    def test_inputs_digest_tracks_data_not_seed(self):
+        import numpy as np
+
+        a = {"buf": np.arange(6, dtype=np.int32).reshape(2, 3)}
+        b = {"buf": np.arange(6, dtype=np.int32).reshape(2, 3)}
+        assert inputs_digest(a) == inputs_digest(b)
+        b["buf"][0, 0] = 99
+        assert inputs_digest(a) != inputs_digest(b)
+        # dtype and shape are part of the content
+        c = {"buf": np.arange(6, dtype=np.int64).reshape(2, 3)}
+        d = {"buf": np.arange(6, dtype=np.int32).reshape(3, 2)}
+        assert inputs_digest(a) != inputs_digest(c)
+        assert inputs_digest(a) != inputs_digest(d)
+        assert inputs_digest(None) == "no-inputs"
+
+    def test_code_version_is_stable_and_overridable(self, monkeypatch):
+        first = code_version()
+        assert first == code_version()
+        monkeypatch.setenv("EQUEUE_CODE_VERSION", "bumped")
+        assert code_version() != first
+        monkeypatch.delenv("EQUEUE_CODE_VERSION")
+        assert code_version() == first
+
+    def test_malformed_keys_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "short", "Z" * 64, "../../../../etc/passwd"):
+            with pytest.raises(ValueError):
+                store.get(bad)
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        record = {"cycles": 42, "summary": {"scheduler_events": 7}}
+        assert store.get(key) is None
+        assert store.put(key, record) is True
+        assert store.get(key) == record
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+        assert len(store) == 1
+        assert store.keys() == [key]
+
+    def test_second_put_loses_and_content_stays(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        assert store.put(key, {"v": 1}) is True
+        assert store.put(key, {"v": 1}) is False
+        assert store.stats.lost_races == 1
+        assert store.get(key) == {"v": 1}
+
+    def test_blob_is_one_canonical_json_line(self, tmp_path):
+        from repro.analysis.export import record_line
+
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        record = {"b": 2, "a": 1}
+        store.put(key, record)
+        raw = store._blob_path(key).read_text(encoding="utf-8")
+        assert raw == record_line(record) + "\n"
+        assert raw == '{"a":1,"b":2}\n'  # keys sorted, compact
+
+    def test_persistence_across_instances(self, tmp_path):
+        key = key_of("k1")
+        ResultStore(tmp_path).put(key, {"v": 7})
+        fresh = ResultStore(tmp_path)  # a different process, effectively
+        assert fresh.get(key) == {"v": 7}
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(key_of("k1"), {"v": 1})
+        store.put(key_of("k2"), {"v": 2})
+        store.clear()
+        assert len(store) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_cap(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        k1, k2, k3 = key_of("k1"), key_of("k2"), key_of("k3")
+        store.put(k1, {"v": 1})
+        os.utime(store._blob_path(k1), (100, 100))
+        store.put(k2, {"v": 2})
+        os.utime(store._blob_path(k2), (200, 200))
+        store.put(k3, {"v": 3})
+        assert store.stats.evictions == 1
+        assert store.get(k1) is None  # oldest evicted
+        assert store.get(k2) == {"v": 2}
+        assert store.get(k3) == {"v": 3}
+
+    def test_hits_refresh_recency(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        k1, k2, k3 = key_of("k1"), key_of("k2"), key_of("k3")
+        store.put(k1, {"v": 1})
+        os.utime(store._blob_path(k1), (100, 100))
+        store.put(k2, {"v": 2})
+        os.utime(store._blob_path(k2), (200, 200))
+        store.get(k1)  # refresh k1: now k2 is the LRU entry
+        store.put(k3, {"v": 3})
+        assert store.get(k2) is None
+        assert store.get(k1) == {"v": 1}
+
+
+# ---------------------------------------------------------------------------
+# Multi-process race: one winner, bit-identical reads
+# ---------------------------------------------------------------------------
+
+
+def _racing_put(root, key, barrier, results):
+    """Both processes publish the same deterministic record at once."""
+    store = ResultStore(root)
+    record = {"cycles": 42, "summary": {"scheduler_events": 7, "pi": 3.25}}
+    barrier.wait(timeout=30)
+    won = store.put(key, record)
+    blob = store._blob_path(key).read_bytes()
+    results.put((os.getpid(), won, blob))
+
+
+class TestConcurrency:
+    def test_two_process_race_single_winner_identical_reads(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        key = key_of("contested")
+        barrier = ctx.Barrier(2)
+        results = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_racing_put, args=(tmp_path, key, barrier, results)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [results.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        wins = sorted(won for _, won, _ in outcomes)
+        assert wins == [False, True], "exactly one process must win the put"
+        blobs = {blob for _, _, blob in outcomes}
+        assert len(blobs) == 1, "every reader sees bit-identical bytes"
+        # And a fresh reader parses the same record back.
+        assert ResultStore(tmp_path).get(key) == json.loads(blobs.pop())

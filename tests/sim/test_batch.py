@@ -68,6 +68,22 @@ class TestCompileCache:
         assert cache.stats.programs_built == 0
         assert cache.lookup(a).module is not cached_a.module
 
+    def test_fill_hooks_observe_builds_not_hits(self):
+        """Fill hooks fire exactly once per built structure — the
+        observability point for accounting compile work over the cache
+        (a hit must never look like compile work)."""
+        cache = CompileCache()
+        fills = []
+        cache.add_fill_hook(lambda sig, entry: fills.append((sig, entry)))
+        a, b = STRUCTURAL_TWINS
+        entry = cache.lookup(a)
+        assert fills == [(structural_signature(a), entry)]
+        cache.lookup(b)  # structural twin: a hit, no hook call
+        assert len(fills) == 1
+        cache.clear()
+        cache.lookup(a)  # rebuild after clear: observed again
+        assert len(fills) == 2
+
     def test_cached_simulation_matches_cold(self):
         """Cache hits stay cycle-identical to cold compiles."""
         cache = CompileCache()

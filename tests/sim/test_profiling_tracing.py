@@ -58,23 +58,27 @@ class TestMemoryReport:
         assert report.avg_write_bandwidth == 5.0
 
 
+def make_summary():
+    return ProfilingSummary(
+        execution_time_s=0.5,
+        cycles=100,
+        connections={"c": make_connection(total_cycles=100)},
+        memories={
+            "accel.sram": MemoryReport(
+                "accel.sram", "SRAM", 400, 100, 4, 1, 100
+            ),
+            "accel.regs": MemoryReport(
+                "accel.regs", "Register", 200, 80, 2, 1, 100
+            ),
+        },
+        scheduler_events=42,
+        launches_executed=7,
+    )
+
+
 class TestSummary:
     def _summary(self):
-        return ProfilingSummary(
-            execution_time_s=0.5,
-            cycles=100,
-            connections={"c": make_connection(total_cycles=100)},
-            memories={
-                "accel.sram": MemoryReport(
-                    "accel.sram", "SRAM", 400, 100, 4, 1, 100
-                ),
-                "accel.regs": MemoryReport(
-                    "accel.regs", "Register", 200, 80, 2, 1, 100
-                ),
-            },
-            scheduler_events=42,
-            launches_executed=7,
-        )
+        return make_summary()
 
     def test_bandwidth_by_kind(self):
         summary = self._summary()
@@ -103,6 +107,62 @@ class TestSummary:
         summary = ProfilingSummary(execution_time_s=0.0, cycles=10)
         text = summary.format()
         assert "connections" not in text
+
+
+class TestSummarySerialization:
+    """to_dict/from_dict: the one machine-readable stats format shared
+    by ``equeue-sim --stats-json``, the service store, and ``equeue-serve``."""
+
+    def _summary(self):
+        return make_summary()
+
+    def test_round_trip_equality(self):
+        summary = self._summary()
+        assert ProfilingSummary.from_dict(summary.to_dict()) == summary
+
+    def test_round_trip_through_json(self):
+        summary = self._summary()
+        record = json.loads(json.dumps(summary.to_dict()))
+        assert ProfilingSummary.from_dict(record) == summary
+        # And serializing the reconstruction is byte-stable.
+        assert json.dumps(record, sort_keys=True) == json.dumps(
+            ProfilingSummary.from_dict(record).to_dict(), sort_keys=True
+        )
+
+    def test_dict_is_plain_and_complete(self):
+        record = self._summary().to_dict()
+        assert record["cycles"] == 100
+        assert record["scheduler_events"] == 42
+        assert record["connections"]["c"]["bandwidth"] == 4
+        assert record["memories"]["accel.sram"]["bytes_read"] == 400
+        # Every report value is a JSON-native scalar.
+        for report in (
+            *record["connections"].values(), *record["memories"].values()
+        ):
+            assert all(
+                isinstance(value, (int, float, str)) for value in report.values()
+            )
+
+    def test_from_dict_tolerates_unknown_and_missing_fields(self):
+        record = self._summary().to_dict()
+        record["future_counter"] = 123  # newer writer
+        record["connections"]["c"]["future_field"] = 1
+        del record["plans_compiled"]  # older writer
+        loaded = ProfilingSummary.from_dict(record)
+        assert loaded.cycles == 100
+        assert loaded.plans_compiled == 0
+
+    def test_engine_summary_round_trips(self):
+        """A real engine-produced summary (not hand-built) survives the
+        round trip bit-identically."""
+        from repro.scenarios import simulate_scenario
+
+        result, _ = simulate_scenario("gemm")
+        summary = result.summary
+        clone = ProfilingSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone == summary
 
 
 class TestTraceRecorder:

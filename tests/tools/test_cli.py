@@ -201,6 +201,49 @@ class TestEqueueSim:
         assert code == 1
         assert "--trace supports a single input" in capsys.readouterr().err
 
+    def test_stats_json_written(self, program_file, tmp_path, capsys):
+        """--stats-json writes the canonical result record: the same
+        shape the service store blobs and equeue-serve responses use."""
+        stats_path = tmp_path / "stats.json"
+        code = equeue_sim.main(
+            [str(program_file), "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        assert f"stats written to {stats_path}" in capsys.readouterr().out
+        record = json.loads(stats_path.read_text())
+        assert sorted(record) == ["checked", "cycles", "summary", "truncated"]
+        assert record["cycles"] == 1
+        assert record["truncated"] is False
+        assert record["checked"] is None  # no oracle on raw .mlir inputs
+        from repro.sim.profiling import ProfilingSummary
+
+        summary = ProfilingSummary.from_dict(record["summary"])
+        assert summary.cycles == 1
+        assert summary.to_dict() == record["summary"]
+
+    def test_multi_input_stats_json_rejected(
+        self, program_file, tmp_path, capsys
+    ):
+        code = equeue_sim.main(
+            [str(program_file), str(program_file),
+             "--stats-json", str(tmp_path / "s.json")]
+        )
+        assert code == 1
+        assert (
+            "--stats-json supports a single input" in capsys.readouterr().err
+        )
+
+    def test_stats_json_write_failure_reports_cleanly(
+        self, program_file, capsys
+    ):
+        code = equeue_sim.main(
+            [str(program_file), "--stats-json", "/nonexistent-dir/s.json"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "equeue-sim: error:" in captured.err
+        assert "Traceback" not in captured.err
+
     def test_multi_input_error_reported_per_file(self, program_file,
                                                  tmp_path, capsys):
         bad = tmp_path / "bad.mlir"
@@ -271,6 +314,29 @@ class TestEqueueSimScenarios:
         assert "scenario gemm" in out
         assert "simulated runtime" in out
         assert "reference check: OK" in out
+
+    def test_scenario_stats_json_includes_checked_oracle(
+        self, tmp_path, capsys
+    ):
+        """--stats-json on a scenario run records the oracle's checked
+        stats alongside the summary (the full service record shape)."""
+        stats_path = tmp_path / "stats.json"
+        code = equeue_sim.main(
+            ["--scenario", "gemm:k=8,tile_k=4", "--seed", "3",
+             "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reference check: OK" in out
+        record = json.loads(stats_path.read_text())
+        assert record["checked"]["output"] == "A@B"
+        assert record["checked"]["cycles"] == record["cycles"]
+        from repro.sim.profiling import ProfilingSummary
+
+        assert (
+            ProfilingSummary.from_dict(record["summary"]).cycles
+            == record["cycles"]
+        )
 
     def test_scenario_respects_engine_flags(self, capsys):
         """--scheduler heap + --interpret produce the same semantic
