@@ -30,7 +30,14 @@ end.  See ``docs/serving.md``.
 """
 
 from .client import ServiceClient, ServiceError
-from .scheduler import Job, JobRequest, JobScheduler
+from .faults import Fault, FaultPlan, injected
+from .scheduler import (
+    DrainingError,
+    Job,
+    JobRequest,
+    JobScheduler,
+    QueueFullError,
+)
 from .store import (
     ResultStore,
     StoreStats,
@@ -40,14 +47,19 @@ from .store import (
 )
 
 __all__ = [
+    "DrainingError",
+    "Fault",
+    "FaultPlan",
     "Job",
     "JobRequest",
     "JobScheduler",
+    "QueueFullError",
     "ResultStore",
     "ServiceClient",
     "ServiceError",
     "StoreStats",
     "code_version",
+    "injected",
     "inputs_digest",
     "request_key",
 ]

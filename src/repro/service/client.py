@@ -3,22 +3,40 @@
 Tests, benchmarks, and the CI smoke all drive the service through this
 class, so the wire format is exercised end to end everywhere — nothing
 talks to the scheduler behind the API's back.
+
+Retry semantics (see ``docs/serving.md``, "Failure modes & retry
+semantics"): overload answers (429, 503) and transport failures are
+retried with exponential backoff plus jitter — submissions are
+idempotent (content-addressed), so a retried POST can never run a
+simulation twice.  A 504 long-poll expiry means *still working, ask
+again*; :meth:`result` resumes polling until its wait budget runs out.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 from typing import Dict, List, Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
+
+#: HTTP statuses that mean "try again later", not "you are wrong".
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServiceError(RuntimeError):
     """An error response (or transport failure) from the service."""
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -26,12 +44,27 @@ class ServiceClient:
 
     ``base_url`` like ``http://127.0.0.1:8421``; ``timeout`` is the
     socket timeout for each round trip (long-polls add their ``wait``
-    on top).
+    on top).  ``retries`` round trips are attempted per call: overload
+    responses (429/503) and transport errors back off exponentially
+    from ``backoff_s`` with jitter (capped at ``backoff_max_s``),
+    honouring the server's ``retry_after`` hint when one arrives.
+    ``retries=1`` disables retrying.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.1,
+        backoff_max_s: float = 5.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(1, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = random.Random()
 
     # -- transport -----------------------------------------------------
 
@@ -41,6 +74,37 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> Dict:
+        attempts = self.retries if retries is None else max(1, retries)
+        last_error: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            try:
+                return self._call_once(method, path, payload, timeout)
+            except ServiceError as error:
+                retryable = (
+                    error.status is None  # transport failure
+                    or error.status in RETRYABLE_STATUSES
+                )
+                if not retryable or attempt == attempts - 1:
+                    raise
+                last_error = error
+                time.sleep(self._backoff(attempt, error.retry_after))
+        raise last_error  # pragma: no cover - loop always raises first
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        delay = min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+        delay *= 0.5 + self._rng.random()  # jitter in [0.5x, 1.5x)
+        if retry_after is not None:
+            delay = max(delay, min(retry_after, self.backoff_max_s))
+        return delay
+
+    def _call_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict],
+        timeout: Optional[float],
     ) -> Dict:
         body = None
         headers = {"Accept": "application/json"}
@@ -54,14 +118,31 @@ class ServiceClient:
             with urlopen(request, timeout=timeout or self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except HTTPError as error:
-            try:
-                detail = json.loads(error.read().decode("utf-8"))
-                message = detail.get("error", str(error))
-            except Exception:  # noqa: BLE001 - best-effort decode
-                message = str(error)
-            raise ServiceError(message, status=error.code) from None
+            message, retry_after = self._decode_error(error)
+            raise ServiceError(
+                message, status=error.code, retry_after=retry_after
+            ) from None
         except URLError as error:
             raise ServiceError(str(error)) from None
+
+    @staticmethod
+    def _decode_error(error: HTTPError):
+        """Best-effort ``{"error": ...}`` decode of an error body.
+
+        Narrow on purpose: a malformed body falls back to the bare
+        status line, but a genuine bug (say, AttributeError in this
+        method) must surface, not vanish into a generic message.
+        """
+        retry_after = None
+        try:
+            detail = json.loads(error.read().decode("utf-8"))
+            message = detail.get("error", str(error))
+            raw = detail.get("retry_after")
+            if raw is not None:
+                retry_after = float(raw)
+        except (ValueError, KeyError, json.JSONDecodeError, OSError):
+            message = str(error)
+        return message, retry_after
 
     # -- the API -------------------------------------------------------
 
@@ -82,6 +163,7 @@ class ServiceClient:
         options: Optional[Dict] = None,
         check: bool = True,
         wait: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Dict:
         """Submit a request; returns the job dict (record included once
         done — immediately for store hits, or within ``wait`` seconds)."""
@@ -92,6 +174,8 @@ class ServiceClient:
             payload["options"] = options
         if wait is not None:
             payload["wait"] = wait
+        if deadline is not None:
+            payload["deadline"] = deadline
         response = self._call(
             "POST",
             "/jobs",
@@ -110,11 +194,28 @@ class ServiceClient:
         return response["job"]
 
     def result(self, job_id: str, wait: Optional[float] = None) -> Dict:
-        """The finished record for a job (long-polls when ``wait``)."""
+        """The finished record for a job (long-polls when ``wait``).
+
+        A 504 only means the long-poll window expired while the job was
+        still running — not a failure — so polling resumes until the
+        total ``wait`` budget is spent, then the last 504 surfaces.
+        """
         path = f"/jobs/{job_id}/result"
-        if wait is not None:
-            path += f"?wait={wait}"
-        return self._call("GET", path, timeout=self.timeout + (wait or 0.0))
+        if wait is None:
+            return self._call("GET", path)
+        deadline = time.monotonic() + wait
+        while True:
+            remaining = deadline - time.monotonic()
+            poll = max(0.05, min(wait, remaining))
+            try:
+                return self._call(
+                    "GET",
+                    f"{path}?wait={poll}",
+                    timeout=self.timeout + poll,
+                )
+            except ServiceError as error:
+                if error.status != 504 or remaining <= 0:
+                    raise
 
     def run(
         self,

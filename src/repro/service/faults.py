@@ -1,0 +1,342 @@
+"""Deterministic fault injection for the service tier.
+
+The service's robustness claims — *never wrong, only unavailable* — are
+only worth stating if faults are generated, injected, and checked by
+infrastructure rather than hand-written one bug at a time (the
+Rodrigues/Cardoso functional-test-infrastructure model from PAPERS.md,
+pointed at the serving stack instead of generated designs).  This module
+is that infrastructure:
+
+* **Named hook points.**  Production code in :mod:`~repro.service.store`,
+  :mod:`~repro.service.scheduler`, and :mod:`~repro.sim.batch` calls
+  :func:`fire` at the seams where real systems fail (store reads and
+  writes, job evaluation, batch dispatch, the worker loop).  With no
+  plan installed a hook is one module-global ``None`` check; with a plan
+  installed it can raise an injected exception, corrupt a payload
+  in-flight, stall, or kill the worker loop — deterministically.
+* **Seeded plans.**  A :class:`FaultPlan` is a list of :class:`Fault`
+  specs (site, action, arming delay, firing budget, optional payload
+  match).  :meth:`FaultPlan.generate` derives one from a seed, so a
+  whole chaos campaign is reproducible from a seed matrix, and a failing
+  plan serializes to JSON (:meth:`FaultPlan.to_dict`) for exact replay.
+* **A fired log.**  Every firing is recorded (site, action, context), so
+  a failing chaos run can say exactly which injections preceded it.
+
+The chaos suite (``tests/service/test_chaos.py``) drives seeded plans
+end-to-end through a live server and checks the invariant that every
+*completed* response is bit-identical to the cold reference — faults may
+make the service unavailable (clean errors), never wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class InjectedFault(Exception):
+    """An injected *recoverable* failure (engine error, pool failure,
+    worker-loop death).  Ordinary ``except Exception`` job/batch
+    boundaries see and contain it, exactly like the real thing."""
+
+
+class InjectedCrash(BaseException):
+    """An injected *non-recoverable* crash (the Python-level stand-in
+    for a segfaulting worker or an interpreter-level failure).
+
+    Deliberately a :class:`BaseException`: it sails through the per-job
+    ``except Exception`` boundary the way a real crash takes out the
+    whole batch, which is what forces the scheduler's poisoned-batch
+    bisection to isolate the job that carries it.
+    """
+
+
+class InjectedIOError(OSError):
+    """An injected store I/O failure (read or publish)."""
+
+
+#: Hook sites and the fault actions each one supports.  ``fire(site)``
+#: rejects unknown sites loudly so a typo in a hook or a plan cannot
+#: silently inject nothing.
+SITES: Dict[str, Tuple[str, ...]] = {
+    #: ``ResultStore.get`` — raise on read, or bit-flip the blob text.
+    "store.get": ("io-error", "corrupt"),
+    #: ``ResultStore.put`` — raise before the blob publishes.
+    "store.put": ("io-error",),
+    #: ``evaluate_request`` — engine exception (job fails alone), poison
+    #: crash (kills the whole batch until bisection isolates it), or a
+    #: stall (exercises the deadline watchdog).
+    "job.evaluate": ("engine-error", "poison", "slow"),
+    #: ``SweepRunner.map`` — transient batch-machinery failure.
+    "batch.map": ("pool-error",),
+    #: The scheduler's background worker loop — kill one iteration.
+    "scheduler.worker": ("die",),
+}
+
+#: Action -> does firing consume the payload transform path (vs raise).
+_TRANSFORM_ACTIONS = frozenset({"corrupt"})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: where, what, when, and how often.
+
+    ``after`` arms the fault only from the Nth traversal of its site
+    (0 = immediately); ``count`` is its firing budget (-1 = unlimited —
+    the right choice for ``match``-targeted poison faults, which must
+    keep crashing their job through every bisection re-run).  ``match``
+    restricts firing to traversals whose context string contains it
+    (e.g. ``"seed=3"`` poisons one specific job).  ``delay_s`` is the
+    stall length for ``slow``.
+    """
+
+    site: str
+    action: str
+    after: int = 0
+    count: int = 1
+    match: Optional[str] = None
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; valid sites: "
+                + ", ".join(sorted(SITES))
+            )
+        if self.action not in SITES[self.site]:
+            raise ValueError(
+                f"site {self.site!r} does not support action "
+                f"{self.action!r}; valid: {', '.join(SITES[self.site])}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "after": self.after,
+            "count": self.count,
+            "match": self.match,
+            "delay_s": self.delay_s,
+        }
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, thread-safe to fire.
+
+    Firing state (per-site traversal counters, per-fault remaining
+    budgets, the fired log) lives on the plan, so one plan instance is
+    one chaos run; :meth:`reset` rewinds it for replay.
+    """
+
+    def __init__(
+        self,
+        faults: List[Fault],
+        seed: int = 0,
+        name: Optional[str] = None,
+    ):
+        self.faults = list(faults)
+        self.seed = int(seed)
+        self.name = name or f"plan-{self.seed}"
+        self._lock = threading.Lock()
+        self._rng = random.Random(self.seed)
+        self._site_visits: Dict[str, int] = {}
+        self._remaining: List[int] = [f.count for f in self.faults]
+        #: Every firing: ``(site, action, context)`` in firing order.
+        self.fired: List[Tuple[str, str, Optional[str]]] = []
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        faults: int = 4,
+        slow_delay_s: float = 0.4,
+        poison_contexts: Optional[List[str]] = None,
+    ) -> "FaultPlan":
+        """A reproducible random plan: ``faults`` specs drawn from the
+        site/action table by a ``seed``-keyed RNG.
+
+        ``poison_contexts`` supplies the context strings targetable by
+        ``poison`` faults (a poison must name its victim, or bisection
+        could never attribute the crash); with none supplied, ``poison``
+        is excluded from the draw.  ``slow`` faults stall
+        ``slow_delay_s`` — chaos runs set the watchdog deadline *below*
+        it so every stall becomes a deadline failure, not a slow pass.
+        """
+        rng = random.Random(seed)
+        choices: List[Tuple[str, str]] = [
+            (site, action)
+            for site, actions in sorted(SITES.items())
+            for action in actions
+            if action != "poison" or poison_contexts
+        ]
+        specs: List[Fault] = []
+        for _ in range(faults):
+            site, action = rng.choice(choices)
+            if action == "poison":
+                specs.append(
+                    Fault(
+                        site=site,
+                        action=action,
+                        match=rng.choice(poison_contexts),
+                        count=-1,
+                    )
+                )
+                continue
+            specs.append(
+                Fault(
+                    site=site,
+                    action=action,
+                    after=rng.randrange(0, 3),
+                    count=rng.randrange(1, 3),
+                    delay_s=slow_delay_s if action == "slow" else 0.0,
+                )
+            )
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        return cls(
+            [Fault(**spec) for spec in payload["faults"]],
+            seed=payload.get("seed", 0),
+            name=payload.get("name"),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def reset(self) -> None:
+        """Rewind firing state for an exact replay of this plan."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._site_visits.clear()
+            self._remaining = [f.count for f in self.faults]
+            self.fired.clear()
+
+    # -- firing ----------------------------------------------------------
+
+    def fire(self, site: str, context: Optional[str] = None, payload=None):
+        """Traverse ``site``: act on the first armed matching fault.
+
+        Returns ``payload`` (transformed by ``corrupt``); raises or
+        stalls for the other actions.  Sleeping happens outside the plan
+        lock so a stalled job never blocks other hooks.
+        """
+        if site not in SITES:
+            raise ValueError(f"unknown fault site {site!r}")
+        sleep_s = 0.0
+        action = None
+        with self._lock:
+            visit = self._site_visits.get(site, 0)
+            self._site_visits[site] = visit + 1
+            for index, fault in enumerate(self.faults):
+                if fault.site != site or self._remaining[index] == 0:
+                    continue
+                if fault.match is not None:
+                    if context is None or fault.match not in context:
+                        continue
+                elif visit < fault.after:
+                    continue
+                if self._remaining[index] > 0:
+                    self._remaining[index] -= 1
+                action = fault.action
+                self.fired.append((site, action, context))
+                if action == "slow":
+                    sleep_s = fault.delay_s
+                elif action == "corrupt":
+                    payload = self._corrupt(payload)
+                break
+        if action is None or action in _TRANSFORM_ACTIONS:
+            return payload
+        if action == "slow":
+            time.sleep(sleep_s)
+            return payload
+        if action == "io-error":
+            raise InjectedIOError(f"injected I/O fault at {site}")
+        if action == "engine-error":
+            raise InjectedFault(f"injected engine fault at {site}")
+        if action == "pool-error":
+            raise InjectedFault(f"injected batch-machinery fault at {site}")
+        if action == "die":
+            raise InjectedFault(f"injected worker death at {site}")
+        assert action == "poison"
+        raise InjectedCrash(f"injected crash at {site} ({context})")
+
+    def _corrupt(self, payload):
+        """Flip one deterministic bit in a text/bytes payload."""
+        if not payload:
+            return payload
+        text = isinstance(payload, str)
+        data = bytearray(payload.encode("utf-8") if text else payload)
+        index = self._rng.randrange(len(data))
+        data[index] ^= 1 << self._rng.randrange(7)
+        return bytes(data).decode("utf-8", "replace") if text else bytes(data)
+
+
+# ---------------------------------------------------------------------------
+# Plan installation (process-global, like the failures it simulates)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm ``plan`` for every hook in this process.
+
+    Also publishes the hook into :mod:`repro.sim.batch` (which cannot
+    import this package without a cycle — the scheduler sits between
+    them) by setting its ``FAULT_HOOK`` indirection.
+    """
+    global _ACTIVE
+    from ..sim import batch
+
+    _ACTIVE = plan
+    batch.FAULT_HOOK = fire
+
+
+def clear() -> None:
+    """Disarm fault injection (hooks return to one ``None`` check)."""
+    global _ACTIVE
+    from ..sim import batch
+
+    _ACTIVE = None
+    batch.FAULT_HOOK = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def fire(site: str, context: Optional[str] = None, payload=None):
+    """The hook production code calls: no plan, no cost, no effect."""
+    plan = _ACTIVE
+    if plan is None:
+        return payload
+    return plan.fire(site, context=context, payload=payload)
+
+
+class injected:
+    """``with injected(plan): ...`` — install for the block, always
+    disarm on exit (tests and the chaos harness use this)."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        install(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        clear()

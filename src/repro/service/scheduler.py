@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import traceback
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -45,6 +46,7 @@ from ..scenarios import get_scenario, parse_scenario_spec, scenario_cache_stats
 from ..scenarios.sweep import simulate_scenario
 from ..sim.batch import SweepRunner, result_record
 from ..sim.engine import EngineOptions
+from . import faults
 from .store import ResultStore, code_version, inputs_digest, request_key
 
 #: Engine-options fields a request may override.  Trace recording is
@@ -64,6 +66,14 @@ _ALLOWED_OPTIONS = (
 
 class RequestError(ValueError):
     """A malformed request (unknown scenario/option, bad value)."""
+
+
+class QueueFullError(RuntimeError):
+    """Admission control: the bounded queue is full (HTTP 503)."""
+
+
+class DrainingError(RuntimeError):
+    """The scheduler is draining for shutdown; no new work (HTTP 503)."""
 
 
 def _freeze(mapping: Optional[Mapping]) -> Tuple[Tuple[str, object], ...]:
@@ -209,6 +219,12 @@ def evaluate_request(payload: Tuple) -> Dict:
     """
     name, config, seed, options, check = payload
     try:
+        # The chaos plane's per-job seam: an injected engine error fails
+        # this job alone (caught below); an InjectedCrash is a
+        # BaseException and takes out the whole batch, the way a real
+        # worker crash would — which is what the scheduler's bisection
+        # path exists to contain.
+        faults.fire("job.evaluate", context=f"{name}:seed={seed}")
         scenario = get_scenario(name)
         cfg = scenario.configure(**dict(config))
         engine_options = EngineOptions(
@@ -235,14 +251,28 @@ def _payload_signature(payload: Tuple) -> Tuple:
 
 
 class Job:
-    """One scheduled request: state, waiters, and the eventual record."""
+    """One scheduled request: state, waiters, and the eventual record.
+
+    Completion is **first-writer-wins**: the watchdog can fail a job on
+    deadline while the engine is still grinding on it, and whichever of
+    the two outcomes lands first is the job's outcome forever — the
+    loser's :meth:`_complete`/:meth:`_fail` is a counted no-op, so a
+    late record can never overwrite a deadline failure (or vice versa).
+    """
 
     __slots__ = (
         "id", "key", "request", "state", "record", "error", "source",
-        "waiters", "submitted_at", "finished_at", "_done",
+        "waiters", "submitted_at", "finished_at", "deadline_s",
+        "_done", "_outcome_lock",
     )
 
-    def __init__(self, job_id: str, key: str, request: JobRequest):
+    def __init__(
+        self,
+        job_id: str,
+        key: str,
+        request: JobRequest,
+        deadline_s: Optional[float] = None,
+    ):
         self.id = job_id
         self.key = key
         self.request = request
@@ -255,7 +285,10 @@ class Job:
         self.waiters = 1
         self.submitted_at = time.time()
         self.finished_at: Optional[float] = None
+        #: Wall-clock execution budget (None = unbounded).
+        self.deadline_s = deadline_s
         self._done = threading.Event()
+        self._outcome_lock = threading.Lock()
 
     @property
     def done(self) -> bool:
@@ -274,18 +307,26 @@ class Job:
         assert self.record is not None
         return self.record
 
-    def _complete(self, record: Dict, source: str) -> None:
-        self.record = record
-        self.source = source
-        self.state = "done"
-        self.finished_at = time.time()
-        self._done.set()
+    def _complete(self, record: Dict, source: str) -> bool:
+        with self._outcome_lock:
+            if self._done.is_set():
+                return False
+            self.record = record
+            self.source = source
+            self.state = "done"
+            self.finished_at = time.time()
+            self._done.set()
+        return True
 
-    def _fail(self, message: str) -> None:
-        self.error = message
-        self.state = "error"
-        self.finished_at = time.time()
-        self._done.set()
+    def _fail(self, message: str) -> bool:
+        with self._outcome_lock:
+            if self._done.is_set():
+                return False
+            self.error = message
+            self.state = "error"
+            self.finished_at = time.time()
+            self._done.set()
+        return True
 
     def to_dict(self, include_record: bool = True) -> Dict:
         """The job's wire representation (the ``equeue-serve`` shape)."""
@@ -321,6 +362,19 @@ class SchedulerStats:
     store_put_failures: int = 0
     #: Completed jobs dropped from the id index by the retention cap.
     jobs_pruned: int = 0
+    #: Jobs failed by the watchdog for exceeding their deadline.
+    deadline_failures: int = 0
+    #: Batch splits performed to isolate a crashing job.
+    bisections: int = 0
+    #: Jobs isolated by bisection as the batch's poison.
+    poison_isolated: int = 0
+    #: Worker-loop iterations that died and were restarted in place,
+    #: plus wedged worker threads replaced by the watchdog.
+    worker_restarts: int = 0
+    #: Submissions refused because the bounded queue was full.
+    rejected_queue_full: int = 0
+    #: Submissions refused because the scheduler is draining.
+    rejected_draining: int = 0
 
 
 class JobScheduler:
@@ -335,6 +389,22 @@ class JobScheduler:
     *completed* jobs are dropped (their records live on in the store;
     polling a pruned id is a 404, which long-running clients should
     treat as "resubmit — it will be a store hit").
+
+    Robustness knobs (all optional):
+
+    * ``max_queue`` bounds admission — a submit that would queue beyond
+      it raises :class:`QueueFullError` (coalesces and store hits are
+      always admitted; they cost nothing).
+    * ``deadline_s`` is the default per-job wall-clock budget.  A
+      watchdog thread (started with the worker) fails any running job
+      past its deadline — waiters wake with a clean error while the
+      engine finishes into a discarded record — and, if the worker
+      thread itself stays wedged ``stuck_grace_s`` beyond the deadline,
+      replaces the worker so the queue keeps draining: the job fails,
+      the service survives.
+    * :meth:`drain` refuses new queue admissions
+      (:class:`DrainingError`) while already-admitted work completes —
+      the graceful-shutdown half of admission control.
     """
 
     def __init__(
@@ -342,24 +412,46 @@ class JobScheduler:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         max_jobs: int = 10_000,
+        max_queue: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        watchdog_poll_s: float = 0.05,
+        stuck_grace_s: float = 30.0,
     ):
         self.store = store
         self.jobs = max(1, int(jobs))
         self.max_jobs = max(1, int(max_jobs))
+        self.max_queue = None if max_queue is None else max(1, int(max_queue))
+        self.deadline_s = deadline_s
+        self.watchdog_poll_s = watchdog_poll_s
+        self.stuck_grace_s = stuck_grace_s
         self.stats = SchedulerStats()
+        self.draining = False
+        #: Last worker-loop failure (traceback text) and its wall time.
+        self.last_error: Optional[str] = None
+        self.last_error_at: Optional[float] = None
         self._lock = threading.Condition()
         self._queue: List[Job] = []
         #: Coalescing index: key -> not-yet-finished job.
         self._inflight: Dict[str, Job] = {}
         #: Every job ever created, by id (the server's lookup table).
         self._jobs: Dict[str, Job] = {}
+        #: Watchdog view of executing work: job id -> (job, deadline
+        #: timestamp or None, executing thread ident).
+        self._active: Dict[str, Tuple[Job, Optional[float], int]] = {}
+        #: Jobs drained by an in-progress run_pending, per thread ident —
+        #: what the watchdog fails wholesale when it abandons a wedged
+        #: worker (later batches of that drain would otherwise hang).
+        self._drains: Dict[int, List[Job]] = {}
         self._counter = 0
         self._worker: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
         self._stopping = False
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, request: JobRequest) -> Job:
+    def submit(
+        self, request: JobRequest, deadline_s: Optional[float] = None
+    ) -> Job:
         """Register a request; returns its (possibly shared) job.
 
         Lookup order: in-flight job with the same key (coalesce) ->
@@ -368,6 +460,11 @@ class JobScheduler:
         index is re-checked afterwards, so a request that raced a
         just-finishing twin either coalesces or hits the freshly spilled
         blob — never simulates twice.
+
+        ``deadline_s`` overrides the scheduler default for this job.
+        Queue admission is checked *last*: requests the service can
+        answer for free (coalesce, store hit) are never refused, even
+        when the queue is full or draining.
         """
         key = request_store_key(request)
         with self._lock:
@@ -384,13 +481,29 @@ class JobScheduler:
                 inflight.waiters += 1
                 self.stats.coalesced += 1
                 return inflight
-            job = Job(self._next_id(), key, request)
-            self._jobs[job.id] = job
-            self._prune_jobs()
             if stored is not None:
+                job = Job(self._next_id(), key, request)
+                self._jobs[job.id] = job
+                self._prune_jobs()
                 self.stats.store_hits += 1
                 job._complete(stored, source="store")
                 return job
+            if self.draining:
+                self.stats.rejected_draining += 1
+                raise DrainingError("scheduler is draining; not accepting new jobs")
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self.stats.rejected_queue_full += 1
+                raise QueueFullError(
+                    f"job queue full ({len(self._queue)}/{self.max_queue})"
+                )
+            job = Job(
+                self._next_id(),
+                key,
+                request,
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+            )
+            self._jobs[job.id] = job
+            self._prune_jobs()
             self._inflight[key] = job
             self._queue.append(job)
             self._lock.notify_all()
@@ -427,36 +540,82 @@ class JobScheduler:
         :class:`SweepRunner` in signature-affine order, so structurally
         identical jobs compile once per process.  Fresh records spill to
         the store before their waiters wake.
+
+        No drained job can be left in limbo: whatever happens inside the
+        batches — a crash bisection, an exception escaping the batch
+        machinery, a watchdog intervention — every job drained here is
+        completed or failed by the time this returns.
         """
+        ident = threading.get_ident()
         with self._lock:
             drained, self._queue = self._queue, []
             for job in drained:
                 job.state = "running"
+            self._drains[ident] = drained
         completed = 0
-        for batch in self._batches(drained):
-            self.stats.batches += 1
-            payloads = [
-                (
-                    job.request.scenario,
-                    job.request.config,
-                    job.request.seed,
-                    job.request.options,
-                    job.request.check,
-                )
-                for job in batch
-            ]
-            runner = SweepRunner(jobs=self.jobs, key=_payload_signature)
-            try:
-                records = runner.map(evaluate_request, payloads)
-            except Exception as error:  # noqa: BLE001 - batch boundary
-                # Pool-machinery failure (workers already catch their
-                # own): fail the whole batch's jobs, never wedge them.
-                message = f"{type(error).__name__}: {error}"
-                records = [{"error": message}] * len(batch)
-            for job, record in zip(batch, records):
-                self._finish(job, record)
-                completed += 1
+        try:
+            for batch in self._batches(drained):
+                self.stats.batches += 1
+                records = self._run_batch(batch)
+                for job, record in zip(batch, records):
+                    self._finish(job, record)
+                    completed += 1
+        finally:
+            with self._lock:
+                self._drains.pop(ident, None)
+            # Belt and braces: anything still pending (an exception
+            # escaped past the batch boundary) fails cleanly instead of
+            # wedging its waiters forever.
+            for job in drained:
+                if not job.done:
+                    self._finish(
+                        job,
+                        {"error": "scheduler failure: job abandoned mid-drain"},
+                    )
         return completed
+
+    def _run_batch(self, batch: List[Job]) -> List[Dict]:
+        """Execute one compatible batch; always returns a full record
+        list (bisecting around crashes rather than failing wholesale).
+
+        A job-level *exception* is already contained by
+        :func:`evaluate_request` (the job fails alone).  What reaches
+        this boundary is a batch-level failure: a crash
+        (``BaseException``) from a poisoned job, or pool machinery
+        dying.  Rather than failing every batch-mate with it, the batch
+        bisects — halves re-run until the poison is isolated in a
+        singleton, which fails alone while everything else completes.
+        Re-running a half is safe by construction: simulation is
+        deterministic and results are content-addressed.
+        """
+        payloads = [
+            (
+                job.request.scenario,
+                job.request.config,
+                job.request.seed,
+                job.request.options,
+                job.request.check,
+            )
+            for job in batch
+        ]
+        self._watch(batch)
+        try:
+            runner = SweepRunner(jobs=self.jobs, key=_payload_signature)
+            return runner.map(evaluate_request, payloads)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:  # noqa: BLE001 - batch boundary
+            message = f"{type(error).__name__}: {error}"
+            if len(batch) == 1:
+                self.stats.poison_isolated += 1
+                return [{"error": f"job crashed: {message}"}]
+            self.stats.bisections += 1
+            middle = len(batch) // 2
+            return self._run_batch(batch[:middle]) + self._run_batch(
+                batch[middle:]
+            )
+        finally:
+            self._unwatch(batch)
 
     def _batches(self, jobs: List[Job]) -> List[List[Job]]:
         """Group compatible jobs (same engine options) into batches."""
@@ -468,10 +627,11 @@ class JobScheduler:
     def _finish(self, job: Job, record: Dict) -> None:
         error = record.get("error")
         if error is not None:
+            won = job._fail(error)
             with self._lock:
-                self._inflight.pop(job.key, None)
-                self.stats.errors += 1
-            job._fail(error)
+                self._deindex(job)
+                if won:
+                    self.stats.errors += 1
             return
         # Normalize through the canonical JSON line so a fresh record is
         # byte-for-byte the record a warm store hit will serve tomorrow.
@@ -479,7 +639,9 @@ class JobScheduler:
         # Spill before waiters wake — and outside the lock, so a slow
         # (or over-cap, LRU-scanning) put never stalls submitters.  A
         # failed spill (disk full, root removed) is counted, not fatal:
-        # the job still completes from its in-memory record.
+        # the job still completes from its in-memory record.  Spill even
+        # when the job already failed on deadline: the record is good
+        # and content-addressed, so the *next* request is a store hit.
         if self.store is not None:
             try:
                 self.store.put(job.key, record)
@@ -488,34 +650,181 @@ class JobScheduler:
                     self.stats.store_put_failures += 1
         # Complete before deindexing: a submit racing this window either
         # coalesces onto the (already done) job or hits the fresh blob —
-        # in neither case does it queue a duplicate simulation.
-        job._complete(record, source="simulated")
+        # in neither case does it queue a duplicate simulation.  A job
+        # the watchdog already failed keeps its failure (first writer
+        # wins); this record reached the store and that is all.
+        won = job._complete(record, source="simulated")
         with self._lock:
-            self._inflight.pop(job.key, None)
-            self.stats.simulated += 1
+            self._deindex(job)
+            if won:
+                self.stats.simulated += 1
+
+    def _deindex(self, job: Job) -> None:
+        """Drop ``job`` from the coalescing index (under the lock) —
+        only if the index still maps its key to *this* job, so a thread
+        finishing late cannot deindex a newer job for the same key."""
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+
+    # -- the watchdog ---------------------------------------------------
+
+    def _watch(self, batch: List[Job]) -> None:
+        """Register an executing batch with the watchdog: each job gets
+        a deadline timestamp from *now* (queue time is free — the budget
+        bounds execution, which is the thing that can run away)."""
+        now = time.monotonic()
+        ident = threading.get_ident()
+        with self._lock:
+            for job in batch:
+                deadline_ts = (
+                    now + job.deadline_s if job.deadline_s else None
+                )
+                self._active[job.id] = (job, deadline_ts, ident)
+
+    def _unwatch(self, batch: List[Job]) -> None:
+        with self._lock:
+            for job in batch:
+                self._active.pop(job.id, None)
+
+    def _fail_job(self, job: Job, message: str, counter: str) -> None:
+        """Fail a job from outside its executing thread (watchdog path):
+        first-writer-wins, counted once, deindexed for re-submission."""
+        won = job._fail(message)
+        with self._lock:
+            self._deindex(job)
+            if won:
+                setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
+    def _watchdog_tick(self) -> None:
+        """One watchdog pass: fail overdue jobs; replace a wedged worker.
+
+        A job past its deadline fails immediately — its waiters wake with
+        a clean error while the engine grinds on into a discarded record.
+        If the *worker thread* is still stuck ``stuck_grace_s`` past an
+        expired deadline (an injected stall longer than the grace, a
+        pathological simulation), the thread is written off: every job of
+        its drain fails, a fresh worker takes over the queue, and the
+        abandoned thread's eventual completions are no-ops.
+        """
+        now = time.monotonic()
+        with self._lock:
+            active = list(self._active.values())
+            worker = self._worker
+        wedged_ident: Optional[int] = None
+        for job, deadline_ts, ident in active:
+            if deadline_ts is None:
+                continue
+            if not job.done and now >= deadline_ts:
+                self._fail_job(
+                    job,
+                    f"deadline exceeded: job ran past its "
+                    f"{job.deadline_s:g}s wall-clock budget",
+                    "deadline_failures",
+                )
+            if (
+                now >= deadline_ts + self.stuck_grace_s
+                and worker is not None
+                and ident == worker.ident
+            ):
+                wedged_ident = ident
+        if wedged_ident is not None:
+            self._replace_worker(wedged_ident)
+
+    def _replace_worker(self, wedged_ident: int) -> None:
+        """Abandon a wedged worker thread and start a replacement."""
+        with self._lock:
+            worker = self._worker
+            if worker is None or worker.ident != wedged_ident:
+                return  # already replaced (or stopped)
+            abandoned = self._drains.get(wedged_ident, [])
+            self._worker = None
+            self.stats.worker_restarts += 1
+            self.last_error = (
+                "worker thread wedged past deadline grace; replaced"
+            )
+            self.last_error_at = time.time()
+        for job in abandoned:
+            if not job.done:
+                self._fail_job(
+                    job,
+                    "worker thread wedged mid-drain; job abandoned",
+                    "errors",
+                )
+        self.start()
+
+    def _watchdog_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+            try:
+                self._watchdog_tick()
+            except Exception:  # noqa: BLE001 - the watchdog must survive
+                traceback.print_exc()
+            time.sleep(self.watchdog_poll_s)
 
     # -- the background worker -----------------------------------------
 
     def start(self) -> None:
-        """Run a daemon worker that drains the queue as jobs arrive."""
-        if self._worker is not None:
-            return
-        self._stopping = False
-        self._worker = threading.Thread(
-            target=self._worker_loop, name="equeue-scheduler", daemon=True
-        )
-        self._worker.start()
-
-    def stop(self) -> None:
-        """Stop the worker after it finishes the current batch."""
-        worker = self._worker
-        if worker is None:
-            return
+        """Run a daemon worker that drains the queue as jobs arrive,
+        plus (when any deadline can apply) the watchdog that polices it."""
         with self._lock:
+            if self._worker is not None:
+                return
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="equeue-scheduler", daemon=True
+            )
+            self._worker.start()
+            if self._watchdog is None or not self._watchdog.is_alive():
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop,
+                    name="equeue-watchdog",
+                    daemon=True,
+                )
+                self._watchdog.start()
+
+    def drain(self) -> None:
+        """Refuse new queue admissions; in-flight work keeps completing.
+
+        Store hits and coalesces still answer (they cost nothing), so a
+        draining server degrades to read-only instead of going dark.
+        """
+        with self._lock:
+            self.draining = True
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop the worker after it drains already-queued jobs.
+
+        ``timeout`` bounds the wait for a worker stuck in a pathological
+        simulation: past it, the thread is abandoned (it is a daemon)
+        and its unfinished jobs fail cleanly rather than wedging their
+        waiters across shutdown.
+        """
+        with self._lock:
+            worker = self._worker
+            watchdog = self._watchdog
             self._stopping = True
             self._lock.notify_all()
-        worker.join()
-        self._worker = None
+        if worker is not None:
+            worker.join(timeout)
+            if worker.is_alive():
+                with self._lock:
+                    abandoned = self._drains.get(worker.ident or -1, [])
+                    self.stats.worker_restarts += 1
+                    self.last_error = "worker still running at stop(); abandoned"
+                    self.last_error_at = time.time()
+                for job in abandoned:
+                    if not job.done:
+                        self._fail_job(
+                            job, "scheduler stopped; job abandoned", "errors"
+                        )
+        with self._lock:
+            self._worker = None
+        if watchdog is not None:
+            watchdog.join(self.watchdog_poll_s * 20 + 1.0)
+        with self._lock:
+            self._watchdog = None
 
     def _worker_loop(self) -> None:
         while True:
@@ -524,18 +833,44 @@ class JobScheduler:
                     self._lock.wait()
                 if self._stopping and not self._queue:
                     return
+                if self._worker is not None and (
+                    self._worker.ident != threading.get_ident()
+                ):
+                    return  # replaced by the watchdog; the new worker owns the queue
             try:
+                faults.fire("scheduler.worker")
                 self.run_pending()
             except Exception:  # noqa: BLE001 - the worker must survive
                 # Jobs carry their own errors; anything reaching here is
-                # a scheduler bug, and dying silently would wedge every
-                # future submission behind a dead queue.
+                # a scheduler bug (or an injected worker death).  Record
+                # it where /stats and /healthz can see it, count the
+                # in-place restart, and keep draining — dying silently
+                # would wedge every future submission behind a dead
+                # queue.
+                with self._lock:
+                    self.stats.worker_restarts += 1
+                    self.last_error = traceback.format_exc()
+                    self.last_error_at = time.time()
                 import sys
-                import traceback
 
                 traceback.print_exc(file=sys.stderr)
 
     # -- reporting -----------------------------------------------------
+
+    def worker_health(self) -> Dict:
+        """Worker/watchdog liveness and the last failure, JSON-ready
+        (surfaced on both ``/stats`` and ``/healthz``)."""
+        with self._lock:
+            worker = self._worker
+            watchdog = self._watchdog
+            return {
+                "worker_alive": worker is not None and worker.is_alive(),
+                "watchdog_alive": watchdog is not None and watchdog.is_alive(),
+                "worker_restarts": self.stats.worker_restarts,
+                "draining": self.draining,
+                "last_error": self.last_error,
+                "last_error_at": self.last_error_at,
+            }
 
     def stats_dict(self) -> Dict:
         """Scheduler + store + program-cache counters, JSON-ready."""
@@ -545,8 +880,11 @@ class JobScheduler:
                 "queued": len(self._queue),
                 "inflight": len(self._inflight),
                 "jobs": len(self._jobs),
+                "max_queue": self.max_queue,
+                "deadline_s": self.deadline_s,
                 "code_version": code_version(),
             }
+        payload["worker"] = self.worker_health()
         cache = scenario_cache_stats()
         payload["program_cache"] = asdict(cache)
         if self.store is not None:

@@ -20,11 +20,16 @@ A thin, threaded HTTP layer over :class:`~repro.service.scheduler.JobScheduler`
   until the job completes, 504 on a ``wait`` timeout).
 * ``GET /scenarios`` — the registry: names, summaries, config defaults.
 * ``GET /stats`` — scheduler, store, and program-cache counters.
-* ``GET /healthz`` — liveness.
+* ``GET /healthz`` — liveness plus worker health (restart count, last
+  error, draining flag).
 * ``POST /shutdown`` — drain and exit cleanly (CI smoke uses this).
 
 Every response body is JSON.  Client errors are ``{"error": ...}`` with
-a 4xx status; the server never emits a traceback over the wire.
+a 4xx status; overload answers ``429`` (per-client rate limit) or
+``503`` (bounded queue full / draining) with a ``retry_after`` hint —
+the server never emits a traceback over the wire, and under overload it
+only ever degrades to *unavailable*, never to *wrong* (see
+``docs/serving.md``, "Failure modes & retry semantics").
 """
 
 from __future__ import annotations
@@ -33,23 +38,73 @@ import argparse
 import json
 import sys
 import threading
+import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..scenarios import all_scenarios
-from .scheduler import JobScheduler, JobRequest, RequestError
+from .scheduler import (
+    DrainingError,
+    JobRequest,
+    JobScheduler,
+    QueueFullError,
+    RequestError,
+)
 from .store import ResultStore
 
 #: Ceiling on a single long-poll, so an absurd ``wait`` cannot pin a
 #: handler thread for hours.
 MAX_WAIT_S = 300.0
 
+#: Ceiling on a per-job deadline override, for the same reason.
+MAX_DEADLINE_S = 3600.0
+
 #: Ceiling on a request body.  Job payloads are a few hundred bytes; a
 #: huge Content-Length would otherwise buffer arbitrary data in memory
 #: before validation.
 MAX_BODY_BYTES = 1 << 20
+
+#: How much of a rejected request's body the server reads-and-discards
+#: before answering, so the error response survives the socket (an
+#: unread body can turn the 4xx into a connection reset at the client).
+#: Beyond this, the connection closes instead.
+MAX_DRAIN_BYTES = 8 << 20
+
+
+class RateLimiter:
+    """Per-client token bucket: ``rate`` requests/s, ``burst`` capacity.
+
+    One bucket per client key (the peer address); buckets refill
+    continuously and idle ones are pruned.  ``allow`` returns
+    ``(admitted, retry_after_s)`` — the hint is how long until one token
+    accrues, which clients with backoff can use directly.
+    """
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        now = time.monotonic()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (float(self.burst), now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[client] = (tokens - 1.0, now)
+                return True, 0.0
+            self._buckets[client] = (tokens, now)
+            retry_after = (1.0 - tokens) / self.rate if self.rate > 0 else 1.0
+            if len(self._buckets) > 4096:  # prune idle clients
+                self._buckets = {
+                    key: value
+                    for key, value in self._buckets.items()
+                    if now - value[1] < 60.0
+                }
+            return False, retry_after
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -71,19 +126,45 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "equeue-serve: %s %s\n" % (self.address_string(), format % args)
             )
 
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         self.wfile.write(body)
+
+    def _discard_body(self, length: int) -> None:
+        """Read-and-discard an unconsumed request body before an error
+        response.  Rejecting with bytes still in flight risks a TCP
+        reset that eats the response; a body too large to bother
+        draining closes the connection after the response instead."""
+        if length <= 0:
+            return
+        if length > MAX_DRAIN_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 16))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
 
     def _read_json(self) -> Dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
         if length > MAX_BODY_BYTES:
+            self._discard_body(length)
             raise ValueError(
                 f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
             )
@@ -111,7 +192,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         parts = [part for part in parsed.path.split("/") if part]
         try:
             if parts == ["healthz"]:
-                self._send_json(200, {"status": "ok"})
+                health = self.scheduler.worker_health()
+                if health["draining"]:
+                    status = "draining"
+                elif health["worker_alive"]:
+                    status = "ok"
+                else:
+                    status = "degraded"
+                self._send_json(200, {"status": status, **health})
             elif parts == ["stats"]:
                 self._send_json(200, self.scheduler.stats_dict())
             elif parts == ["scenarios"]:
@@ -142,6 +230,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- handlers ------------------------------------------------------
 
     def _post_job(self, query: Dict) -> None:
+        limiter = self.server.rate_limiter  # type: ignore[attr-defined]
+        if limiter is not None:
+            admitted, retry_after = limiter.allow(self.client_address[0])
+            if not admitted:
+                self._discard_body(
+                    int(self.headers.get("Content-Length") or 0)
+                )
+                self._send_json(
+                    429,
+                    {
+                        "error": "rate limit exceeded",
+                        "retry_after": round(retry_after, 3),
+                    },
+                    retry_after=retry_after,
+                )
+                return
         body = self._read_json()
         spec = body.get("scenario")
         if not spec or not isinstance(spec, str):
@@ -156,13 +260,37 @@ class ServiceHandler(BaseHTTPRequestHandler):
             )
         except RequestError as error:
             raise ValueError(str(error)) from None
-        # Validate wait before submitting: a 400 must not leave an
-        # orphaned job simulating with its id never returned.
+        # Validate wait/deadline before submitting: a 400 must not leave
+        # an orphaned job simulating with its id never returned.
         wait = self._wait_seconds(query, body)
-        job = self.scheduler.submit(request)
+        deadline = self._deadline_seconds(body)
+        try:
+            job = self.scheduler.submit(request, deadline_s=deadline)
+        except QueueFullError as error:
+            self._send_json(
+                503,
+                {"error": str(error), "retry_after": 1.0},
+                retry_after=1.0,
+            )
+            return
+        except DrainingError as error:
+            self._send_json(503, {"error": str(error)})
+            return
         if wait:
             job.wait(wait)
         self._send_json(200 if job.done else 202, {"job": job.to_dict()})
+
+    def _deadline_seconds(self, body: Dict) -> Optional[float]:
+        raw = body.get("deadline", None)
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(f"bad deadline value {raw!r}") from None
+        if deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline!r}")
+        return min(deadline, MAX_DEADLINE_S)
 
     def _get_job(self, parts, query) -> None:
         job = self.scheduler.job(parts[1])
@@ -217,16 +345,21 @@ class ServiceServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         scheduler: JobScheduler,
         verbose: bool = False,
+        rate_limiter: Optional[RateLimiter] = None,
     ):
         super().__init__(address, ServiceHandler)
         self.scheduler = scheduler
         self.verbose = verbose
+        self.rate_limiter = rate_limiter
         self._shutdown_requested = threading.Event()
 
     def request_shutdown(self) -> None:
         """Ask the serve loop to exit (from a handler thread)."""
         if not self._shutdown_requested.is_set():
             self._shutdown_requested.set()
+            # New submissions get a clean 503 while in-flight jobs
+            # finish; then the serve loop exits.
+            self.scheduler.drain()
             # shutdown() blocks until serve_forever returns, so it must
             # run off the handler thread.
             threading.Thread(target=self.shutdown, daemon=True).start()
@@ -239,6 +372,10 @@ def make_server(
     max_entries: Optional[int] = None,
     jobs: int = 1,
     verbose: bool = False,
+    max_queue: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    rate_limit: Optional[float] = None,
+    rate_burst: int = 20,
 ) -> ServiceServer:
     """A ready-to-run service (scheduler started by :func:`serve_forever`
     or by the caller).  ``port=0`` binds an ephemeral port — read the
@@ -248,8 +385,18 @@ def make_server(
         if store_path
         else None
     )
-    scheduler = JobScheduler(store=store, jobs=jobs)
-    return ServiceServer((host, port), scheduler, verbose=verbose)
+    scheduler = JobScheduler(
+        store=store,
+        jobs=jobs,
+        max_queue=max_queue,
+        deadline_s=deadline_s,
+    )
+    limiter = (
+        RateLimiter(rate_limit, rate_burst) if rate_limit else None
+    )
+    return ServiceServer(
+        (host, port), scheduler, verbose=verbose, rate_limiter=limiter
+    )
 
 
 def main(argv=None) -> int:
@@ -283,6 +430,25 @@ def main(argv=None) -> int:
         "batches on the scheduler thread)",
     )
     parser.add_argument(
+        "--max-queue", type=int, default=0,
+        help="reject submissions (503) beyond this many queued jobs "
+        "(0 = unbounded)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=0.0,
+        help="default per-job wall-clock deadline in seconds; overdue "
+        "jobs fail cleanly, the worker survives (0 = no deadline)",
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client submissions/second; beyond burst capacity "
+        "submissions get 429 + Retry-After (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--rate-burst", type=int, default=20,
+        help="token-bucket burst capacity per client (default 20)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="log each request to stderr",
     )
@@ -293,6 +459,14 @@ def main(argv=None) -> int:
         parser.error(f"--max-entries must be >= 0, got {args.max_entries}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_queue < 0:
+        parser.error(f"--max-queue must be >= 0, got {args.max_queue}")
+    if args.deadline < 0:
+        parser.error(f"--deadline must be >= 0, got {args.deadline}")
+    if args.rate_limit < 0:
+        parser.error(f"--rate-limit must be >= 0, got {args.rate_limit}")
+    if args.rate_burst < 1:
+        parser.error(f"--rate-burst must be >= 1, got {args.rate_burst}")
 
     server = make_server(
         host=args.host,
@@ -301,6 +475,10 @@ def main(argv=None) -> int:
         max_entries=args.max_entries or None,
         jobs=args.jobs,
         verbose=args.verbose,
+        max_queue=args.max_queue or None,
+        deadline_s=args.deadline or None,
+        rate_limit=args.rate_limit or None,
+        rate_burst=args.rate_burst,
     )
     host, port = server.server_address[:2]
     store_note = args.store if args.store else "(in-memory, no store)"

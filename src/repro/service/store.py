@@ -15,31 +15,44 @@ Any code change therefore changes every key, which is the store's whole
 cache-invalidation story: stale entries are never *read* again, they
 simply age out of the LRU (see ``docs/serving.md``).
 
-**Layout.**  ``root/objects/<k[:2]>/<k>.json``, each blob one canonical
-JSONL record.  Blobs are written to a temp file and published with
-``os.link`` (falling back to ``os.replace``), so
+**Layout.**  ``root/objects/<k[:2]>/<k>.json``, each blob the canonical
+JSONL record followed by a ``sha256:<digest>`` trailer line digesting
+it.  Blobs are written to a temp file and published with ``os.link``
+(falling back to ``os.replace``), so
 
 * readers never observe a partially written blob, and
 * when two processes race to publish the same key, exactly one ``put``
   reports the win — and since records are deterministic, both sides
   subsequently read bit-identical bytes.
 
-**Accounting.**  Hits, misses, puts, lost races, and evictions are
-counted per :class:`ResultStore` instance (in-memory, per process);
+**Integrity.**  Every read re-verifies the trailer digest before the
+record is trusted: a blob that fails (bit rot, a torn write survived by
+a crashed filesystem, hand truncation) is moved to ``root/quarantine/``
+and the read reports a miss, so corruption costs a re-simulation —
+never a wrong answer.  Unreadable blobs (I/O errors) are likewise
+misses, and store construction sweeps stale ``.tmp-*`` droppings left
+by publishers that crashed mid-put.
+
+**Accounting.**  Hits, misses, puts, lost races, evictions, read
+errors, quarantined blobs, and swept temp files are counted per
+:class:`ResultStore` instance (in-memory, per process);
 ``equeue-serve`` exposes them on its stats endpoint.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import re
 import tempfile
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from ..analysis.export import record_line
+from . import faults
 
 _KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
 
@@ -122,6 +135,13 @@ class StoreStats:
     #: Puts that found another process's blob already published.
     lost_races: int = 0
     evictions: int = 0
+    #: Reads that failed with an I/O error (served as misses).
+    read_errors: int = 0
+    #: Blobs that failed digest/format verification and were moved to
+    #: ``root/quarantine`` (served as misses; the key re-simulates).
+    quarantined: int = 0
+    #: Stale ``.tmp-*`` publish droppings removed by the startup sweep.
+    tmp_swept: int = 0
 
 
 class ResultStore:
@@ -129,18 +149,24 @@ class ResultStore:
 
     ``root`` is created on demand.  ``max_entries`` (optional) bounds the
     store: after a winning put, the oldest blobs beyond the cap are
-    evicted (LRU by file mtime; hits refresh it).
+    evicted (LRU by file mtime; hits refresh it).  ``tmp_max_age_s``
+    bounds the startup sweep of crashed publishers' temp files: anything
+    older is dead (a live put holds its temp file for milliseconds), and
+    newer ones are left alone in case another process is mid-publish.
     """
 
     def __init__(
         self,
         root: Union[str, Path],
         max_entries: Optional[int] = None,
+        tmp_max_age_s: float = 3600.0,
     ):
         self.root = Path(root)
         self.max_entries = max_entries
+        self.tmp_max_age_s = tmp_max_age_s
         self.stats = StoreStats()
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self.sweep_tmp(tmp_max_age_s)
         # Entry accounting without a directory walk per put/stats call:
         # scanned once here, then maintained on wins/evictions/clears.
         # Approximate when other processes share the root (their puts
@@ -155,18 +181,39 @@ class ResultStore:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
     def _blobs(self) -> Iterator[Path]:
-        yield from (self.root / "objects").glob("??/*.json")
+        # [!.] keeps in-flight ``.tmp-*`` publish files out: they are
+        # not entries, and eviction unlinking one mid-publish would
+        # crash the publisher's os.link with ENOENT.
+        yield from (self.root / "objects").glob("??/[!.]*.json")
 
     # -- the key-value API ---------------------------------------------
 
     def get(self, key: str) -> Optional[Dict]:
-        """The stored record for ``key``, or ``None`` (a miss)."""
-        import json
+        """The stored record for ``key``, or ``None`` (a miss).
 
+        A read is trusted only after its trailer digest re-verifies:
+        corrupt or malformed blobs are quarantined and served as misses,
+        and I/O errors are misses too — the store can degrade a read to
+        a re-simulation, never to a wrong record.
+        """
         path = self._blob_path(key)
         try:
-            text = path.read_text(encoding="utf-8")
+            text = faults.fire(
+                "store.get",
+                context=key,
+                payload=path.read_text(encoding="utf-8"),
+            )
         except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.read_errors += 1
+            self.stats.misses += 1
+            return None
+        record = self._parse_blob(text)
+        if record is None:
+            self._quarantine(path)
+            self.stats.quarantined += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -174,20 +221,57 @@ class ResultStore:
             os.utime(path)
         except OSError:
             pass
-        return json.loads(text)
+        return record
+
+    @staticmethod
+    def _frame_blob(record: Mapping) -> str:
+        """The on-disk framing: canonical record line + digest trailer."""
+        line = record_line(record)
+        digest = hashlib.sha256(line.encode("utf-8")).hexdigest()
+        return f"{line}\nsha256:{digest}\n"
+
+    @staticmethod
+    def _parse_blob(text: str) -> Optional[Dict]:
+        """Parse-and-verify a blob's text; ``None`` means corrupt."""
+        lines = text.splitlines()
+        if len(lines) != 2 or not lines[1].startswith("sha256:"):
+            return None
+        line, trailer = lines
+        if hashlib.sha256(line.encode("utf-8")).hexdigest() != trailer[7:]:
+            return None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt blob out of the address space (best-effort:
+        fall back to deletion so the bad bytes can never be read again)."""
+        quarantine = self.root / "quarantine"
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, record: Mapping) -> bool:
         """Publish ``record`` under ``key``; True when this call won.
 
-        The record is serialized to its canonical JSON line, written to
-        a temp file in the target directory, and published atomically —
-        ``os.link`` fails if the blob already exists, which is how
-        exactly one of N racing processes observes the win.  Readers can
-        never see a partial blob.
+        The record is serialized to its canonical JSON line, framed with
+        a digest trailer, written to a temp file in the target
+        directory, and published atomically — ``os.link`` fails if the
+        blob already exists, which is how exactly one of N racing
+        processes observes the win.  Readers can never see a partial
+        blob.
         """
         path = self._blob_path(key)
+        faults.fire("store.put", context=key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = record_line(record) + "\n"
+        data = self._frame_blob(record)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
@@ -225,6 +309,28 @@ class ResultStore:
         return won
 
     # -- maintenance ---------------------------------------------------
+
+    def sweep_tmp(self, max_age_s: Optional[float] = None) -> int:
+        """Remove publish temp files older than ``max_age_s``.
+
+        A put that crashed between ``mkstemp`` and publication leaves a
+        ``.tmp-*`` file behind; they are invisible to reads (``_blobs``
+        never matches dotfiles) but accumulate forever.  Run at store
+        construction; ``max_age_s=0`` sweeps unconditionally (tests).
+        """
+        if max_age_s is None:
+            max_age_s = self.tmp_max_age_s
+        cutoff = time.time() - max_age_s
+        swept = 0
+        for path in (self.root / "objects").glob("??/.tmp-*"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    swept += 1
+            except OSError:  # concurrently published or removed
+                continue
+        self.stats.tmp_swept += swept
+        return swept
 
     def __len__(self) -> int:
         return sum(1 for _ in self._blobs())

@@ -82,6 +82,14 @@ class _PoolUnavailable(Exception):
     """This environment cannot create a worker pool (serial fallback)."""
 
 
+#: Fault-injection seam for :meth:`SweepRunner.map` (the batch-dispatch
+#: boundary).  ``None`` in production; :mod:`repro.service.faults` sets
+#: it to its ``fire`` hook when a fault plan is installed — an
+#: indirection rather than an import because the service package imports
+#: this module.  Called as ``FAULT_HOOK("batch.map", context=...)``.
+FAULT_HOOK = None
+
+
 def default_jobs() -> int:
     """Usable CPU count (affinity-aware); the natural ``jobs`` choice."""
     try:
@@ -217,6 +225,8 @@ class SweepRunner:
     def map(self, worker: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """``[worker(x) for x in items]``, sharded across processes."""
         items = list(items)
+        if FAULT_HOOK is not None:
+            FAULT_HOOK("batch.map", context=f"items={len(items)}")
         self.fell_back = False
         if self.jobs <= 1 or len(items) <= 1:
             return [worker(item) for item in items]

@@ -1,0 +1,129 @@
+"""The fault-injection plane itself: plan generation determinism,
+serialization round-trips, firing semantics (arming, budgets, payload
+matching), and hook installation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import Fault, FaultPlan, InjectedCrash, InjectedFault
+
+
+class TestFaultSpec:
+    def test_unknown_site_and_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            Fault("store.nope", "io-error")
+        with pytest.raises(ValueError, match="does not support action"):
+            Fault("store.get", "poison")
+
+    def test_every_site_action_pair_constructs(self):
+        for site, actions in faults.SITES.items():
+            for action in actions:
+                Fault(site, action)
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        contexts = ["gemm:seed=0", "fir:seed=1"]
+        a = FaultPlan.generate(7, poison_contexts=contexts)
+        b = FaultPlan.generate(7, poison_contexts=contexts)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = {
+            FaultPlan.generate(seed, faults=6).to_json()
+            for seed in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_round_trip_through_dict(self):
+        plan = FaultPlan.generate(3, poison_contexts=["gemm:seed=0"])
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.name == plan.name and clone.seed == plan.seed
+
+    def test_poison_excluded_without_contexts(self):
+        for seed in range(20):
+            plan = FaultPlan.generate(seed, faults=8)
+            assert all(f.action != "poison" for f in plan.faults)
+
+    def test_poison_targets_a_supplied_context(self):
+        hits = []
+        for seed in range(40):
+            plan = FaultPlan.generate(seed, poison_contexts=["mesh:seed=2"])
+            hits.extend(
+                f for f in plan.faults if f.action == "poison"
+            )
+        assert hits, "40 seeds must draw poison at least once"
+        assert all(f.match == "mesh:seed=2" and f.count == -1 for f in hits)
+
+
+class TestFiring:
+    def test_after_arms_and_count_budgets(self):
+        plan = FaultPlan([Fault("store.get", "io-error", after=1, count=2)])
+        assert plan.fire("store.get", payload="ok") == "ok"  # visit 0: unarmed
+        for _ in range(2):
+            with pytest.raises(OSError):
+                plan.fire("store.get")
+        assert plan.fire("store.get", payload="ok") == "ok"  # budget spent
+        assert [entry[:2] for entry in plan.fired] == [
+            ("store.get", "io-error")
+        ] * 2
+
+    def test_match_restricts_to_context(self):
+        plan = FaultPlan(
+            [Fault("job.evaluate", "poison", match="seed=2", count=-1)]
+        )
+        plan.fire("job.evaluate", context="gemm:seed=0")
+        with pytest.raises(InjectedCrash):
+            plan.fire("job.evaluate", context="gemm:seed=2")
+        with pytest.raises(InjectedCrash):  # count=-1: fires forever
+            plan.fire("job.evaluate", context="gemm:seed=2")
+
+    def test_unknown_site_fires_loudly(self):
+        plan = FaultPlan([])
+        with pytest.raises(ValueError, match="unknown fault site"):
+            plan.fire("store.nope")
+
+    def test_corrupt_transforms_payload_deterministically(self):
+        text = '{"cycles":42}'
+        first = FaultPlan([Fault("store.get", "corrupt")], seed=5)
+        second = FaultPlan([Fault("store.get", "corrupt")], seed=5)
+        mutated = first.fire("store.get", payload=text)
+        assert mutated != text
+        assert second.fire("store.get", payload=text) == mutated
+
+    def test_reset_rewinds_for_replay(self):
+        plan = FaultPlan([Fault("store.get", "io-error", count=1)])
+        with pytest.raises(OSError):
+            plan.fire("store.get")
+        plan.reset()
+        assert not plan.fired
+        with pytest.raises(OSError):
+            plan.fire("store.get")
+
+    def test_crash_is_base_exception_fault_is_exception(self):
+        """The whole bisection design hangs on this distinction."""
+        assert issubclass(InjectedCrash, BaseException)
+        assert not issubclass(InjectedCrash, Exception)
+        assert issubclass(InjectedFault, Exception)
+
+
+class TestInstallation:
+    def test_no_plan_means_no_effect(self):
+        faults.clear()
+        assert faults.fire("store.get", payload="ok") == "ok"
+        assert faults.active() is None
+
+    def test_injected_context_manager_installs_and_clears(self):
+        from repro.sim import batch
+
+        plan = FaultPlan([Fault("batch.map", "pool-error")])
+        with faults.injected(plan) as active:
+            assert faults.active() is active is plan
+            assert batch.FAULT_HOOK is faults.fire
+            with pytest.raises(InjectedFault):
+                faults.fire("batch.map")
+        assert faults.active() is None
+        assert batch.FAULT_HOOK is None

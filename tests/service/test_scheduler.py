@@ -200,6 +200,143 @@ class TestScheduling:
         assert scheduler.stats.simulated == 1
 
 
+class TestRobustness:
+    """Deadlines, bisection, admission control, worker survival — the
+    hardened tier, driven by the deterministic fault plane."""
+
+    def test_poisoned_batch_bisects_to_the_culprit(self, tmp_path):
+        from repro.service import faults
+
+        plan = faults.FaultPlan(
+            [faults.Fault("job.evaluate", "poison", match="seed=2", count=-1)]
+        )
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        with faults.injected(plan):
+            jobs = [
+                scheduler.submit(JobRequest.make("gemm", seed=seed))
+                for seed in range(4)
+            ]
+            scheduler.run_pending()
+        assert [job.state for job in jobs] == ["done", "done", "error", "done"]
+        assert "crashed" in jobs[2].error
+        assert scheduler.stats.poison_isolated == 1
+        assert scheduler.stats.bisections >= 1
+        # Batch-mates completed with real records, spilled to the store.
+        for job in (jobs[0], jobs[1], jobs[3]):
+            assert job.result()["cycles"] > 0
+            assert scheduler.store.get(job.key) == job.record
+        # The poisoned key claims nothing: a healthy retry simulates it.
+        assert scheduler.store.get(jobs[2].key) is None
+
+    def test_transient_pool_error_still_completes_every_job(self, tmp_path):
+        from repro.service import faults
+
+        plan = faults.FaultPlan([faults.Fault("batch.map", "pool-error")])
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        with faults.injected(plan):
+            jobs = [
+                scheduler.submit(JobRequest.make("gemm", seed=seed))
+                for seed in range(3)
+            ]
+            scheduler.run_pending()
+        # One transient machinery failure: bisection re-runs contain it.
+        assert all(job.done for job in jobs)
+        assert sum(job.state == "done" for job in jobs) >= 2
+
+    def test_deadline_fails_job_not_worker(self, tmp_path):
+        from repro.service import faults
+
+        plan = faults.FaultPlan(
+            [faults.Fault("job.evaluate", "slow", delay_s=0.6)]
+        )
+        scheduler = JobScheduler(
+            store=ResultStore(tmp_path), deadline_s=0.15, watchdog_poll_s=0.02
+        )
+        scheduler.start()
+        try:
+            with faults.injected(plan):
+                slow = scheduler.submit(JobRequest.make("fir"))
+                assert slow.wait(timeout=10)
+            assert slow.state == "error"
+            assert "deadline" in slow.error
+            assert scheduler.stats.deadline_failures == 1
+            # The worker survived and serves the next job normally.
+            after = scheduler.submit(JobRequest.make("fir", seed=1))
+            assert after.wait(timeout=30)
+            assert after.result()["cycles"] > 0
+            assert scheduler.worker_health()["worker_alive"]
+        finally:
+            scheduler.stop(timeout=10)
+
+    def test_per_job_deadline_overrides_default(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path), deadline_s=0.2)
+        job = scheduler.submit(JobRequest.make("fir"), deadline_s=9.0)
+        assert job.deadline_s == 9.0
+        scheduler.run_pending()
+        assert job.state == "done"
+
+    def test_queue_full_rejects_cleanly(self, tmp_path):
+        from repro.service.scheduler import QueueFullError
+
+        scheduler = JobScheduler(store=ResultStore(tmp_path), max_queue=2)
+        scheduler.submit(JobRequest.make("fir", seed=0))
+        scheduler.submit(JobRequest.make("fir", seed=1))
+        with pytest.raises(QueueFullError, match="queue full"):
+            scheduler.submit(JobRequest.make("fir", seed=2))
+        assert scheduler.stats.rejected_queue_full == 1
+        # Free admissions are never refused: a coalesce joins its twin...
+        twin = scheduler.submit(JobRequest.make("fir", seed=0))
+        assert twin.waiters == 2
+        # ...and after the queue drains, a store hit answers instantly.
+        scheduler.run_pending()
+        hit = scheduler.submit(JobRequest.make("fir", seed=1))
+        assert hit.done and hit.source == "store"
+
+    def test_draining_refuses_new_work_completes_old(self, tmp_path):
+        from repro.service.scheduler import DrainingError
+
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        admitted = scheduler.submit(JobRequest.make("fir"))
+        scheduler.drain()
+        with pytest.raises(DrainingError, match="draining"):
+            scheduler.submit(JobRequest.make("fir", seed=1))
+        assert scheduler.stats.rejected_draining == 1
+        scheduler.run_pending()
+        assert admitted.result()["cycles"] > 0
+        # Read-only paths still answer while draining.
+        hit = scheduler.submit(JobRequest.make("fir"))
+        assert hit.done and hit.source == "store"
+
+    def test_worker_death_restarts_in_place_and_surfaces(self, tmp_path):
+        from repro.service import faults
+
+        plan = faults.FaultPlan([faults.Fault("scheduler.worker", "die")])
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        scheduler.start()
+        try:
+            with faults.injected(plan):
+                job = scheduler.submit(JobRequest.make("fir"))
+                assert job.wait(timeout=30)
+            assert job.result()["cycles"] > 0
+            health = scheduler.worker_health()
+            assert health["worker_alive"]
+            assert health["worker_restarts"] == 1
+            assert "injected worker death" in health["last_error"]
+            assert health["last_error_at"] is not None
+        finally:
+            scheduler.stop(timeout=10)
+
+    def test_late_record_cannot_overwrite_deadline_failure(self, tmp_path):
+        """First-writer-wins: the watchdog fails the job, the engine's
+        eventual record must not resurrect it."""
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        job = scheduler.submit(JobRequest.make("fir"))
+        assert job._fail("deadline exceeded (simulated)") is True
+        assert job._complete({"cycles": 1}, source="simulated") is False
+        assert job.state == "error"
+        assert job.record is None
+
+
 # ---------------------------------------------------------------------------
 # The determinism + zero-work acceptance criteria
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ from __future__ import annotations
 import subprocess
 import sys
 import threading
+from contextlib import contextmanager
 
 import pytest
 
@@ -38,7 +39,12 @@ def service(tmp_path):
 class TestAPI:
     def test_healthz_and_scenarios(self, service):
         client, _ = service
-        assert client.healthz() == {"status": "ok"}
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["worker_alive"] and health["watchdog_alive"]
+        assert health["worker_restarts"] == 0
+        assert health["last_error"] is None
+        assert health["draining"] is False
         listing = client.scenarios()
         assert sorted(entry["name"] for entry in listing) == list(
             scenario_names()
@@ -133,6 +139,152 @@ class TestAPI:
         assert job["record"]["truncated"] is True
         assert job["record"]["cycles"] == 7
         assert job["record"]["checked"] is None
+
+
+@contextmanager
+def overload_server(**kwargs):
+    """A live server with admission-control knobs and the worker NOT
+    started — queued jobs stay queued, so overload is deterministic."""
+    server = make_server(host="127.0.0.1", port=0, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0, retries=1)
+    try:
+        yield client, server
+    finally:
+        server.shutdown()
+        server.scheduler.stop()
+        server.server_close()
+        thread.join(timeout=30)
+
+
+class TestOverload:
+    def test_queue_full_returns_clean_503(self):
+        with overload_server(max_queue=1) as (client, _):
+            first = client.submit("fir", wait=None)
+            assert first["state"] == "queued"
+            with pytest.raises(ServiceError, match="queue full") as info:
+                client.submit("fir", seed=1, wait=None)
+            assert info.value.status == 503
+            assert info.value.retry_after == 1.0
+            # The same request coalesces for free even at capacity.
+            twin = client.submit("fir", wait=None)
+            assert twin["id"] == first["id"] and twin["waiters"] == 2
+
+    def test_draining_returns_503_and_healthz_says_so(self):
+        with overload_server() as (client, server):
+            server.scheduler.drain()
+            with pytest.raises(ServiceError, match="draining") as info:
+                client.submit("fir", wait=None)
+            assert info.value.status == 503
+            assert client.healthz()["status"] == "draining"
+
+    def test_rate_limit_returns_429_with_retry_after(self):
+        with overload_server(rate_limit=0.001, rate_burst=2) as (client, _):
+            client.submit("fir", seed=0, wait=None)
+            client.submit("fir", seed=1, wait=None)
+            with pytest.raises(ServiceError, match="rate limit") as info:
+                client.submit("fir", seed=2, wait=None)
+            assert info.value.status == 429
+            assert info.value.retry_after and info.value.retry_after > 0
+            # GETs are not admission-controlled: polling stays free.
+            assert client.healthz()["status"] in ("ok", "degraded")
+
+    def test_bad_deadline_rejected_without_orphan_job(self):
+        with overload_server() as (client, server):
+            before = server.scheduler.stats.submitted
+            with pytest.raises(ServiceError, match="bad deadline") as info:
+                client._call(
+                    "POST", "/jobs", {"scenario": "fir", "deadline": "soon"}
+                )
+            assert info.value.status == 400
+            with pytest.raises(ServiceError, match="deadline must be"):
+                client._call(
+                    "POST", "/jobs", {"scenario": "fir", "deadline": -1}
+                )
+            assert server.scheduler.stats.submitted == before
+
+    def test_deadline_accepted_and_attached(self):
+        with overload_server() as (client, server):
+            job = client.submit("fir", wait=None, deadline=5.0)
+            assert server.scheduler.job(job["id"]).deadline_s == 5.0
+
+    def test_result_504_surfaces_after_wait_budget(self):
+        with overload_server() as (client, _):
+            job = client.submit("fir", wait=None)  # never runs: no worker
+            with pytest.raises(ServiceError, match="still") as info:
+                client.result(job["id"], wait=0.3)
+            assert info.value.status == 504
+
+
+class TestClientRetry:
+    """Transport-level client behavior, against a scripted _call_once."""
+
+    def _scripted(self, outcomes):
+        client = ServiceClient(
+            "http://invalid.test", retries=4, backoff_s=0.001
+        )
+        calls = []
+
+        def fake_call_once(method, path, payload, timeout):
+            calls.append(path)
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._call_once = fake_call_once
+        return client, calls
+
+    def test_retries_on_503_then_succeeds(self):
+        client, calls = self._scripted(
+            [
+                ServiceError("queue full", status=503, retry_after=0.001),
+                ServiceError("down", status=None),  # transport error
+                {"job": {"id": "job-1"}},
+            ]
+        )
+        assert client._call("POST", "/jobs", {}) == {"job": {"id": "job-1"}}
+        assert len(calls) == 3
+
+    def test_non_retryable_status_raises_immediately(self):
+        client, calls = self._scripted(
+            [ServiceError("bad request", status=400)]
+        )
+        with pytest.raises(ServiceError, match="bad request"):
+            client._call("POST", "/jobs", {})
+        assert len(calls) == 1
+
+    def test_retries_exhausted_raises_last_error(self):
+        client, calls = self._scripted(
+            [ServiceError("full", status=503) for _ in range(4)]
+        )
+        with pytest.raises(ServiceError, match="full") as info:
+            client._call("POST", "/jobs", {})
+        assert info.value.status == 503
+        assert len(calls) == 4
+
+    def test_result_resumes_through_504_expiries(self):
+        """A 504 means *still working, poll again* — not an error, until
+        the client's own wait budget is spent."""
+        client, calls = self._scripted(
+            [
+                ServiceError("job job-1 still running", status=504),
+                ServiceError("job job-1 still running", status=504),
+                {"cycles": 42},
+            ]
+        )
+        assert client.result("job-1", wait=30.0) == {"cycles": 42}
+        assert len(calls) == 3
+
+    def test_result_without_wait_raises_504_directly(self):
+        client, _ = self._scripted(
+            [ServiceError("job job-1 still queued", status=504)]
+        )
+        with pytest.raises(ServiceError) as info:
+            client.result("job-1")
+        assert info.value.status == 504
 
 
 class TestSmoke:

@@ -85,7 +85,7 @@ class TestStoreBasics:
         assert store.stats.lost_races == 1
         assert store.get(key) == {"v": 1}
 
-    def test_blob_is_one_canonical_json_line(self, tmp_path):
+    def test_blob_is_canonical_json_line_plus_digest_trailer(self, tmp_path):
         from repro.analysis.export import record_line
 
         store = ResultStore(tmp_path)
@@ -93,8 +93,10 @@ class TestStoreBasics:
         record = {"b": 2, "a": 1}
         store.put(key, record)
         raw = store._blob_path(key).read_text(encoding="utf-8")
-        assert raw == record_line(record) + "\n"
-        assert raw == '{"a":1,"b":2}\n'  # keys sorted, compact
+        line = record_line(record)
+        assert line == '{"a":1,"b":2}'  # keys sorted, compact
+        digest = hashlib.sha256(line.encode()).hexdigest()
+        assert raw == f"{line}\nsha256:{digest}\n"
 
     def test_persistence_across_instances(self, tmp_path):
         key = key_of("k1")
@@ -137,9 +139,127 @@ class TestEviction:
         assert store.get(k1) == {"v": 1}
 
 
+class TestIntegrity:
+    def test_corrupt_blob_quarantined_and_served_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        store.put(key, {"v": 1})
+        path = store._blob_path(key)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('"v":1', '"v":7'), encoding="utf-8")
+        assert store.get(key) is None  # digest mismatch: miss, not 7
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert [p.name for p in quarantined] == [path.name]
+        # The key is re-publishable after quarantine.
+        assert store.put(key, {"v": 1}) is True
+        assert store.get(key) == {"v": 1}
+
+    def test_truncated_and_garbage_blobs_are_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index, payload in enumerate(["", '{"v":1}\n', "not json\nsha256:x\n"]):
+            key = key_of(f"bad-{index}")
+            path = store._blob_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload, encoding="utf-8")
+            assert store.get(key) is None
+        assert store.stats.quarantined == 3
+
+    def test_injected_read_error_is_a_miss(self, tmp_path):
+        from repro.service import faults
+
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        store.put(key, {"v": 1})
+        plan = faults.FaultPlan([faults.Fault("store.get", "io-error")])
+        with faults.injected(plan):
+            assert store.get(key) is None
+        assert store.stats.read_errors == 1
+        assert store.get(key) == {"v": 1}  # blob itself is intact
+
+    def test_injected_corruption_is_caught_by_digest(self, tmp_path):
+        from repro.service import faults
+
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        store.put(key, {"v": 1})
+        plan = faults.FaultPlan(
+            [faults.Fault("store.get", "corrupt", count=-1)]
+        )
+        with faults.injected(plan):
+            assert store.get(key) is None, "bit-flipped read must not parse"
+        assert store.stats.quarantined == 1
+
+
+class TestTmpSweep:
+    def test_stale_tmp_swept_fresh_kept(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bucket = tmp_path / "objects" / "ab"
+        bucket.mkdir(parents=True, exist_ok=True)
+        stale = bucket / ".tmp-stale.json"
+        stale.write_text("partial", encoding="utf-8")
+        os.utime(stale, (100, 100))
+        fresh = bucket / ".tmp-fresh.json"
+        fresh.write_text("partial", encoding="utf-8")
+        assert store.sweep_tmp() == 1
+        assert not stale.exists()
+        assert fresh.exists(), "a possibly-live publish must survive"
+        assert store.stats.tmp_swept == 1
+
+    def test_crash_mid_publish_then_restart_sweeps(self, tmp_path):
+        """Simulate a publisher dying between mkstemp and os.link: the
+        injected put fault fires before any write, so crash the hard way
+        — write the temp file, never publish — then restart the store."""
+        store = ResultStore(tmp_path)
+        key = key_of("k1")
+        bucket = store._blob_path(key).parent
+        bucket.mkdir(parents=True, exist_ok=True)
+        orphan = bucket / ".tmp-crashed-publisher.json"
+        orphan.write_text('{"v":1}\nsha2', encoding="utf-8")  # torn write
+        os.utime(orphan, (100, 100))
+        reborn = ResultStore(tmp_path)  # the restart runs the sweep
+        assert reborn.stats.tmp_swept == 1
+        assert not orphan.exists()
+        assert reborn.get(key) is None  # torn temp never became a blob
+        assert reborn.put(key, {"v": 1}) is True
+
+    def test_injected_put_fault_leaves_store_readable(self, tmp_path):
+        from repro.service import faults
+
+        store = ResultStore(tmp_path)
+        k1, k2 = key_of("k1"), key_of("k2")
+        store.put(k1, {"v": 1})
+        plan = faults.FaultPlan([faults.Fault("store.put", "io-error")])
+        with faults.injected(plan):
+            with pytest.raises(OSError):
+                store.put(k2, {"v": 2})
+        assert store.get(k1) == {"v": 1}
+        assert store.get(k2) is None
+        assert store.put(k2, {"v": 2}) is True  # retry succeeds
+
+
 # ---------------------------------------------------------------------------
 # Multi-process race: one winner, bit-identical reads
 # ---------------------------------------------------------------------------
+
+
+def _churning_put(root, worker_id, barrier, failures):
+    """Publish 40 distinct keys through an LRU cap of 8, all at once:
+    every process is simultaneously putting and evicting each other's
+    blobs.  Any exception is a failure (eviction must tolerate blobs
+    vanishing underneath it)."""
+    try:
+        store = ResultStore(root, max_entries=8)
+        barrier.wait(timeout=30)
+        for index in range(40):
+            key = key_of(f"churn-{worker_id}-{index}")
+            store.put(key, {"worker": worker_id, "index": index})
+            shared = key_of(f"shared-{index % 5}")
+            store.put(shared, {"worker": -1, "index": index % 5})
+            store.get(shared)
+    except BaseException as error:  # noqa: BLE001 - reported to parent
+        failures.put(f"worker {worker_id}: {type(error).__name__}: {error}")
 
 
 def _racing_put(root, key, barrier, results):
@@ -174,5 +294,34 @@ class TestConcurrency:
         assert wins == [False, True], "exactly one process must win the put"
         blobs = {blob for _, _, blob in outcomes}
         assert len(blobs) == 1, "every reader sees bit-identical bytes"
-        # And a fresh reader parses the same record back.
-        assert ResultStore(tmp_path).get(key) == json.loads(blobs.pop())
+        # And a fresh reader parses (and digest-verifies) the record back.
+        line = blobs.pop().decode("utf-8").splitlines()[0]
+        assert ResultStore(tmp_path).get(key) == json.loads(line)
+
+    def test_eviction_races_concurrent_puts(self, tmp_path):
+        """An LRU-capped store evicting while other processes publish:
+        no crash, no corruption, every surviving blob digest-verifies."""
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(3)
+        failures = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_churning_put,
+                args=(tmp_path, worker_id, barrier, failures),
+            )
+            for worker_id in range(3)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert failures.empty(), failures.get()
+        # Survivors are a valid subset: every blob reads back verified.
+        survivor = ResultStore(tmp_path)
+        keys = survivor.keys()
+        assert keys, "churn must leave at least one blob"
+        for key in keys:
+            record = survivor.get(key)
+            assert record is not None and "worker" in record
+        assert survivor.stats.quarantined == 0
