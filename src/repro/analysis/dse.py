@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,11 +29,14 @@ from ..generators.systolic import SystolicConfig, build_systolic_program
 from ..scenarios.sweep import ScenarioGrid, run_scenario_sweep
 from ..sim import simulate
 from ..sim.batch import (
+    ResilienceStats,
+    SweepInterrupted,
     SweepRunner,
     deterministic_conv_inputs,
     process_compile_cache,
     structural_signature,
 )
+from ..sim.journal import JOURNAL_KIND, SweepJournal
 
 
 @dataclass(frozen=True)
@@ -209,6 +212,88 @@ def _payload_signature(payload: Tuple) -> Tuple:
     return structural_signature(payload[0])
 
 
+def _payload_context(payload: Tuple) -> str:
+    """Fault-hook context for one payload (``batch.worker`` targeting)."""
+    cfg = payload[0]
+    return f"{cfg.dataflow}:{cfg.array_height}x{cfg.array_width}"
+
+
+# -- journal codecs ---------------------------------------------------------
+
+
+def dse_point_record(point: DSEPoint) -> Dict:
+    """The JSON-native form of one systolic sweep point (journal)."""
+    cfg = point.config
+    return {
+        "config": {
+            "dataflow": cfg.dataflow,
+            "array_height": int(cfg.array_height),
+            "array_width": int(cfg.array_width),
+            "dims": asdict(cfg.dims),
+        },
+        "cycles": int(point.cycles),
+        "loop_iterations": int(point.loop_iterations),
+        "execution_time_s": float(point.execution_time_s),
+        "peak_write_bw_x_portion": float(point.peak_write_bw_x_portion),
+        "simulated": bool(point.simulated),
+    }
+
+
+def dse_point_from_record(record: Mapping) -> DSEPoint:
+    """Rebuild a :class:`DSEPoint` from its journaled record."""
+    spec = record["config"]
+    config = SystolicConfig(
+        dataflow=spec["dataflow"],
+        array_height=spec["array_height"],
+        array_width=spec["array_width"],
+        dims=ConvDims(**spec["dims"]),
+    )
+    return DSEPoint(
+        config=config,
+        cycles=record["cycles"],
+        loop_iterations=record["loop_iterations"],
+        execution_time_s=record["execution_time_s"],
+        peak_write_bw_x_portion=record["peak_write_bw_x_portion"],
+        simulated=record["simulated"],
+    )
+
+
+def dse_journal_header(
+    spec: SweepSpec,
+    use_des: bool,
+    sample: Optional[int],
+    max_cycles: Optional[int],
+    seed: int,
+    compile_cache: Optional[bool],
+    reuse_results: Optional[bool],
+    total: int,
+) -> Dict:
+    """The journal header for a systolic sweep request.
+
+    ``compile_cache``/``reuse_results`` are recorded *as passed* (before
+    the ``jobs``-dependent defaulting): neither affects the observables
+    (held bit-identical by the parallel-sweep tests), and resuming a
+    ``jobs=N`` journal with ``jobs=1`` must be allowed — that equality
+    is the whole resilience contract.
+    """
+    from ..service.store import code_version
+
+    return {
+        "kind": JOURNAL_KIND,
+        "request": {
+            "spec": asdict(spec),
+            "use_des": bool(use_des),
+            "sample": sample,
+            "max_cycles": max_cycles,
+            "seed": int(seed),
+            "compile_cache": compile_cache,
+            "reuse_results": reuse_results,
+        },
+        "total": int(total),
+        "code": code_version(),
+    }
+
+
 def run_sweep(
     spec: SweepSpec,
     use_des: bool = False,
@@ -219,6 +304,11 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     compile_cache: Optional[bool] = None,
     reuse_results: Optional[bool] = None,
+    journal=None,
+    resume: bool = False,
+    cancel=None,
+    runner_stats: Optional[ResilienceStats] = None,
+    chunk_deadline_s: Optional[float] = None,
 ) -> List[DSEPoint]:
     """Evaluate the sweep.
 
@@ -252,6 +342,12 @@ def run_sweep(
     loop; see :func:`evaluate_point`).
     ``reuse_results``: memoize whole DES measurements per structural
     signature (``None`` = same policy; see :func:`_sweep_worker`).
+    ``journal``/``resume``/``cancel``/``runner_stats``/
+    ``chunk_deadline_s`` follow
+    :func:`repro.scenarios.run_scenario_sweep`'s resilience semantics:
+    checkpoint points as they complete, resume a journal's valid prefix
+    (bit-identical merge), drain gracefully on cancel, account recovery
+    work, and bound each parallel dispatch round's wall clock.
     """
     if isinstance(spec, ScenarioGrid):
         unsupported = {
@@ -268,7 +364,16 @@ def run_sweep(
                 "cache and have no analytical cycle estimate)"
             )
         return run_scenario_sweep(
-            spec, jobs=jobs, seed=seed, sample=sample, chunk_size=chunk_size
+            spec,
+            jobs=jobs,
+            seed=seed,
+            sample=sample,
+            chunk_size=chunk_size,
+            journal=journal,
+            resume=resume,
+            cancel=cancel,
+            runner_stats=runner_stats,
+            chunk_deadline_s=chunk_deadline_s,
         )
     points = list(spec.points())
     if sample is not None and sample < len(points):
@@ -279,6 +384,26 @@ def run_sweep(
         points = [
             cfg for cfg in points if cfg.expected_cycles <= max_cycles
         ]
+    total = len(points)
+    results: List[Optional[DSEPoint]] = [None] * total
+    sweep_journal: Optional[SweepJournal] = None
+    if journal is not None:
+        sweep_journal = (
+            journal
+            if isinstance(journal, SweepJournal)
+            else SweepJournal(journal)
+        )
+        header = dse_journal_header(
+            spec, use_des, sample, max_cycles, seed,
+            compile_cache, reuse_results, total,
+        )
+        for index, record in sweep_journal.open(header, resume=resume).items():
+            if 0 <= index < total and results[index] is None:
+                results[index] = dse_point_from_record(record)
+        if runner_stats is not None:
+            runner_stats.points_resumed += sum(
+                point is not None for point in results
+            )
     if jobs is not None and jobs <= 0:
         jobs = None  # the CLI convention: 0 (or any non-positive) = auto
     batched = jobs != 1
@@ -286,12 +411,45 @@ def run_sweep(
         compile_cache = batched
     if reuse_results is None:
         reuse_results = batched
+    missing = [i for i in range(total) if results[i] is None]
+
+    def deliver(position: int, point: DSEPoint) -> None:
+        index = missing[position]
+        if sweep_journal is not None:
+            sweep_journal.append_point(index, dse_point_record(point))
+        results[index] = point
+
     payloads = [
-        (cfg, use_des, seed, compile_cache, reuse_results) for cfg in points
+        (points[i], use_des, seed, compile_cache, reuse_results)
+        for i in missing
     ]
-    if not batched:
-        return [_sweep_worker(payload) for payload in payloads]
-    runner = SweepRunner(
-        jobs=jobs, chunk_size=chunk_size, key=_payload_signature
-    )
-    return runner.map(_sweep_worker, payloads)
+    try:
+        if not batched:
+            for position, payload in enumerate(payloads):
+                if cancel is not None and cancel.is_set():
+                    raise SweepInterrupted(
+                        total - len(missing) + position, total
+                    )
+                deliver(position, _sweep_worker(payload))
+        elif payloads:
+            runner = SweepRunner(
+                jobs=jobs,
+                chunk_size=chunk_size,
+                key=_payload_signature,
+                describe=_payload_context,
+                chunk_deadline_s=chunk_deadline_s,
+            )
+            try:
+                runner.map(
+                    _sweep_worker, payloads, on_result=deliver, cancel=cancel
+                )
+            finally:
+                if runner_stats is not None:
+                    runner_stats.merge(runner.resilience)
+    except SweepInterrupted:
+        done = sum(point is not None for point in results)
+        raise SweepInterrupted(done, total) from None
+    finally:
+        if sweep_journal is not None:
+            sweep_journal.close()
+    return results  # type: ignore[return-value]

@@ -33,10 +33,15 @@ from .sweep import (
     ScenarioPoint,
     cached_scenario_program,
     clear_scenario_caches,
+    grid_record,
     run_scenario_sweep,
     scenario_cache_stats,
     scenario_grid,
+    scenario_point_export_record,
+    scenario_point_from_record,
+    scenario_point_record,
     simulate_scenario,
+    sweep_journal_header,
 )
 
 __all__ = [
@@ -45,6 +50,8 @@ __all__ = [
     "Scenario", "ScenarioError", "all_scenarios", "get_scenario",
     "parse_scenario_spec", "register_scenario", "scenario_names",
     "ScenarioGrid", "ScenarioPoint", "cached_scenario_program",
-    "clear_scenario_caches", "run_scenario_sweep", "scenario_cache_stats",
-    "scenario_grid", "simulate_scenario",
+    "clear_scenario_caches", "grid_record", "run_scenario_sweep",
+    "scenario_cache_stats", "scenario_grid",
+    "scenario_point_export_record", "scenario_point_from_record",
+    "scenario_point_record", "simulate_scenario", "sweep_journal_header",
 ]

@@ -19,11 +19,12 @@ entry point.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..sim import EngineOptions, simulate
-from ..sim.batch import SweepRunner
+from ..sim.batch import ResilienceStats, SweepInterrupted, SweepRunner
+from ..sim.journal import JOURNAL_KIND, SweepJournal
 from ..sim.plan import PlanCache
 from .registry import Scenario, get_scenario
 
@@ -200,6 +201,89 @@ def _payload_signature(payload: Tuple) -> Tuple:
     return get_scenario(payload[0]).signature(payload[1])
 
 
+def _payload_context(payload: Tuple) -> str:
+    """Fault-hook context for one payload (``batch.worker`` targeting)."""
+    return f"{payload[0]}:seed={payload[2]}"
+
+
+# -- journal codecs ---------------------------------------------------------
+
+
+def grid_record(grid: ScenarioGrid) -> Dict:
+    """A JSON-native description of a grid (journal headers)."""
+    return {
+        "scenario": grid.scenario,
+        "axes": {axis: list(values) for axis, values in grid.axes},
+        "base": dict(grid.base),
+    }
+
+
+def scenario_point_record(point: ScenarioPoint) -> Dict:
+    """The JSON-native form of one sweep point (journal / export)."""
+    return {
+        "scenario": point.scenario,
+        "config": asdict(point.config),
+        "cycles": int(point.cycles),
+        "scheduler_events": int(point.scheduler_events),
+        "launches_executed": int(point.launches_executed),
+        "execution_time_s": float(point.execution_time_s),
+        "checked": point.checked,
+    }
+
+
+def scenario_point_from_record(record: Mapping) -> ScenarioPoint:
+    """Rebuild a :class:`ScenarioPoint` from its journaled record."""
+    name = record["scenario"]
+    return ScenarioPoint(
+        scenario=name,
+        config=get_scenario(name).configure(**record["config"]),
+        cycles=record["cycles"],
+        scheduler_events=record["scheduler_events"],
+        launches_executed=record["launches_executed"],
+        execution_time_s=record["execution_time_s"],
+        checked=record.get("checked"),
+    )
+
+
+def scenario_point_export_record(point: ScenarioPoint) -> Dict:
+    """The deterministic export form: the journal record minus the one
+    host-timing field, so two runs of the same sweep produce
+    byte-identical export files (the ``--sweep-out`` diff contract)."""
+    record = scenario_point_record(point)
+    del record["execution_time_s"]
+    return record
+
+
+def sweep_journal_header(
+    grid: ScenarioGrid,
+    seed: int,
+    sample: Optional[int],
+    option_overrides: Optional[Dict],
+    check: bool,
+    total: int,
+) -> Dict:
+    """The journal header identifying one sweep request exactly.
+
+    Includes the service tier's code version: a journal written by
+    different code must not be merged with fresh points (resume would
+    silently mix results two code versions produced).
+    """
+    from ..service.store import code_version
+
+    return {
+        "kind": JOURNAL_KIND,
+        "request": {
+            "grid": grid_record(grid),
+            "seed": int(seed),
+            "sample": sample,
+            "options": dict(option_overrides or {}),
+            "check": bool(check),
+        },
+        "total": int(total),
+        "code": code_version(),
+    }
+
+
 def run_scenario_sweep(
     grid: ScenarioGrid,
     jobs: Optional[int] = 1,
@@ -208,6 +292,11 @@ def run_scenario_sweep(
     chunk_size: Optional[int] = None,
     option_overrides: Optional[Dict] = None,
     check: bool = False,
+    journal=None,
+    resume: bool = False,
+    cancel=None,
+    runner_stats: Optional[ResilienceStats] = None,
+    chunk_deadline_s: Optional[float] = None,
 ) -> List[ScenarioPoint]:
     """Evaluate every grid point with the DES; results in point order.
 
@@ -220,6 +309,20 @@ def run_scenario_sweep(
     ``option_overrides`` restates :class:`EngineOptions` fields (e.g.
     ``{"scheduler": "heap"}`` for a differential sweep); ``check`` runs
     each point's reference-stats oracle in the worker.
+
+    Resilience (see ``docs/performance.md``, "Resilient sweeps"):
+
+    * ``journal`` (a path or a :class:`SweepJournal`) checkpoints each
+      point as it completes; ``resume=True`` loads the journal's valid
+      prefix first and computes only the missing points — the merged
+      result is bit-identical to an uninterrupted run.
+    * ``cancel`` (a :class:`threading.Event`) requests a graceful stop:
+      in-flight work drains into the journal, then
+      :class:`~repro.sim.batch.SweepInterrupted` is raised.
+    * ``runner_stats`` accumulates the run's
+      :class:`~repro.sim.batch.ResilienceStats` (pool rebuilds, resumed
+      points, ...); ``chunk_deadline_s`` bounds each parallel dispatch
+      round's wall clock.
     """
     points = grid.points()
     if sample is not None and sample < len(points):
@@ -231,11 +334,64 @@ def run_scenario_sweep(
     payloads = [
         (grid.scenario, cfg, seed, option_overrides, check) for cfg in points
     ]
+    total = len(payloads)
+    results: List[Optional[ScenarioPoint]] = [None] * total
+    sweep_journal: Optional[SweepJournal] = None
+    if journal is not None:
+        sweep_journal = (
+            journal
+            if isinstance(journal, SweepJournal)
+            else SweepJournal(journal)
+        )
+        header = sweep_journal_header(
+            grid, seed, sample, option_overrides, check, total
+        )
+        for index, record in sweep_journal.open(header, resume=resume).items():
+            if 0 <= index < total and results[index] is None:
+                results[index] = scenario_point_from_record(record)
+        if runner_stats is not None:
+            runner_stats.points_resumed += sum(
+                point is not None for point in results
+            )
+    missing = [i for i in range(total) if results[i] is None]
+
+    def deliver(position: int, point: ScenarioPoint) -> None:
+        index = missing[position]
+        if sweep_journal is not None:
+            sweep_journal.append_point(index, scenario_point_record(point))
+        results[index] = point
+
     if jobs is not None and jobs <= 0:
         jobs = None
-    if jobs == 1:
-        return [_scenario_sweep_worker(payload) for payload in payloads]
-    runner = SweepRunner(
-        jobs=jobs, chunk_size=chunk_size, key=_payload_signature
-    )
-    return runner.map(_scenario_sweep_worker, payloads)
+    try:
+        if jobs == 1:
+            for position, index in enumerate(missing):
+                if cancel is not None and cancel.is_set():
+                    raise SweepInterrupted(total - len(missing) + position,
+                                           total)
+                deliver(position, _scenario_sweep_worker(payloads[index]))
+        elif missing:
+            runner = SweepRunner(
+                jobs=jobs,
+                chunk_size=chunk_size,
+                key=_payload_signature,
+                describe=_payload_context,
+                chunk_deadline_s=chunk_deadline_s,
+            )
+            try:
+                runner.map(
+                    _scenario_sweep_worker,
+                    [payloads[i] for i in missing],
+                    on_result=deliver,
+                    cancel=cancel,
+                )
+            finally:
+                if runner_stats is not None:
+                    runner_stats.merge(runner.resilience)
+    except SweepInterrupted:
+        done = sum(point is not None for point in results)
+        raise SweepInterrupted(done, total) from None
+    finally:
+        if sweep_journal is not None:
+            sweep_journal.close()
+    return results  # type: ignore[return-value]

@@ -37,6 +37,8 @@ from .scheduler import (
     JobRequest,
     JobScheduler,
     QueueFullError,
+    SweepJob,
+    SweepRequest,
 )
 from .store import (
     ResultStore,
@@ -58,6 +60,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "StoreStats",
+    "SweepJob",
+    "SweepRequest",
     "code_version",
     "injected",
     "inputs_digest",

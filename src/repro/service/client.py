@@ -184,6 +184,68 @@ class ServiceClient:
         )
         return response["job"]
 
+    def submit_sweep(
+        self,
+        scenario: str,
+        config: Optional[Dict] = None,
+        seed: int = 0,
+        sample: Optional[int] = None,
+        options: Optional[Dict] = None,
+        check: bool = True,
+        wait: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict:
+        """Submit a whole-grid sweep; returns the job dict.
+
+        While the sweep runs, ``job["progress"]`` carries
+        ``points_done``/``points_total``; completed points checkpoint
+        server-side, so resubmitting an interrupted sweep resumes
+        instead of recomputing.
+        """
+        payload: Dict = {"scenario": scenario, "seed": seed, "check": check}
+        if config:
+            payload["config"] = config
+        if sample is not None:
+            payload["sample"] = sample
+        if options:
+            payload["options"] = options
+        if wait is not None:
+            payload["wait"] = wait
+        if deadline is not None:
+            payload["deadline"] = deadline
+        response = self._call(
+            "POST",
+            "/sweeps",
+            payload,
+            timeout=self.timeout + (wait or 0.0),
+        )
+        return response["job"]
+
+    def run_sweep(
+        self,
+        scenario: str,
+        config: Optional[Dict] = None,
+        seed: int = 0,
+        sample: Optional[int] = None,
+        options: Optional[Dict] = None,
+        check: bool = True,
+        wait: float = 60.0,
+    ) -> Dict:
+        """Submit a sweep and wait for its aggregate record."""
+        job = self.submit_sweep(
+            scenario, config=config, seed=seed, sample=sample,
+            options=options, check=check, wait=wait,
+        )
+        if job["state"] == "error":
+            raise ServiceError(job["error"] or "sweep failed")
+        if job["state"] != "done":
+            job = self.job(job["id"], wait=wait)
+        if job["state"] == "error":
+            raise ServiceError(job["error"] or "sweep failed")
+        if job["state"] != "done":
+            raise ServiceError(f"job {job['id']} timed out ({job['state']})")
+        return job
+
     def job(self, job_id: str, wait: Optional[float] = None) -> Dict:
         path = f"/jobs/{job_id}"
         if wait is not None:

@@ -31,7 +31,9 @@ make the service unavailable (clean errors), never wrong.
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -73,6 +75,16 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "job.evaluate": ("engine-error", "poison", "slow"),
     #: ``SweepRunner.map`` — transient batch-machinery failure.
     "batch.map": ("pool-error",),
+    #: ``_run_chunk`` entry, *inside a pool worker*: ``kill`` SIGKILLs
+    #: the worker process (the real crash the crash-tolerant pool
+    #: recovers from), ``slow`` stalls the chunk (exercises the chunk
+    #: deadline).  Fires only in pool workers — the serial reference
+    #: loop never traverses it, which is what keeps ``jobs=1`` clean.
+    "batch.chunk": ("kill", "slow"),
+    #: Per-item, inside a pool worker (context ``item=N:...``): ``kill``
+    #: makes that one item a poisoned point — every worker that touches
+    #: it dies — until bisection corners it in the parent.
+    "batch.worker": ("kill",),
     #: The scheduler's background worker loop — kill one iteration.
     "scheduler.worker": ("die",),
 }
@@ -137,10 +149,21 @@ class FaultPlan:
         faults: List[Fault],
         seed: int = 0,
         name: Optional[str] = None,
+        state_dir: Optional[str] = None,
     ):
         self.faults = list(faults)
         self.seed = int(seed)
         self.name = name or f"plan-{self.seed}"
+        #: Directory for cross-process firing budgets.  In-process
+        #: budget counters live on the plan instance — but a plan fired
+        #: inside forked pool workers is a *copy* per worker, and a
+        #: rebuilt pool forks fresh copies, so an instance counter would
+        #: re-fire forever.  With ``state_dir`` set, each budgeted
+        #: firing claims a ticket file (``O_CREAT | O_EXCL`` — atomic
+        #: on a shared filesystem), so ``count=1`` means once across
+        #: every process that inherits the plan.  Required for the
+        #: ``batch.chunk``/``batch.worker`` sites with ``count >= 0``.
+        self.state_dir = state_dir
         self._lock = threading.Lock()
         self._rng = random.Random(self.seed)
         self._site_visits: Dict[str, int] = {}
@@ -200,11 +223,66 @@ class FaultPlan:
         return cls(specs, seed=seed)
 
     @classmethod
+    def generate_sweep(
+        cls,
+        seed: int,
+        points: int,
+        state_dir: str,
+        faults: int = 2,
+        slow_delay_s: float = 2.0,
+    ) -> "FaultPlan":
+        """A reproducible chaos plan for the *sweep* execution plane.
+
+        Draws worker-kill, chunk-stall, and poisoned-point faults
+        against the in-pool sites (``batch.chunk``/``batch.worker``)
+        from a seeded RNG.  ``points`` bounds the item indices poison
+        targets; ``state_dir`` is mandatory — these sites fire in forked
+        pool workers, so budgets must live on disk (see ``state_dir``).
+        Kills are budgeted (a sweep must eventually finish); stalls are
+        ``slow_delay_s`` long — runs set ``chunk_deadline_s`` *below*
+        that so every stall becomes a deadline kill, not a slow pass.
+        """
+        rng = random.Random(seed)
+        specs: List[Fault] = []
+        for _ in range(faults):
+            kind = rng.choice(["chunk-kill", "chunk-stall", "poison-item"])
+            if kind == "chunk-kill":
+                specs.append(
+                    Fault(
+                        site="batch.chunk",
+                        action="kill",
+                        after=rng.randrange(0, 3),
+                        count=rng.randrange(1, 3),
+                    )
+                )
+            elif kind == "chunk-stall":
+                specs.append(
+                    Fault(
+                        site="batch.chunk",
+                        action="slow",
+                        after=rng.randrange(0, 3),
+                        count=1,
+                        delay_s=slow_delay_s,
+                    )
+                )
+            else:
+                specs.append(
+                    Fault(
+                        site="batch.worker",
+                        action="kill",
+                        match=f"item={rng.randrange(points)}:",
+                        count=rng.randrange(1, 3),
+                    )
+                )
+        return cls(specs, seed=seed, state_dir=state_dir)
+
+    @classmethod
     def from_dict(cls, payload: Dict) -> "FaultPlan":
         return cls(
             [Fault(**spec) for spec in payload["faults"]],
             seed=payload.get("seed", 0),
             name=payload.get("name"),
+            state_dir=payload.get("state_dir"),
         )
 
     def to_dict(self) -> Dict:
@@ -212,6 +290,7 @@ class FaultPlan:
             "name": self.name,
             "seed": self.seed,
             "faults": [fault.to_dict() for fault in self.faults],
+            "state_dir": self.state_dir,
         }
 
     def to_json(self) -> str:
@@ -224,8 +303,46 @@ class FaultPlan:
             self._site_visits.clear()
             self._remaining = [f.count for f in self.faults]
             self.fired.clear()
+            if self.state_dir is not None and os.path.isdir(self.state_dir):
+                for entry in os.listdir(self.state_dir):
+                    if entry.startswith(f"{self.name}-fault"):
+                        try:
+                            os.unlink(os.path.join(self.state_dir, entry))
+                        except OSError:  # pragma: no cover - races only
+                            pass
 
     # -- firing ----------------------------------------------------------
+
+    def _consume_budget(self, index: int, fault: Fault) -> bool:
+        """Spend one firing of ``fault`` (call under the plan lock).
+
+        Unlimited faults (``count=-1``) always fire.  With a
+        ``state_dir``, budgets are ticket files claimed atomically
+        across every process holding a copy of this plan; otherwise the
+        in-process counter applies.
+        """
+        if fault.count < 0:
+            return True
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            for ticket in range(fault.count):
+                path = os.path.join(
+                    self.state_dir, f"{self.name}-fault{index}-{ticket}"
+                )
+                try:
+                    os.close(
+                        os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    )
+                    return True
+                except FileExistsError:
+                    continue
+                except OSError:  # pragma: no cover - fs trouble = no fire
+                    return False
+            return False
+        if self._remaining[index] == 0:
+            return False
+        self._remaining[index] -= 1
+        return True
 
     def fire(self, site: str, context: Optional[str] = None, payload=None):
         """Traverse ``site``: act on the first armed matching fault.
@@ -242,15 +359,15 @@ class FaultPlan:
             visit = self._site_visits.get(site, 0)
             self._site_visits[site] = visit + 1
             for index, fault in enumerate(self.faults):
-                if fault.site != site or self._remaining[index] == 0:
+                if fault.site != site:
                     continue
                 if fault.match is not None:
                     if context is None or fault.match not in context:
                         continue
                 elif visit < fault.after:
                     continue
-                if self._remaining[index] > 0:
-                    self._remaining[index] -= 1
+                if not self._consume_budget(index, fault):
+                    continue
                 action = fault.action
                 self.fired.append((site, action, context))
                 if action == "slow":
@@ -271,6 +388,12 @@ class FaultPlan:
             raise InjectedFault(f"injected batch-machinery fault at {site}")
         if action == "die":
             raise InjectedFault(f"injected worker death at {site}")
+        if action == "kill":
+            # A real ``kill -9`` of this process — the pool worker dies
+            # exactly the way a segfault would, and the parent sees a
+            # BrokenProcessPool.  Never armed in the parent: the sites
+            # carrying it fire only inside pool workers.
+            os.kill(os.getpid(), signal.SIGKILL)
         assert action == "poison"
         raise InjectedCrash(f"injected crash at {site} ({context})")
 

@@ -43,8 +43,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.export import record_line
 from ..scenarios import get_scenario, parse_scenario_spec, scenario_cache_stats
-from ..scenarios.sweep import simulate_scenario
-from ..sim.batch import SweepRunner, result_record
+from ..scenarios.sweep import grid_record, scenario_grid, simulate_scenario
+from ..sim.batch import ResilienceStats, SweepRunner, result_record
 from ..sim.engine import EngineOptions
 from . import faults
 from .store import ResultStore, code_version, inputs_digest, request_key
@@ -187,6 +187,121 @@ class JobRequest:
         }
 
 
+@dataclass(frozen=True)
+class SweepRequest:
+    """One fully resolved sweep request: a scenario's default grid over
+    a pinned base config.
+
+    The request's identity is the whole sweep — grid, base, seed,
+    sample, options, check — so identical sweeps coalesce and an
+    already-persisted sweep answers from the store.  Each grid point is
+    additionally a first-class :class:`JobRequest` with its own
+    content-addressed key: completed points checkpoint into the store
+    individually, which is what makes an interrupted sweep resumable
+    (resubmit it — finished points are store hits, only the rest
+    simulate) and lets single-point ``POST /jobs`` traffic share work
+    with sweeps bidirectionally.
+    """
+
+    scenario: str
+    base: Tuple[Tuple[str, object], ...]
+    seed: int = 0
+    sample: Optional[int] = None
+    options: Tuple[Tuple[str, object], ...] = ()
+    check: bool = True
+
+    @classmethod
+    def make(
+        cls,
+        scenario: str,
+        config: Optional[Mapping] = None,
+        seed: int = 0,
+        sample: Optional[int] = None,
+        options: Optional[Mapping] = None,
+        check: bool = True,
+    ) -> "SweepRequest":
+        """Resolve a scenario spec into a sweep request.
+
+        Validation rides :meth:`JobRequest.make` (same spec syntax,
+        same scalar/option checks); the resolved full config becomes
+        the grid base, with axis fields overridden per point.
+        """
+        resolved = JobRequest.make(
+            scenario, config=config, seed=seed, options=options, check=check
+        )
+        if sample is not None:
+            if not isinstance(sample, int) or isinstance(sample, bool):
+                raise RequestError(
+                    f"sample must be an integer, got {type(sample).__name__}"
+                )
+            if sample < 1:
+                raise RequestError(f"sample must be >= 1, got {sample}")
+        return cls(
+            scenario=resolved.scenario,
+            base=resolved.config,
+            seed=resolved.seed,
+            sample=sample,
+            options=resolved.options,
+            check=resolved.check,
+        )
+
+    # -- derived views -------------------------------------------------
+
+    def grid(self):
+        return scenario_grid(self.scenario, **dict(self.base))
+
+    def point_configs(self) -> List:
+        """The sampled grid, in grid order (the sweep path's sampling
+        rule exactly, so a service sweep and a CLI ``--sweep --sample``
+        of the same request evaluate the same points)."""
+        points = self.grid().points()
+        if self.sample is not None and self.sample < len(points):
+            import numpy as np
+
+            rng = np.random.default_rng(self.seed)
+            chosen = rng.choice(len(points), size=self.sample, replace=False)
+            points = [points[i] for i in sorted(chosen)]
+        return points
+
+    def point_requests(self) -> List[JobRequest]:
+        """One :class:`JobRequest` per sampled grid point."""
+        return [
+            JobRequest(
+                scenario=self.scenario,
+                config=_freeze(asdict(cfg)),
+                seed=self.seed,
+                options=self.options,
+                check=self.check,
+            )
+            for cfg in self.point_configs()
+        ]
+
+    def key_parts(self) -> Dict:
+        return {
+            "kind": "scenario-sweep/v1",
+            "grid": grid_record(self.grid()),
+            "seed": self.seed,
+            "sample": self.sample,
+            "options": dict(self.options),
+            "check": self.check,
+            "code": code_version(),
+        }
+
+    def key(self) -> str:
+        return request_key(self.key_parts())
+
+    def to_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "seed": self.seed,
+            "sample": self.sample,
+            "options": dict(self.options),
+            "check": self.check,
+            "sweep": True,
+        }
+
+
 #: Request -> store-key memo.  A key is a pure function of the (frozen,
 #: hashable) request and the code version, but computing one regenerates
 #: and digests the scenario's input arrays — noticeable on the warm path,
@@ -248,6 +363,11 @@ def _payload_signature(payload: Tuple) -> Tuple:
     name, config = payload[0], payload[1]
     scenario = get_scenario(name)
     return scenario.signature(scenario.configure(**dict(config)))
+
+
+def _payload_context(payload: Tuple) -> str:
+    """Fault-hook context for one batch payload (``batch.worker``)."""
+    return f"{payload[0]}:seed={payload[2]}"
 
 
 class Job:
@@ -344,6 +464,43 @@ class Job:
         return payload
 
 
+class SweepJob(Job):
+    """A scheduled sweep: one job whose record aggregates many points.
+
+    Progress is observable while it runs — ``points_total`` is fixed
+    when execution starts, ``points_done`` advances as each point
+    completes (resumed-from-store points count immediately) — so a
+    poller watching ``GET /jobs/<id>`` sees a moving fraction instead
+    of an opaque ``running``.
+    """
+
+    __slots__ = ("points_total", "points_done", "points_resumed")
+
+    def __init__(
+        self,
+        job_id: str,
+        key: str,
+        request: "SweepRequest",
+        deadline_s: Optional[float] = None,
+    ):
+        super().__init__(job_id, key, request, deadline_s=deadline_s)
+        self.points_total: Optional[int] = None
+        self.points_done = 0
+        self.points_resumed = 0
+
+    def progress(self) -> Dict:
+        return {
+            "points_done": self.points_done,
+            "points_total": self.points_total,
+            "points_resumed": self.points_resumed,
+        }
+
+    def to_dict(self, include_record: bool = True) -> Dict:
+        payload = super().to_dict(include_record)
+        payload["progress"] = self.progress()
+        return payload
+
+
 @dataclass
 class SchedulerStats:
     """Scheduler-level counters (store counters live on the store)."""
@@ -375,6 +532,16 @@ class SchedulerStats:
     rejected_queue_full: int = 0
     #: Submissions refused because the scheduler is draining.
     rejected_draining: int = 0
+    #: Sweep jobs submitted (included in ``submitted`` too).
+    sweeps_submitted: int = 0
+    #: Sweep points answered from per-point store checkpoints instead
+    #: of simulating — the restart-resume path at work.
+    sweep_points_resumed: int = 0
+    #: Sweep points that actually simulated.
+    sweep_points_simulated: int = 0
+    #: Sweep points that failed (their sweep fails, but completed
+    #: batch-mates stay checkpointed for the resubmit).
+    sweep_point_failures: int = 0
 
 
 class JobScheduler:
@@ -425,6 +592,9 @@ class JobScheduler:
         self.watchdog_poll_s = watchdog_poll_s
         self.stuck_grace_s = stuck_grace_s
         self.stats = SchedulerStats()
+        #: Pool-resilience counters aggregated across every batch and
+        #: sweep this scheduler ran (surfaced on ``/stats``).
+        self.resilience = ResilienceStats()
         self.draining = False
         #: Last worker-loop failure (traceback text) and its wall time.
         self.last_error: Optional[str] = None
@@ -509,6 +679,62 @@ class JobScheduler:
             self._lock.notify_all()
         return job
 
+    def submit_sweep(
+        self, request: SweepRequest, deadline_s: Optional[float] = None
+    ) -> SweepJob:
+        """Register a sweep; returns its (possibly shared) job.
+
+        Same lookup order and admission rules as :meth:`submit` —
+        in-flight sweep with the same key coalesces, a fully persisted
+        sweep completes instantly from the store, and only genuinely
+        new work is subject to queue bounds and draining.
+        """
+        key = request_store_key(request)
+        with self._lock:
+            self.stats.submitted += 1
+            self.stats.sweeps_submitted += 1
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                self.stats.coalesced += 1
+                return inflight
+        stored = self.store.get(key) if self.store is not None else None
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                self.stats.coalesced += 1
+                return inflight
+            if stored is not None:
+                job = SweepJob(self._next_id(), key, request)
+                job.points_total = stored.get("points_total")
+                job.points_done = job.points_total or 0
+                self._jobs[job.id] = job
+                self._prune_jobs()
+                self.stats.store_hits += 1
+                job._complete(stored, source="store")
+                return job
+            if self.draining:
+                self.stats.rejected_draining += 1
+                raise DrainingError("scheduler is draining; not accepting new jobs")
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self.stats.rejected_queue_full += 1
+                raise QueueFullError(
+                    f"job queue full ({len(self._queue)}/{self.max_queue})"
+                )
+            job = SweepJob(
+                self._next_id(),
+                key,
+                request,
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+            )
+            self._jobs[job.id] = job
+            self._prune_jobs()
+            self._inflight[key] = job
+            self._queue.append(job)
+            self._lock.notify_all()
+        return job
+
     def _prune_jobs(self) -> None:
         """Drop the oldest *completed* jobs beyond ``max_jobs`` (called
         under the lock; dict order is insertion/creation order)."""
@@ -553,13 +779,18 @@ class JobScheduler:
                 job.state = "running"
             self._drains[ident] = drained
         completed = 0
+        sweeps = [job for job in drained if isinstance(job, SweepJob)]
+        singles = [job for job in drained if not isinstance(job, SweepJob)]
         try:
-            for batch in self._batches(drained):
+            for batch in self._batches(singles):
                 self.stats.batches += 1
                 records = self._run_batch(batch)
                 for job, record in zip(batch, records):
                     self._finish(job, record)
                     completed += 1
+            for job in sweeps:
+                self._finish(job, self._run_sweep_job(job))
+                completed += 1
         finally:
             with self._lock:
                 self._drains.pop(ident, None)
@@ -616,6 +847,121 @@ class JobScheduler:
             )
         finally:
             self._unwatch(batch)
+
+    def _run_sweep_job(self, job: SweepJob) -> Dict:
+        """Execute one sweep job; always returns a record (possibly an
+        ``{"error": ...}`` one) — never raises past this boundary.
+
+        Every completed point spills to the store *immediately* under
+        its own content-addressed key, so whatever interrupts the sweep
+        — a crash the pool could not absorb, a deadline, a service
+        restart — finished points survive as checkpoints, and a
+        resubmitted sweep resumes from them instead of recomputing.
+        """
+        self._watch([job])
+        try:
+            return self._execute_sweep(job)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:  # noqa: BLE001 - sweep boundary
+            return {
+                "error": f"sweep crashed: {type(error).__name__}: {error}; "
+                "completed points are checkpointed — resubmit to resume"
+            }
+        finally:
+            self._unwatch([job])
+
+    def _execute_sweep(self, job: SweepJob) -> Dict:
+        request: SweepRequest = job.request
+        point_requests = request.point_requests()
+        keys = [request_store_key(point) for point in point_requests]
+        total = len(point_requests)
+        records: List[Optional[Dict]] = [None] * total
+        resumed = 0
+        if self.store is not None:
+            for index, key in enumerate(keys):
+                stored = self.store.get(key)
+                if stored is not None:
+                    records[index] = stored
+                    resumed += 1
+        with self._lock:
+            job.points_total = total
+            job.points_done = resumed
+            job.points_resumed = resumed
+            self.stats.sweep_points_resumed += resumed
+        missing = [i for i in range(total) if records[i] is None]
+        payloads = [
+            (
+                point_requests[i].scenario,
+                point_requests[i].config,
+                point_requests[i].seed,
+                point_requests[i].options,
+                point_requests[i].check,
+            )
+            for i in missing
+        ]
+
+        def deliver(position: int, record: Dict) -> None:
+            # The per-point checkpoint: normalize and spill *before*
+            # advancing progress, so every point a poller sees counted
+            # is already durable.
+            index = missing[position]
+            failed = record.get("error") is not None
+            if not failed:
+                record = json.loads(record_line(record))
+                if self.store is not None:
+                    try:
+                        self.store.put(keys[index], record)
+                    except OSError:
+                        with self._lock:
+                            self.stats.store_put_failures += 1
+            records[index] = record
+            with self._lock:
+                job.points_done += 1
+                if failed:
+                    self.stats.sweep_point_failures += 1
+                else:
+                    self.stats.sweep_points_simulated += 1
+
+        if payloads:
+            runner = SweepRunner(
+                jobs=self.jobs,
+                key=_payload_signature,
+                describe=_payload_context,
+            )
+            try:
+                runner.map(evaluate_request, payloads, on_result=deliver)
+            finally:
+                with self._lock:
+                    self.resilience.merge(runner.resilience)
+        failed = sum(
+            1
+            for record in records
+            if record is None or record.get("error") is not None
+        )
+        if failed:
+            first = next(
+                (
+                    record["error"]
+                    for record in records
+                    if record is not None and record.get("error") is not None
+                ),
+                "point missing",
+            )
+            # A transient failure must not become a persistent record:
+            # the aggregate is NOT stored, only the good points were.
+            return {
+                "error": f"sweep failed: {failed}/{total} points failed "
+                f"(first: {first}); completed points are checkpointed — "
+                "resubmit to resume"
+            }
+        return {
+            "kind": "scenario-sweep/v1",
+            "scenario": request.scenario,
+            "points_total": total,
+            "points_failed": 0,
+            "points": records,
+        }
 
     def _batches(self, jobs: List[Job]) -> List[List[Job]]:
         """Group compatible jobs (same engine options) into batches."""
@@ -883,6 +1229,7 @@ class JobScheduler:
                 "max_queue": self.max_queue,
                 "deadline_s": self.deadline_s,
                 "code_version": code_version(),
+                "resilience": self.resilience.to_dict(),
             }
         payload["worker"] = self.worker_health()
         cache = scenario_cache_stats()

@@ -14,6 +14,17 @@ A thin, threaded HTTP layer over :class:`~repro.service.scheduler.JobScheduler`
   optional) long-polls so a submit can return the finished record in
   one round trip.  A request already persisted in the store completes
   instantly with ``"source": "store"`` and no engine work.
+* ``POST /sweeps`` — submit a whole scenario sweep as one job::
+
+      {"scenario": "gemm", "config": {"k": 32}, "seed": 0,
+       "sample": 8, "options": {}, "check": true, "wait": 30}
+
+  The scenario's default grid expands over the pinned base config;
+  the job's record aggregates every point.  Completed points
+  checkpoint into the store individually as the sweep runs, so the
+  job dict's ``progress`` (``points_done``/``points_total``) moves
+  while polling — and a sweep interrupted by a crash or restart
+  resumes from its checkpoints when resubmitted.
 * ``GET /jobs/<id>[?wait=S]`` — poll (or long-poll) job status; the
   record rides along once the state is ``done``.
 * ``GET /jobs/<id>/result[?wait=S]`` — just the result record (404
@@ -51,6 +62,7 @@ from .scheduler import (
     JobScheduler,
     QueueFullError,
     RequestError,
+    SweepRequest,
 )
 from .store import ResultStore
 
@@ -217,6 +229,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["jobs"]:
                 self._post_job(parse_qs(parsed.query))
+            elif parts == ["sweeps"]:
+                self._post_job(parse_qs(parsed.query), sweep=True)
             elif parts == ["shutdown"]:
                 self._send_json(200, {"status": "shutting-down"})
                 self.server.request_shutdown()  # type: ignore[attr-defined]
@@ -229,7 +243,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- handlers ------------------------------------------------------
 
-    def _post_job(self, query: Dict) -> None:
+    def _post_job(self, query: Dict, sweep: bool = False) -> None:
         limiter = self.server.rate_limiter  # type: ignore[attr-defined]
         if limiter is not None:
             admitted, retry_after = limiter.allow(self.client_address[0])
@@ -251,13 +265,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not spec or not isinstance(spec, str):
             raise ValueError('missing "scenario" (a name or name:key=val spec)')
         try:
-            request = JobRequest.make(
-                scenario=spec,
-                config=body.get("config"),
-                seed=body.get("seed", 0),
-                options=body.get("options"),
-                check=body.get("check", True),
-            )
+            if sweep:
+                request = SweepRequest.make(
+                    scenario=spec,
+                    config=body.get("config"),
+                    seed=body.get("seed", 0),
+                    sample=body.get("sample"),
+                    options=body.get("options"),
+                    check=body.get("check", True),
+                )
+            else:
+                request = JobRequest.make(
+                    scenario=spec,
+                    config=body.get("config"),
+                    seed=body.get("seed", 0),
+                    options=body.get("options"),
+                    check=body.get("check", True),
+                )
         except RequestError as error:
             raise ValueError(str(error)) from None
         # Validate wait/deadline before submitting: a 400 must not leave
@@ -265,7 +289,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         wait = self._wait_seconds(query, body)
         deadline = self._deadline_seconds(body)
         try:
-            job = self.scheduler.submit(request, deadline_s=deadline)
+            if sweep:
+                job = self.scheduler.submit_sweep(request, deadline_s=deadline)
+            else:
+                job = self.scheduler.submit(request, deadline_s=deadline)
         except QueueFullError as error:
             self._send_json(
                 503,

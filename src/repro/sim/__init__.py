@@ -2,8 +2,11 @@
 
 from .batch import (
     CachedProgram,
+    ChunkDeadlineError,
     CompileCache,
     CompileCacheStats,
+    ResilienceStats,
+    SweepInterrupted,
     SweepRunner,
     default_jobs,
     deterministic_conv_inputs,
@@ -11,6 +14,14 @@ from .batch import (
     sample_conv_inputs,
     simulate_systolic_cached,
     structural_signature,
+)
+from .journal import (
+    JOURNAL_KIND,
+    JournalError,
+    SweepJournal,
+    journal_line,
+    load_journal,
+    parse_journal_line,
 )
 from .components import (
     Buffer,

@@ -37,7 +37,14 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -68,6 +75,114 @@ _POOL_FAILURES = (
     BrokenProcessPool,
     pickle.PicklingError,
 )
+
+#: Placeholder for a result slot the pool has not produced yet.  The
+#: recovery paths test against it by identity, so ``None`` (a perfectly
+#: valid worker result) never looks like missing work.
+_PENDING = object()
+
+
+class SweepInterrupted(RuntimeError):
+    """A cooperative cancel stopped the sweep after a clean drain.
+
+    Raised by :meth:`SweepRunner.map` (and the serial sweep loops built
+    on it) when a ``cancel`` event is observed: in-flight chunks are
+    drained and delivered first, so everything completed before the
+    interruption has already reached ``on_result`` — the state on disk
+    (journal, store) is resumable, never torn.
+    """
+
+    def __init__(self, completed: int, total: int):
+        super().__init__(
+            f"sweep interrupted after {completed}/{total} items"
+        )
+        self.completed = completed
+        self.total = total
+
+
+class ChunkDeadlineError(RuntimeError):
+    """A single item exceeded the chunk deadline on every attempt.
+
+    The terminal verdict of the deadline escalation: the wedged chunk
+    was killed, retried in a fresh pool, bisected down to one item, and
+    that item *still* did not finish in time.  Running it in the parent
+    could wedge the whole sweep, so it fails cleanly instead — completed
+    points stay journaled and resumable.
+    """
+
+
+@dataclass
+class ResilienceStats:
+    """What it took to finish a sweep (all zeros on a clean run).
+
+    One instance per :meth:`SweepRunner.map` call (``runner.resilience``)
+    with :meth:`merge` for accumulation across batches — the service
+    scheduler folds every runner's stats into its ``/stats`` payload,
+    and journaled sweeps add the points they skipped on resume.
+    """
+
+    #: Worker pools rebuilt after a ``BrokenProcessPool`` or a deadline
+    #: kill (each rebuild re-dispatches only the unresolved chunks).
+    pool_rebuilds: int = 0
+    #: Chunks re-dispatched intact after their first failure.
+    chunks_retried: int = 0
+    #: Chunks bisected after repeated failures (cornering a poisoned item).
+    chunk_splits: int = 0
+    #: Singleton items that kept killing workers and were re-run in the
+    #: parent process (the bisection endpoint).
+    poison_isolated: int = 0
+    #: Dispatch rounds that overran ``chunk_deadline_s`` (wedged children
+    #: killed, their chunks re-run).
+    deadline_timeouts: int = 0
+    #: Times :meth:`SweepRunner.map` degraded to the serial loop.
+    serial_fallbacks: int = 0
+    #: Items completed serially *after* a pool failure (the completed
+    #: pool results are kept — only these were re-run).
+    items_recovered_serial: int = 0
+    #: Items skipped because a checkpoint (journal or store) already
+    #: held their results.
+    points_resumed: int = 0
+    #: Why the last serial fallback happened (``None`` = no fallback).
+    fallback_reason: Optional[str] = None
+
+    def merge(self, other: "ResilienceStats") -> None:
+        self.pool_rebuilds += other.pool_rebuilds
+        self.chunks_retried += other.chunks_retried
+        self.chunk_splits += other.chunk_splits
+        self.poison_isolated += other.poison_isolated
+        self.deadline_timeouts += other.deadline_timeouts
+        self.serial_fallbacks += other.serial_fallbacks
+        self.items_recovered_serial += other.items_recovered_serial
+        self.points_resumed += other.points_resumed
+        if other.fallback_reason is not None:
+            self.fallback_reason = other.fallback_reason
+
+    def to_dict(self) -> Dict:
+        return {
+            "pool_rebuilds": self.pool_rebuilds,
+            "chunks_retried": self.chunks_retried,
+            "chunk_splits": self.chunk_splits,
+            "poison_isolated": self.poison_isolated,
+            "deadline_timeouts": self.deadline_timeouts,
+            "serial_fallbacks": self.serial_fallbacks,
+            "items_recovered_serial": self.items_recovered_serial,
+            "points_resumed": self.points_resumed,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    def eventful(self) -> bool:
+        """True when anything nonzero happened (worth reporting)."""
+        return any(value for value in self.to_dict().values())
+
+
+@dataclass
+class _ChunkState:
+    """One dispatched chunk's recovery bookkeeping across pool rebuilds."""
+
+    indices: List[int]
+    crashes: int = 0
+    timeouts: int = 0
+    suspect_timeout: bool = False
 
 #: What pickling an unpicklable object actually raises.
 _UNPICKLABLE = (pickle.PicklingError, AttributeError, TypeError)
@@ -138,9 +253,35 @@ def _export_import_path() -> None:
         )
 
 
-def _run_chunk(worker: Callable[[T], R], items: Sequence[T]) -> List[R]:
-    """Worker-side chunk driver (module-level, hence spawn-picklable)."""
-    return [worker(item) for item in items]
+def _run_chunk(
+    worker: Callable[[T], R],
+    items: Sequence[T],
+    indices: Optional[Sequence[int]] = None,
+    describe: Optional[Callable[[T], str]] = None,
+) -> List[R]:
+    """Worker-side chunk driver (module-level, hence spawn-picklable).
+
+    Fires the two *in-worker* fault sites: ``batch.chunk`` once per
+    dispatched chunk and ``batch.worker`` once per item, each with a
+    context naming the chunk's original item indices (``item=N:...``) so
+    seeded chaos plans can kill or stall one specific point.  Forked
+    workers inherit the parent's installed plan; the hooks cost one
+    ``None`` check when no plan is armed.
+    """
+    if FAULT_HOOK is not None and indices:
+        FAULT_HOOK(
+            "batch.chunk",
+            context=f"chunk={indices[0]}..{indices[-1]},n={len(items)}",
+        )
+    results: List[R] = []
+    for position, item in enumerate(items):
+        if FAULT_HOOK is not None and indices:
+            context = f"item={indices[position]}:"
+            if describe is not None:
+                context += describe(item)
+            FAULT_HOOK("batch.worker", context=context)
+        results.append(worker(item))
+    return results
 
 
 class SweepRunner:
@@ -155,10 +296,28 @@ class SweepRunner:
     process-wide :class:`CompileCache` (e.g. ``structural_signature``).
 
     :meth:`map` is the whole API: apply a picklable module-level callable
-    to every item and return the results in item order.  Pool failures
-    (unpicklable work, broken workers, sandboxes without fork/spawn
-    support) fall back to the serial loop; exceptions raised by the
-    *worker function itself* propagate unchanged in both modes.
+    to every item and return the results in item order.  Exceptions
+    raised by the *worker function itself* propagate unchanged in both
+    modes; failures of the pool machinery are survived in place:
+
+    * A dead worker (``BrokenProcessPool``) keeps every already-resolved
+      chunk, rebuilds the pool, and re-dispatches only the missing
+      chunks — bounded by a rebuild budget, past which the *missing*
+      items complete serially in-process.
+    * A chunk that keeps killing workers is bisected down to a single
+      item, which is then run in the parent: determinism means it either
+      succeeds (it was a worker-environment casualty) or raises the same
+      exception ``jobs=1`` would.
+    * ``chunk_deadline_s`` puts a wall clock on every dispatch round: a
+      wedged child is killed (the sweep never hangs) and its chunk
+      re-run in a fresh pool; a singleton that still cannot finish fails
+      cleanly with :class:`ChunkDeadlineError`.
+
+    ``on_result(index, result)`` observes completions as they land (the
+    checkpoint seam — journals and stores write through it), ``cancel``
+    (a :class:`threading.Event`) requests a graceful drain that raises
+    :class:`SweepInterrupted`, and ``runner.resilience`` accounts what
+    recovery work the last :meth:`map` performed.
     """
 
     def __init__(
@@ -166,13 +325,28 @@ class SweepRunner:
         jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
         key: Optional[Callable[[T], object]] = None,
+        chunk_deadline_s: Optional[float] = None,
+        max_pool_rebuilds: Optional[int] = None,
+        describe: Optional[Callable[[T], str]] = None,
     ):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.chunk_size = chunk_size
         self.key = key
+        #: Wall-clock budget for one dispatch round of chunks (``None``
+        #: = no deadline).  Size it for the *round*, not one item: with
+        #: default chunking a round holds every chunk.
+        self.chunk_deadline_s = chunk_deadline_s
+        #: Pool rebuilds allowed before giving up on pooling (``None`` =
+        #: enough for a bisection chain down to a singleton, plus slack).
+        self.max_pool_rebuilds = max_pool_rebuilds
+        #: Optional picklable ``item -> str`` used to annotate the
+        #: ``batch.worker`` fault-hook context (diagnostics only).
+        self.describe = describe
         #: True when the last :meth:`map` degraded to the serial fallback
         #: after a pool failure (useful for tests and diagnostics).
         self.fell_back = False
+        #: Recovery accounting for the last :meth:`map` call.
+        self.resilience = ResilienceStats()
 
     # -- sharding ------------------------------------------------------
 
@@ -222,14 +396,28 @@ class SweepRunner:
 
     # -- execution -----------------------------------------------------
 
-    def map(self, worker: Callable[[T], R], items: Iterable[T]) -> List[R]:
-        """``[worker(x) for x in items]``, sharded across processes."""
+    def map(
+        self,
+        worker: Callable[[T], R],
+        items: Iterable[T],
+        on_result: Optional[Callable[[int, R], None]] = None,
+        cancel: Optional["threading.Event"] = None,
+    ) -> List[R]:
+        """``[worker(x) for x in items]``, sharded across processes.
+
+        ``on_result(index, result)`` is called exactly once per item as
+        its result lands (pool completions, recovery re-runs, and serial
+        execution alike) — the checkpoint seam.  ``cancel.set()``
+        requests a graceful stop: in-flight chunks drain, their results
+        are delivered, then :class:`SweepInterrupted` is raised.
+        """
         items = list(items)
         if FAULT_HOOK is not None:
             FAULT_HOOK("batch.map", context=f"items={len(items)}")
         self.fell_back = False
+        self.resilience = ResilienceStats()
         if self.jobs <= 1 or len(items) <= 1:
-            return [worker(item) for item in items]
+            return self._map_serial(worker, items, on_result, cancel)
         # Probe picklability up front: a lambda worker or items holding
         # locks/handles can never reach a pool, so go serial without one
         # — and real TypeErrors raised *by* the worker then propagate
@@ -238,16 +426,78 @@ class SweepRunner:
             pickle.dumps(worker)
             pickle.dumps(items)
         except _UNPICKLABLE:
-            self.fell_back = True
-            return [worker(item) for item in items]
+            self._fall_back("unpicklable work")
+            return self._map_serial(worker, items, on_result, cancel)
+        results: List = [_PENDING] * len(items)
         try:
-            return self._map_pooled(worker, items)
-        except _POOL_FAILURES + (_PoolUnavailable,):
-            self.fell_back = True
-            return [worker(item) for item in items]
+            return self._map_pooled(worker, items, results, on_result, cancel)
+        except _PoolUnavailable as error:
+            self._fall_back(str(error) or "pool unavailable")
+        except _POOL_FAILURES as error:
+            self._fall_back(f"{type(error).__name__}: {error}")
+        # Serial completion: keep every result the pool already
+        # produced and run only the items still missing.
+        return self._map_serial(worker, items, on_result, cancel, results)
+
+    def _fall_back(self, reason: str) -> None:
+        self.fell_back = True
+        self.resilience.serial_fallbacks += 1
+        self.resilience.fallback_reason = reason
+
+    @staticmethod
+    def _completed(results: List) -> int:
+        return sum(1 for value in results if value is not _PENDING)
+
+    def _map_serial(
+        self,
+        worker: Callable[[T], R],
+        items: Sequence[T],
+        on_result: Optional[Callable[[int, R], None]],
+        cancel,
+        results: Optional[List] = None,
+    ) -> List[R]:
+        # A results array means we got to the pool and fell back: the
+        # items run here are recovery work (completed slots are kept).
+        recovering = results is not None
+        if results is None:
+            results = [_PENDING] * len(items)
+        for index, item in enumerate(items):
+            if results[index] is not _PENDING:
+                continue
+            if cancel is not None and cancel.is_set():
+                raise SweepInterrupted(self._completed(results), len(items))
+            value = worker(item)
+            results[index] = value
+            if recovering:
+                self.resilience.items_recovered_serial += 1
+            if on_result is not None:
+                on_result(index, value)
+        return results
+
+    def _make_pool(self, chunk_count: int) -> ProcessPoolExecutor:
+        try:
+            return ProcessPoolExecutor(
+                max_workers=min(self.jobs, max(1, chunk_count)),
+                mp_context=_mp_context(),
+            )
+        except _POOL_SETUP_FAILURES as error:
+            raise _PoolUnavailable(str(error)) from error
+
+    def _rebuild_budget(self, count: int) -> int:
+        if self.max_pool_rebuilds is not None:
+            return max(0, int(self.max_pool_rebuilds))
+        # Enough for a bisection chain down to a singleton (one intact
+        # retry plus one split per level) with slack for transient
+        # crashes elsewhere in the sweep.
+        return 4 + 2 * max(1, count).bit_length()
 
     def _map_pooled(
-        self, worker: Callable[[T], R], items: Sequence[T]
+        self,
+        worker: Callable[[T], R],
+        items: Sequence[T],
+        results: List,
+        on_result: Optional[Callable[[int, R], None]],
+        cancel,
     ) -> List[R]:
         order = self._order(items)
         chunks = self._chunks(items, order)
@@ -265,30 +515,203 @@ class SweepRunner:
 
         gc.collect()
         gc.freeze()
+        pool = None
+        budget = self._rebuild_budget(len(items))
         try:
-            results: List[Optional[R]] = [None] * len(items)
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(chunks)),
-                    mp_context=_mp_context(),
+            pool = self._make_pool(len(chunks))
+            pending = [_ChunkState(indices=list(chunk)) for chunk in chunks]
+            while pending:
+                if cancel is not None and cancel.is_set():
+                    raise SweepInterrupted(
+                        self._completed(results), len(items)
+                    )
+                round_states, pending = pending, []
+                futures = {
+                    pool.submit(
+                        _run_chunk,
+                        worker,
+                        [items[i] for i in state.indices],
+                        state.indices,
+                        self.describe,
+                    ): state
+                    for state in round_states
+                }
+                failed, interrupted = self._collect(
+                    pool, futures, results, on_result, cancel
                 )
-            except _POOL_SETUP_FAILURES as error:
-                raise _PoolUnavailable(str(error)) from error
-            with pool:
-                futures = [
-                    pool.submit(_run_chunk, worker, [items[i] for i in chunk])
-                    for chunk in chunks
-                ]
-                for chunk, future in zip(chunks, futures):
-                    for index, result in zip(chunk, future.result()):
-                        results[index] = result
+                if interrupted:
+                    raise SweepInterrupted(
+                        self._completed(results), len(items)
+                    )
+                if not failed:
+                    continue
+                self.resilience.pool_rebuilds += 1
+                if self.resilience.pool_rebuilds > budget:
+                    raise _PoolUnavailable(
+                        f"pool rebuild budget exhausted ({budget} rebuilds)"
+                    )
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                pending = self._retry_plan(
+                    worker, items, results, on_result, failed
+                )
+                if pending:
+                    pool = self._make_pool(len(pending))
+            missing = self._completed(results) != len(items)
+            if missing:  # pragma: no cover - defensive
+                raise _PoolUnavailable("pool lost track of dispatched items")
+            return list(results)
         finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
             gc.unfreeze()
             if previous_pythonpath is None:
                 os.environ.pop("PYTHONPATH", None)
             else:
                 os.environ["PYTHONPATH"] = previous_pythonpath
-        return results  # type: ignore[return-value]
+
+    def _collect(
+        self,
+        pool: ProcessPoolExecutor,
+        futures: Dict,
+        results: List,
+        on_result: Optional[Callable[[int, R], None]],
+        cancel,
+    ) -> Tuple[List[_ChunkState], bool]:
+        """Wait out one dispatch round, recording each chunk's outcome.
+
+        Successful chunks resolve into ``results`` (and ``on_result``)
+        the moment they land.  Returns ``(failed, interrupted)``: the
+        chunk states that died with the pool (crash or deadline kill,
+        distinguished on the state's counters), and whether ``cancel``
+        was observed — in which case queued chunks were cancelled and
+        the running ones drained first.
+        """
+        failed: List[_ChunkState] = []
+        interrupted = False
+        not_done = set(futures)
+        deadline = (
+            None
+            if self.chunk_deadline_s is None
+            else time.monotonic() + self.chunk_deadline_s
+        )
+        while not_done:
+            if cancel is not None and cancel.is_set() and not interrupted:
+                interrupted = True
+                # Queued chunks can still be cancelled; running ones
+                # drain (their results are kept and checkpointed).
+                for future in list(not_done):
+                    if future.cancel():
+                        not_done.discard(future)
+                continue
+            timeout = None if cancel is None else 0.05
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    # The round overran its wall-clock budget: the
+                    # running chunks are wedged suspects.  Kill the
+                    # children — the pool breaks, every unresolved
+                    # future fails fast, and the sweep never hangs.
+                    suspects = {f for f in not_done if f.running()}
+                    if not suspects:
+                        suspects = set(not_done)
+                    for future in suspects:
+                        futures[future].suspect_timeout = True
+                    self.resilience.deadline_timeouts += len(suspects)
+                    processes = getattr(pool, "_processes", None) or {}
+                    for process in list(processes.values()):
+                        process.terminate()
+                    deadline = None
+                    continue
+                timeout = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+            done, not_done = wait(
+                not_done, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                state = futures[future]
+                if self._resolve(future, state, results, on_result):
+                    continue
+                if state.suspect_timeout:
+                    state.timeouts += 1
+                else:
+                    state.crashes += 1
+                failed.append(state)
+        return failed, interrupted
+
+    def _resolve(
+        self,
+        future,
+        state: _ChunkState,
+        results: List,
+        on_result: Optional[Callable[[int, R], None]],
+    ) -> bool:
+        """Deliver one finished future; False when its chunk died with
+        the pool.  Worker-raised exceptions propagate unchanged."""
+        try:
+            values = future.result()
+        except BrokenProcessPool:
+            return False
+        except CancelledError:
+            return True
+        for index, value in zip(state.indices, values):
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+        return True
+
+    def _retry_plan(
+        self,
+        worker: Callable[[T], R],
+        items: Sequence[T],
+        results: List,
+        on_result: Optional[Callable[[int, R], None]],
+        failed: List[_ChunkState],
+    ) -> List[_ChunkState]:
+        """The next dispatch round after a pool death.
+
+        First strike: re-dispatch the chunk intact (a transient crash).
+        Second: bisect, cornering a poisoned item (PR 6's batch-bisection
+        pattern — safe by determinism).  A *singleton* that keeps
+        killing workers runs in the parent: outside the pool (and the
+        worker-only fault hooks) it either succeeds or raises exactly
+        what ``jobs=1`` would.  A singleton implicated in a deadline
+        kill is never run in the parent — that could wedge the whole
+        sweep — and fails cleanly instead.
+        """
+        pending: List[_ChunkState] = []
+        for state in failed:
+            state.suspect_timeout = False
+            strikes = state.crashes + state.timeouts
+            if strikes <= 1:
+                self.resilience.chunks_retried += 1
+                pending.append(state)
+                continue
+            if len(state.indices) > 1:
+                self.resilience.chunk_splits += 1
+                middle = len(state.indices) // 2
+                for half in (state.indices[:middle], state.indices[middle:]):
+                    pending.append(
+                        _ChunkState(
+                            indices=half,
+                            crashes=min(state.crashes, 1),
+                            timeouts=min(state.timeouts, 1),
+                        )
+                    )
+                continue
+            index = state.indices[0]
+            if state.timeouts:
+                raise ChunkDeadlineError(
+                    f"item {index} exceeded the chunk deadline "
+                    f"({self.chunk_deadline_s:.3g}s) on every attempt"
+                )
+            self.resilience.poison_isolated += 1
+            value = worker(items[index])
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+        return pending
 
 
 # ---------------------------------------------------------------------------

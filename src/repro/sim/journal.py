@@ -1,0 +1,231 @@
+"""The sweep checkpoint journal: append-only, torn-tail-tolerant JSONL.
+
+A long design-space sweep must survive being killed — SIGTERM, OOM, a
+deadline — without losing completed work.  The journal is the on-disk
+checkpoint the sweep loops (:func:`repro.scenarios.run_scenario_sweep`,
+:func:`repro.analysis.run_sweep`) write through as points complete, and
+what ``equeue-sim --journal PATH --resume`` replays to skip them.
+
+Format (one record per line, self-verifying):
+
+    <canonical JSON> #sha256:<16 hex digits>\n
+
+* The JSON is :func:`repro.analysis.export.record_line` canonical form
+  (sorted keys, compact separators, numpy converted), so a journaled
+  point round-trips bit-identically through the same serialization every
+  other result surface uses.
+* The trailer is the first 16 hex digits of the line's SHA-256.  A line
+  whose trailer does not verify — or that lacks its newline — is a *torn
+  tail*: everything after it is dropped on open.  Truncating to the
+  valid prefix is always safe because a dropped point is merely
+  recomputed, never wrong.
+* The first record is the header (``kind = "sweep-journal/v1"``)
+  capturing the request (grid, seed, options, check), the point count,
+  and the code version.  Resume refuses a journal whose header does not
+  match the current request — a checkpoint from different code or a
+  different sweep must not be merged.
+* Each completed point appends ``{"kind": "point", "index": i,
+  "point": {...}}``.  Unknown kinds are tolerated on read (e.g. the
+  ``interrupted`` marks the CLI leaves behind), so the format can grow.
+
+Appends are atomic in practice: one ``write()`` of a complete line to an
+append-mode handle, flushed (and fsynced by default) per point.  A crash
+mid-append leaves at most one torn line — exactly what open tolerates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+
+def record_line(record: Mapping) -> str:
+    """The shared canonical serializer (lazy import: journal sits below
+    :mod:`repro.analysis` in the import graph — ``analysis.dse`` imports
+    the sweep module that writes journals — so a module-level import
+    would be a cycle)."""
+    from ..analysis.export import record_line as canonical
+
+    return canonical(record)
+
+
+#: The journal format identifier (bump on incompatible change).
+JOURNAL_KIND = "sweep-journal/v1"
+
+#: Hex digits of SHA-256 kept in each line's trailer.
+_TRAILER_HEX = 16
+
+_SEPARATOR = " #sha256:"
+
+
+class JournalError(ValueError):
+    """A journal that cannot be used: wrong kind, or a header mismatch
+    (different sweep, different code version) on ``--resume``."""
+
+
+def journal_line(record: Mapping) -> str:
+    """One self-verifying journal line (no trailing newline)."""
+    line = record_line(record)
+    digest = hashlib.sha256(line.encode("utf-8")).hexdigest()[:_TRAILER_HEX]
+    return f"{line}{_SEPARATOR}{digest}"
+
+
+def parse_journal_line(text: str) -> Optional[Dict]:
+    """Decode one journal line; ``None`` when torn or corrupt."""
+    text = text.rstrip("\n")
+    line, separator, trailer = text.rpartition(_SEPARATOR)
+    if not separator or len(trailer) != _TRAILER_HEX:
+        return None
+    digest = hashlib.sha256(line.encode("utf-8")).hexdigest()[:_TRAILER_HEX]
+    if trailer != digest:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:  # pragma: no cover - digest already guards this
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def load_journal(
+    path,
+) -> Tuple[Optional[Dict], Dict[int, Dict], int, int]:
+    """Read a journal's valid prefix.
+
+    Returns ``(header, points, valid_bytes, dropped_lines)``: the header
+    record (``None`` for a missing/empty file), completed point records
+    by original sweep index, how many bytes of the file verified (the
+    truncation offset for resume), and how many trailing lines were
+    dropped as torn or corrupt.  Raises :class:`JournalError` when the
+    first record is not a ``sweep-journal/v1`` header.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return None, {}, 0, 0
+    header: Optional[Dict] = None
+    points: Dict[int, Dict] = {}
+    valid_bytes = 0
+    dropped = 0
+    offset = 0
+    for raw in data.splitlines(keepends=True):
+        size = len(raw)
+        offset += size
+        record = None
+        if raw.endswith(b"\n"):
+            record = parse_journal_line(raw.decode("utf-8", "replace"))
+        if record is None:
+            # Torn or corrupt: the valid prefix ends here.  Count the
+            # rest so callers can report what resume recomputes.
+            remainder = data[offset - size :]
+            dropped = len(remainder.splitlines()) or 1
+            break
+        if header is None:
+            if record.get("kind") != JOURNAL_KIND:
+                raise JournalError(
+                    f"{path}: not a {JOURNAL_KIND} journal "
+                    f"(first record kind={record.get('kind')!r})"
+                )
+            header = record
+        elif record.get("kind") == "point":
+            points[int(record["index"])] = record["point"]
+        valid_bytes = offset
+    return header, points, valid_bytes, dropped
+
+
+class SweepJournal:
+    """One sweep's checkpoint file: open (fresh or resuming), append
+    points as they complete, close.  Context-manager friendly.
+
+    ``sync=True`` (the default) fsyncs every append so a power loss
+    costs at most the in-flight point; pass ``False`` to trade that for
+    throughput on sweeps whose points are very cheap.
+    """
+
+    def __init__(self, path, sync: bool = True):
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self._handle = None
+        #: Points loaded from the valid prefix on a resuming open.
+        self.points_resumed = 0
+        #: Torn/corrupt trailing lines dropped on a resuming open.
+        self.lines_dropped = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self, header: Mapping, resume: bool = False) -> Dict[int, Dict]:
+        """Start (or continue) journaling under ``header``.
+
+        Fresh open truncates and writes the header.  ``resume=True``
+        loads the valid prefix, verifies the existing header matches
+        ``header`` exactly (same sweep, same code version — else
+        :class:`JournalError`), truncates any torn tail, and returns the
+        completed points by index.  An empty or missing file resumes as
+        a fresh journal.
+        """
+        completed: Dict[int, Dict] = {}
+        if resume:
+            existing, completed, valid_bytes, dropped = load_journal(
+                self.path
+            )
+            self.lines_dropped = dropped
+            if existing is not None:
+                self._check_header(existing, header)
+                self.points_resumed = len(completed)
+                self._handle = open(self.path, "ab")
+                if self._handle.tell() != valid_bytes:
+                    self._handle.truncate(valid_bytes)
+                return completed
+            completed = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "wb")
+        self._append_record(dict(header))
+        return completed
+
+    def _check_header(self, existing: Mapping, header: Mapping) -> None:
+        want = record_line(dict(header))
+        have = record_line(dict(existing))
+        if want != have:
+            raise JournalError(
+                f"{self.path}: journal header does not match this sweep "
+                "(different grid/seed/options or code version); "
+                "refusing to merge — remove the journal or rerun "
+                "without --resume"
+            )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -------------------------------------------------------
+
+    def _append_record(self, record: Mapping) -> None:
+        if self._handle is None:
+            raise JournalError(f"{self.path}: journal is not open")
+        self._handle.write((journal_line(record) + "\n").encode("utf-8"))
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def append_point(self, index: int, point: Mapping) -> None:
+        """Checkpoint one completed point under its sweep index."""
+        self._append_record(
+            {"kind": "point", "index": int(index), "point": dict(point)}
+        )
+
+    def mark(self, kind: str, **fields) -> None:
+        """Append an informational record (e.g. ``interrupted``).
+        Readers tolerate unknown kinds; marks never affect resume."""
+        self._append_record({"kind": str(kind), **fields})

@@ -6,6 +6,8 @@ Usage::
     equeue-sim program.mlir --pipeline "equeue-read-write,..." --max-cycles 100000
     equeue-sim a.mlir b.mlir c.mlir --jobs 4
     equeue-sim --scenario gemm:k=32,tile_k=8 --seed 7
+    equeue-sim --scenario gemm --sweep --jobs 4 --journal sweep.journal
+    equeue-sim --scenario gemm --sweep --journal sweep.journal --resume
     equeue-sim --list-scenarios
 
 Multiple input files form a batch: each program is an independent
@@ -102,6 +104,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0,
         help="seed for deterministic scenario input generation (default 0)",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the scenario's default parameter grid instead of a "
+        "single point (spec values pin non-axis fields); combine with "
+        "--jobs for a parallel sweep",
+    )
+    parser.add_argument(
+        "--journal", default="",
+        help="checkpoint completed sweep points to this append-only "
+        "journal so an interrupted run can be resumed (--sweep only)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from --journal, recomputing "
+        "only the missing points",
+    )
+    parser.add_argument(
+        "--sweep-out", default="",
+        help="write the sweep's canonical result records (JSONL, one "
+        "point per line, host-timing fields stripped) to this path",
+    )
+    parser.add_argument(
+        "--sample", type=int, default=0,
+        help="deterministically subsample the sweep grid to this many "
+        "points (0 = full grid; --sweep only)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run each scenario's reference-stats oracle on every sweep "
+        "point (--sweep only)",
     )
     return parser
 
@@ -256,6 +289,129 @@ def _run_scenario(args, scenario, cfg) -> int:
     return 0
 
 
+def _sweep_option_overrides(args) -> Optional[dict]:
+    """Engine-option overrides a sweep should apply to every point.
+
+    Only non-default flags are recorded so the journal header (which
+    embeds these) stays identical between a plain run and a resume that
+    passed the same command line.
+    """
+    overrides = {}
+    if args.max_cycles:
+        overrides["max_cycles"] = args.max_cycles
+    if args.strict_capacity:
+        overrides["strict_capacity"] = True
+    if args.interpret:
+        overrides["compile_plans"] = False
+    if args.scheduler != "wheel":
+        overrides["scheduler"] = args.scheduler
+    return overrides or None
+
+
+def _run_sweep(args, scenario, cfg) -> int:
+    """Run a scenario parameter sweep with journaling and graceful stop.
+
+    SIGTERM/SIGINT request a drain instead of killing the process:
+    in-flight points finish, completed points land in the journal, and
+    the run exits with status 3 so callers know ``--resume`` applies.
+    """
+    import signal
+    import threading
+    from dataclasses import asdict
+
+    from ..analysis.export import record_line
+    from ..scenarios import scenario_grid
+    from ..scenarios.sweep import (
+        run_scenario_sweep,
+        scenario_point_export_record,
+    )
+    from ..sim.batch import ResilienceStats, SweepInterrupted
+    from ..sim.journal import JournalError
+
+    # The full spec config is the grid base: axis fields are overridden
+    # per point, every other field stays pinned at the spec's value.
+    grid = scenario_grid(scenario.name, **asdict(cfg))
+    stats = ResilienceStats()
+    cancel = threading.Event()
+
+    def _request_stop(signum, frame):
+        cancel.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        try:
+            points = run_scenario_sweep(
+                grid,
+                jobs=args.jobs if args.jobs > 0 else None,
+                seed=args.seed,
+                sample=args.sample or None,
+                option_overrides=_sweep_option_overrides(args),
+                check=args.check,
+                journal=args.journal or None,
+                resume=args.resume,
+                cancel=cancel,
+                runner_stats=stats,
+            )
+        except SweepInterrupted as stop:
+            hint = (
+                f"; journaled to {args.journal} — rerun with --resume "
+                "to finish"
+                if args.journal
+                else "; no --journal was set, progress is lost"
+            )
+            print(
+                "equeue-sim: sweep interrupted at "
+                f"{stop.completed}/{stop.total} points{hint}",
+                file=sys.stderr,
+            )
+            return 3
+        except (JournalError, ScenarioError, OSError) as error:
+            print(f"equeue-sim: error: {error}", file=sys.stderr)
+            return 1
+        except Exception as error:  # CLI boundary: report, don't traceback
+            print(f"equeue-sim: error: {error}", file=sys.stderr)
+            return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    print(f"== sweep {scenario.name}: {len(points)} points ==")
+    if points:
+        cycles = [point.cycles for point in points]
+        print(
+            f"cycles: min={min(cycles)} max={max(cycles)} "
+            f"total={sum(cycles)}"
+        )
+    if stats.points_resumed:
+        print(f"resumed from journal: {stats.points_resumed} points")
+    if stats.eventful():
+        eventful = {k: v for k, v in stats.to_dict().items() if v}
+        print(
+            "resilience: "
+            + ", ".join(f"{key}={value}" for key, value in eventful.items())
+        )
+    if args.check:
+        print(f"reference checks: OK ({len(points)} points)")
+    if args.sweep_out:
+        try:
+            with open(args.sweep_out, "w", encoding="utf-8") as handle:
+                for point in points:
+                    handle.write(
+                        record_line(scenario_point_export_record(point))
+                    )
+                    handle.write("\n")
+        except OSError as error:
+            print(f"equeue-sim: error: {error}", file=sys.stderr)
+            return 1
+        print(f"sweep records written to {args.sweep_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -270,6 +426,22 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     if args.seed < 0:
         parser.error(f"--seed must be >= 0, got {args.seed}")
+    if args.sample < 0:
+        parser.error(f"--sample must be >= 0, got {args.sample}")
+    if args.sweep and not args.scenario:
+        parser.error("--sweep requires --scenario")
+    if not args.sweep:
+        for flag, value in (
+            ("--journal", args.journal),
+            ("--resume", args.resume),
+            ("--sweep-out", args.sweep_out),
+            ("--sample", args.sample),
+            ("--check", args.check),
+        ):
+            if value:
+                parser.error(f"{flag} requires --sweep")
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
     if args.scenario:
         if args.input != ["-"]:
             parser.error("--scenario replaces input files; drop the paths")
@@ -282,13 +454,24 @@ def main(argv=None) -> int:
                 "--inputs does not apply to --scenario runs (scenario "
                 "inputs are generated from --seed)"
             )
-        if args.jobs != 1:
-            parser.error("--jobs applies to multi-file batches, not "
-                         "--scenario runs")
+        if args.jobs != 1 and not args.sweep:
+            parser.error("--jobs applies to multi-file batches and "
+                         "--sweep runs, not single --scenario runs")
+        if args.sweep:
+            # Single-run output flags have no per-point meaning.
+            for flag, value in (
+                ("--trace", args.trace),
+                ("--stats-json", args.stats_json),
+                ("--dump-buffer", args.dump_buffer),
+            ):
+                if value:
+                    parser.error(f"{flag} does not apply to --sweep runs")
         try:
             scenario, cfg = parse_scenario_spec(args.scenario)
         except ScenarioError as error:
             parser.error(str(error))
+        if args.sweep:
+            return _run_sweep(args, scenario, cfg)
         return _run_scenario(args, scenario, cfg)
     if args.trace and len(args.input) > 1:
         print(

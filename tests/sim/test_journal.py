@@ -1,0 +1,152 @@
+"""The sweep checkpoint journal: format, torn tails, resume semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.journal import (
+    JOURNAL_KIND,
+    JournalError,
+    SweepJournal,
+    journal_line,
+    load_journal,
+    parse_journal_line,
+)
+
+HEADER = {
+    "kind": JOURNAL_KIND,
+    "request": {"grid": {"scenario": "gemm"}, "seed": 0},
+    "total": 3,
+    "code": "test",
+}
+
+
+def _point(index: int) -> dict:
+    return {"cycles": 100 + index, "config": {"k": index}}
+
+
+class TestLineFormat:
+    def test_roundtrip(self):
+        record = {"kind": "point", "index": 2, "point": _point(2)}
+        line = journal_line(record)
+        assert "\n" not in line  # caller appends the newline
+        assert parse_journal_line(line) == record
+        assert parse_journal_line(line + "\n") == record
+
+    def test_trailer_detects_corruption(self):
+        line = journal_line({"kind": "point", "index": 0, "point": {}})
+        flipped = line.replace("point", "poInt", 1)
+        assert parse_journal_line(flipped) is None
+
+    def test_torn_line_is_none(self):
+        line = journal_line({"kind": "point", "index": 0, "point": {}})
+        assert parse_journal_line(line[: len(line) // 2]) is None
+        assert parse_journal_line("") is None
+
+    def test_line_is_canonical_json_plus_trailer(self):
+        line = journal_line({"b": 2, "a": 1})
+        payload = line.rsplit(" #sha256:", 1)[0]
+        assert json.loads(payload) == {"a": 1, "b": 2}
+
+
+class TestJournalFile:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.append_point(0, _point(0))
+            journal.append_point(2, _point(2))
+        header, points, _, dropped = load_journal(path)
+        assert header == HEADER
+        assert dropped == 0
+        assert set(points) == {0, 2}
+        assert points[2] == _point(2)
+
+    def test_resume_returns_completed_points(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.append_point(1, _point(1))
+        with SweepJournal(path) as journal:
+            completed = journal.open(HEADER, resume=True)
+            assert completed == {1: _point(1)}
+            assert journal.points_resumed == 1
+            journal.append_point(0, _point(0))
+        _, points, _, _ = load_journal(path)
+        assert set(points) == {0, 1}
+
+    def test_resume_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.append_point(0, _point(0))
+            journal.append_point(1, _point(1))
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # tear the last line mid-record
+        with SweepJournal(path) as journal:
+            completed = journal.open(HEADER, resume=True)
+            assert completed == {0: _point(0)}
+            journal.append_point(1, _point(1))
+        # The torn bytes were truncated: the file is valid end to end.
+        _, points, _, dropped = load_journal(path)
+        assert dropped == 0
+        assert set(points) == {0, 1}
+
+    def test_corrupt_middle_line_keeps_valid_prefix(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.append_point(0, _point(0))
+            journal.append_point(1, _point(1))
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + b"X" + lines[1][11:]
+        path.write_bytes(b"".join(lines))
+        _, points, _, dropped = load_journal(path)
+        assert points == {}  # point 1 is *after* the corruption: dropped
+        assert dropped == 2
+
+    def test_resume_rejects_mismatched_header(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+        other = dict(HEADER, total=4)
+        with pytest.raises(JournalError):
+            SweepJournal(path).open(other, resume=True)
+
+    def test_resume_without_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            assert journal.open(HEADER, resume=True) == {}
+            journal.append_point(0, _point(0))
+        _, points, _, _ = load_journal(path)
+        assert set(points) == {0}
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.append_point(0, _point(0))
+        with SweepJournal(path) as journal:
+            assert journal.open(HEADER) == {}
+        _, points, _, _ = load_journal(path)
+        assert points == {}
+
+    def test_unknown_record_kinds_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path) as journal:
+            journal.open(HEADER)
+            journal.mark("interrupted", completed=1)
+            journal.append_point(0, _point(0))
+        _, points, _, dropped = load_journal(path)
+        assert set(points) == {0}
+        assert dropped == 0
+
+    def test_missing_header_is_error(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        path.write_text(
+            journal_line({"kind": "point", "index": 0, "point": {}}) + "\n"
+        )
+        with pytest.raises(JournalError):
+            load_journal(path)

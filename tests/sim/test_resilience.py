@@ -1,0 +1,165 @@
+"""Crash-tolerant pool recovery: kills, poison, deadlines, fallback.
+
+The contract under test: whatever the pool machinery survives —
+SIGKILLed children, poisoned items, wedged workers — :meth:`SweepRunner.
+map`'s results are bit-identical to the ``jobs=1`` serial loop, every
+result is delivered to ``on_result`` exactly once, and the recovery work
+is visible on ``runner.resilience``.
+
+Workers misbehave deterministically via *ticket files*: a fault claims
+its ticket with ``O_CREAT | O_EXCL`` (atomic across the pool's
+processes), so a "kill once" fault kills exactly one worker no matter
+how chunks are re-dispatched.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.sim.batch import (
+    ChunkDeadlineError,
+    SweepInterrupted,
+    SweepRunner,
+)
+
+
+def _claim(token: str) -> bool:
+    try:
+        os.close(os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        return True
+    except FileExistsError:
+        return False
+
+
+def _evaluate(payload):  # module-level: picklable for pool workers
+    value, action, token = payload
+    if action == "kill-once" and _claim(token):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if action == "kill-in-child" and os.getpid() != int(token):
+        # A worker-environment casualty: dies in any pool child, runs
+        # fine in the parent — the in-parent isolation endpoint.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if action == "stall-once" and _claim(token):
+        time.sleep(20)
+    if action == "stall-always":
+        time.sleep(20)
+    if action == "raise":
+        raise ValueError(f"bad item {value}")
+    return value * 3
+
+
+def _items(count, faults=()):
+    """``count`` plain items with ``faults`` overrides at given indices."""
+    payloads = [(i, "ok", "") for i in range(count)]
+    for index, action, token in faults:
+        payloads[index] = (index, action, token)
+    return payloads
+
+
+EXPECTED = [i * 3 for i in range(16)]
+
+
+class TestCrashRecovery:
+    def test_worker_kill_is_bit_identical(self, tmp_path):
+        items = _items(16, [(7, "kill-once", str(tmp_path / "kill"))])
+        runner = SweepRunner(jobs=2, chunk_size=4)
+        assert runner.map(_evaluate, items) == EXPECTED
+        assert runner.resilience.pool_rebuilds >= 1
+        assert runner.resilience.chunks_retried >= 1
+        assert not runner.fell_back
+
+    def test_on_result_delivered_exactly_once(self, tmp_path):
+        items = _items(16, [(3, "kill-once", str(tmp_path / "kill"))])
+        seen = {}
+
+        def on_result(index, value):
+            seen[index] = seen.get(index, 0) + 1
+            assert value == index * 3
+
+        runner = SweepRunner(jobs=2, chunk_size=4)
+        runner.map(_evaluate, items, on_result=on_result)
+        assert seen == {i: 1 for i in range(16)}
+
+    def test_poisoned_item_isolated_in_parent(self):
+        items = _items(16, [(5, "kill-in-child", str(os.getpid()))])
+        runner = SweepRunner(jobs=2, chunk_size=8)
+        assert runner.map(_evaluate, items) == EXPECTED
+        assert runner.resilience.chunk_splits >= 1
+        assert runner.resilience.poison_isolated >= 1
+        assert not runner.fell_back
+
+    def test_worker_exception_propagates_from_pool(self):
+        items = _items(8, [(2, "raise", "")])
+        runner = SweepRunner(jobs=2, chunk_size=2)
+        with pytest.raises(ValueError, match="bad item 2"):
+            runner.map(_evaluate, items)
+
+    def test_rebuild_budget_falls_back_serial(self, tmp_path):
+        # Budget 0: the first crash exhausts it.  The fallback must keep
+        # whatever the pool resolved and recompute only the missing
+        # items — and still produce the bit-identical result.
+        items = _items(16, [(1, "kill-once", str(tmp_path / "kill"))])
+        runner = SweepRunner(jobs=2, chunk_size=4, max_pool_rebuilds=0)
+        assert runner.map(_evaluate, items) == EXPECTED
+        assert runner.fell_back
+        assert runner.resilience.serial_fallbacks == 1
+        assert "budget" in runner.resilience.fallback_reason
+        assert runner.resilience.items_recovered_serial >= 1
+
+    def test_clean_run_reports_nothing(self):
+        runner = SweepRunner(jobs=2, chunk_size=4)
+        assert runner.map(_evaluate, _items(16)) == EXPECTED
+        assert not runner.resilience.eventful()
+        assert not runner.fell_back
+
+
+class TestChunkDeadline:
+    def test_transient_stall_recovers(self, tmp_path):
+        items = _items(8, [(4, "stall-once", str(tmp_path / "stall"))])
+        runner = SweepRunner(jobs=2, chunk_size=2, chunk_deadline_s=1.0)
+        started = time.monotonic()
+        assert runner.map(_evaluate, items) == [i * 3 for i in range(8)]
+        assert time.monotonic() - started < 15.0  # never waited the 20s out
+        assert runner.resilience.deadline_timeouts >= 1
+        assert runner.resilience.pool_rebuilds >= 1
+
+    def test_wedged_singleton_fails_cleanly(self):
+        items = _items(6, [(2, "stall-always", "")])
+        runner = SweepRunner(jobs=2, chunk_size=2, chunk_deadline_s=0.5)
+        started = time.monotonic()
+        with pytest.raises(ChunkDeadlineError, match="deadline"):
+            runner.map(_evaluate, items)
+        # Escalation (kill, retry, bisect, give up) stays bounded — the
+        # sweep never sleeps out a 20s wedge.
+        assert time.monotonic() - started < 15.0
+
+
+class TestCancel:
+    def test_cancel_before_start_serial(self):
+        cancel = threading.Event()
+        cancel.set()
+        runner = SweepRunner(jobs=1)
+        with pytest.raises(SweepInterrupted) as info:
+            runner.map(_evaluate, _items(4), cancel=cancel)
+        assert info.value.completed == 0
+        assert info.value.total == 4
+
+    def test_cancel_mid_pool_drains_completions(self):
+        cancel = threading.Event()
+        delivered = []
+
+        def on_result(index, value):
+            delivered.append(index)
+            cancel.set()
+
+        runner = SweepRunner(jobs=2, chunk_size=2)
+        with pytest.raises(SweepInterrupted) as info:
+            runner.map(_evaluate, _items(16), on_result=on_result, cancel=cancel)
+        # Everything reported completed was actually delivered.
+        assert info.value.completed == len(delivered)
+        assert 1 <= len(delivered) < 16

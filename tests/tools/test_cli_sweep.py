@@ -1,0 +1,138 @@
+"""``equeue-sim --sweep``: flags, journaling, SIGTERM drain, resume."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+import repro.scenarios.sweep as sweep_module
+from repro.sim.journal import load_journal
+from repro.tools import equeue_sim
+
+
+def _sweep_out(tmp_path, name, *extra):
+    out = tmp_path / name
+    code = equeue_sim.main(
+        ["--scenario", "gemm", "--sweep", "--sweep-out", str(out), *extra]
+    )
+    return code, out
+
+
+class TestSweepFlag:
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        code, out = _sweep_out(tmp_path, "a.jsonl")
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "== sweep gemm:" in stdout
+        assert "cycles:" in stdout
+        assert out.exists()
+
+    def test_sweep_out_is_deterministic(self, tmp_path, capsys):
+        _, first = _sweep_out(tmp_path, "a.jsonl")
+        _, second = _sweep_out(tmp_path, "b.jsonl")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_check_runs_oracles(self, tmp_path, capsys):
+        code, _ = _sweep_out(tmp_path, "a.jsonl", "--check")
+        assert code == 0
+        assert "reference checks: OK" in capsys.readouterr().out
+
+    def test_sample_subsets_grid(self, capsys):
+        assert equeue_sim.main(
+            ["--scenario", "gemm", "--sweep", "--sample", "3"]
+        ) == 0
+        assert "3 points" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--sweep"],  # requires --scenario
+            ["--scenario", "gemm", "--journal", "x"],  # requires --sweep
+            ["--scenario", "gemm", "--sweep-out", "x"],
+            ["--scenario", "gemm", "--sweep", "--resume"],  # needs --journal
+            ["--scenario", "gemm", "--sweep", "--trace", "x"],
+            ["--scenario", "gemm", "--sweep", "--stats-json", "x"],
+            ["--scenario", "gemm", "--sample", "-1", "--sweep"],
+        ],
+    )
+    def test_flag_validation(self, argv, capsys):
+        with pytest.raises(SystemExit) as info:
+            equeue_sim.main(argv)
+        assert info.value.code == 2
+
+    def test_jobs_allowed_with_sweep(self, tmp_path, capsys):
+        code, _ = _sweep_out(tmp_path, "a.jsonl", "--jobs", "2")
+        assert code == 0
+
+
+class TestSigtermResume:
+    def test_sigterm_drains_and_resume_completes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        reference = tmp_path / "reference.jsonl"
+        assert equeue_sim.main(
+            ["--scenario", "gemm", "--sweep", "--sweep-out", str(reference)]
+        ) == 0
+        capsys.readouterr()
+
+        journal = tmp_path / "sweep.journal"
+        real_worker = sweep_module._scenario_sweep_worker
+
+        def slowed(payload):
+            time.sleep(0.15)
+            return real_worker(payload)
+
+        monkeypatch.setattr(sweep_module, "_scenario_sweep_worker", slowed)
+        killer = threading.Timer(
+            0.4, os.kill, (os.getpid(), signal.SIGTERM)
+        )
+        killer.start()
+        try:
+            code = equeue_sim.main(
+                ["--scenario", "gemm", "--sweep", "--journal", str(journal)]
+            )
+        finally:
+            killer.cancel()
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+        _, points, _, _ = load_journal(journal)
+        assert 0 < len(points) < 12  # partial progress was checkpointed
+
+        monkeypatch.setattr(
+            sweep_module, "_scenario_sweep_worker", real_worker
+        )
+        resumed_out = tmp_path / "resumed.jsonl"
+        code = equeue_sim.main(
+            [
+                "--scenario", "gemm", "--sweep",
+                "--journal", str(journal), "--resume",
+                "--sweep-out", str(resumed_out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "resumed from journal:" in stdout
+        # The headline contract: interrupted + resumed == uninterrupted.
+        assert resumed_out.read_bytes() == reference.read_bytes()
+
+    def test_resume_mismatched_journal_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "sweep.journal"
+        assert equeue_sim.main(
+            ["--scenario", "gemm", "--sweep", "--journal", str(journal)]
+        ) == 0
+        code = equeue_sim.main(
+            [
+                "--scenario", "gemm", "--sweep", "--seed", "9",
+                "--journal", str(journal), "--resume",
+            ]
+        )
+        assert code == 1
+        assert "header does not match" in capsys.readouterr().err
