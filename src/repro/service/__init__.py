@@ -31,6 +31,7 @@ end.  See ``docs/serving.md``.
 
 from .client import ServiceClient, ServiceError
 from .faults import Fault, FaultPlan, injected
+from .fsck import FsckReport, fsck_state_dir
 from .scheduler import (
     DrainingError,
     Job,
@@ -47,11 +48,15 @@ from .store import (
     inputs_digest,
     request_key,
 )
+from .supervise import Supervisor
+from .wal import AdmissionWAL, WALError, load_wal
 
 __all__ = [
+    "AdmissionWAL",
     "DrainingError",
     "Fault",
     "FaultPlan",
+    "FsckReport",
     "Job",
     "JobRequest",
     "JobScheduler",
@@ -60,10 +65,14 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "StoreStats",
+    "Supervisor",
     "SweepJob",
     "SweepRequest",
+    "WALError",
     "code_version",
+    "fsck_state_dir",
     "injected",
     "inputs_digest",
+    "load_wal",
     "request_key",
 ]

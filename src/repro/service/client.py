@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import random
 import time
+from http.client import HTTPException
 from typing import Dict, List, Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
@@ -122,7 +123,11 @@ class ServiceClient:
             raise ServiceError(
                 message, status=error.code, retry_after=retry_after
             ) from None
-        except URLError as error:
+        except (URLError, OSError, HTTPException) as error:
+            # URLError covers connect failures; a server killed mid
+            # response surfaces as a raw ConnectionResetError /
+            # RemoteDisconnected instead — same transport blip, same
+            # retryable ServiceError.
             raise ServiceError(str(error)) from None
 
     @staticmethod
@@ -148,6 +153,24 @@ class ServiceClient:
 
     def healthz(self) -> Dict:
         return self._call("GET", "/healthz")
+
+    def wait_healthy(self, timeout: float = 30.0, poll_s: float = 0.1) -> Dict:
+        """Poll ``/healthz`` until the service answers; the ride-out for
+        a supervised restart (connection refused while the child is
+        down or rebinding).  Returns the first health payload; raises
+        :class:`ServiceError` when ``timeout`` expires first."""
+        deadline = time.monotonic() + timeout
+        last: Optional[ServiceError] = None
+        while True:
+            try:
+                return self._call("GET", "/healthz", retries=1)
+            except ServiceError as error:
+                last = error
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"service not healthy within {timeout:g}s: {last}"
+                    ) from None
+                time.sleep(poll_s)
 
     def stats(self) -> Dict:
         return self._call("GET", "/stats")

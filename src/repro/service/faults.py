@@ -87,6 +87,18 @@ SITES: Dict[str, Tuple[str, ...]] = {
     "batch.worker": ("kill",),
     #: The scheduler's background worker loop — kill one iteration.
     "scheduler.worker": ("die",),
+    #: :class:`~repro.service.wal.AdmissionWAL` appends — raise before
+    #: the record reaches the disk (disk full, log directory removed).
+    "wal.append": ("io-error",),
+    #: Whole-server kill points (admission, job finish, sweep-point
+    #: checkpoint): ``kill`` SIGKILLs the *server process* — the real
+    #: crash the WAL + recovery path exists for.  Only meaningful when
+    #: the server runs as its own process (a supervised ``equeue-serve``
+    #: or a test subprocess); never arm it in-process under pytest.
+    #: ``slow`` stalls at the seam (slow checkpoint I/O) — recovery
+    #: tests use it to hold a crash window open deterministically
+    #: instead of racing wall-clock simulation speed.
+    "server.crash": ("kill", "slow"),
 }
 
 #: Action -> does firing consume the payload transform path (vs raise).
@@ -167,6 +179,9 @@ class FaultPlan:
         self._lock = threading.Lock()
         self._rng = random.Random(self.seed)
         self._site_visits: Dict[str, int] = {}
+        #: Per-fault count of *matching* traversals, so ``after`` can
+        #: arm a ``match``-targeted fault on its Nth match.
+        self._match_visits: Dict[int, int] = {}
         self._remaining: List[int] = [f.count for f in self.faults]
         #: Every firing: ``(site, action, context)`` in firing order.
         self.fired: List[Tuple[str, str, Optional[str]]] = []
@@ -190,11 +205,16 @@ class FaultPlan:
         is excluded from the draw.  ``slow`` faults stall
         ``slow_delay_s`` — chaos runs set the watchdog deadline *below*
         it so every stall becomes a deadline failure, not a slow pass.
+        ``server.crash`` never enters this draw: it SIGKILLs the whole
+        process, which is the *recovery* plane's business
+        (:meth:`generate_crash`, against a subprocess server) — armed
+        in-process it would kill the test runner itself.
         """
         rng = random.Random(seed)
         choices: List[Tuple[str, str]] = [
             (site, action)
             for site, actions in sorted(SITES.items())
+            if site != "server.crash"
             for action in actions
             if action != "poison" or poison_contexts
         ]
@@ -277,6 +297,37 @@ class FaultPlan:
         return cls(specs, seed=seed, state_dir=state_dir)
 
     @classmethod
+    def generate_crash(
+        cls,
+        seed: int,
+        state_dir: str,
+        kills: int = 1,
+    ) -> "FaultPlan":
+        """A reproducible kill-9-mid-job plan for the *recovery* plane.
+
+        Draws ``kills`` whole-server SIGKILLs against the
+        ``server.crash`` seams — mid-admission (after the WAL record is
+        durable but before the response leaves), mid-finish (the record
+        exists but has not spilled), or mid-sweep (between point
+        checkpoints) — from a seeded RNG.  ``state_dir`` is mandatory:
+        the killed server restarts and re-installs the same plan, so the
+        firing budget must be a cross-process ticket on disk or the
+        server would crash-loop forever instead of recovering.
+        """
+        rng = random.Random(seed)
+        specs = [
+            Fault(
+                site="server.crash",
+                action="kill",
+                match=rng.choice(["admit:", "finish:", "sweep-point:"]),
+                after=rng.randrange(0, 3),
+                count=1,
+            )
+            for _ in range(kills)
+        ]
+        return cls(specs, seed=seed, state_dir=state_dir)
+
+    @classmethod
     def from_dict(cls, payload: Dict) -> "FaultPlan":
         return cls(
             [Fault(**spec) for spec in payload["faults"]],
@@ -301,6 +352,7 @@ class FaultPlan:
         with self._lock:
             self._rng = random.Random(self.seed)
             self._site_visits.clear()
+            self._match_visits.clear()
             self._remaining = [f.count for f in self.faults]
             self.fired.clear()
             if self.state_dir is not None and os.path.isdir(self.state_dir):
@@ -363,6 +415,10 @@ class FaultPlan:
                     continue
                 if fault.match is not None:
                     if context is None or fault.match not in context:
+                        continue
+                    matched = self._match_visits.get(index, 0)
+                    self._match_visits[index] = matched + 1
+                    if matched < fault.after:
                         continue
                 elif visit < fault.after:
                     continue

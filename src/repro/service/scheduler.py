@@ -48,6 +48,7 @@ from ..sim.batch import ResilienceStats, SweepRunner, result_record
 from ..sim.engine import EngineOptions
 from . import faults
 from .store import ResultStore, code_version, inputs_digest, request_key
+from .wal import AdmissionWAL, WALError
 
 #: Engine-options fields a request may override.  Trace recording is
 #: excluded (traces are not part of the stored record), and
@@ -370,6 +371,20 @@ def _payload_context(payload: Tuple) -> str:
     return f"{payload[0]}:seed={payload[2]}"
 
 
+class _RecoveredRequest:
+    """The request shim behind a resurrected job: a terminal WAL record
+    carries at most the admitted request *dict* — enough to report what
+    the job was, not enough (nor needed) to simulate it again."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Optional[Mapping]):
+        self._data = dict(data or {})
+
+    def to_dict(self) -> Dict:
+        return dict(self._data)
+
+
 class Job:
     """One scheduled request: state, waiters, and the eventual record.
 
@@ -542,6 +557,21 @@ class SchedulerStats:
     #: Sweep points that failed (their sweep fails, but completed
     #: batch-mates stay checkpointed for the resubmit).
     sweep_point_failures: int = 0
+    #: Terminal WAL appends that failed (the job still completes from
+    #: memory; replay will re-run it into a store hit).
+    wal_append_failures: int = 0
+    #: WAL-replayed jobs re-enqueued with their original ids.
+    recovered_requeued: int = 0
+    #: WAL-replayed jobs completed instantly from the store (the job
+    #: finished before the crash and its record survived) — zero engine
+    #: work on replay.
+    recovered_store_hits: int = 0
+    #: WAL-replayed jobs whose request no longer validates (scenario
+    #: removed, option renamed) — failed cleanly, never dropped.
+    recovered_failed: int = 0
+    #: Jobs no longer in memory (pruned, or completed before a restart)
+    #: resolved from their terminal record + the store.
+    resurrected: int = 0
 
 
 class JobScheduler:
@@ -583,8 +613,15 @@ class JobScheduler:
         deadline_s: Optional[float] = None,
         watchdog_poll_s: float = 0.05,
         stuck_grace_s: float = 30.0,
+        wal: Optional[AdmissionWAL] = None,
     ):
         self.store = store
+        #: The write-ahead admission log (optional).  With one attached,
+        #: :meth:`recover` MUST run before traffic: it opens the log,
+        #: replays outstanding admissions, and arms appends — a submit
+        #: against an unopened WAL raises loudly rather than admitting
+        #: a job whose durability was promised but not delivered.
+        self.wal = wal
         self.jobs = max(1, int(jobs))
         self.max_jobs = max(1, int(max_jobs))
         self.max_queue = None if max_queue is None else max(1, int(max_queue))
@@ -605,6 +642,12 @@ class JobScheduler:
         self._inflight: Dict[str, Job] = {}
         #: Every job ever created, by id (the server's lookup table).
         self._jobs: Dict[str, Job] = {}
+        #: Terminal outcomes by id, kept after the job itself is pruned
+        #: (or lost to a restart): ``job()`` resolves these from the
+        #: store instead of 404ing an id the client was given.  Bounded
+        #: FIFO; entries beyond the cap age out oldest-first.
+        self._terminal: Dict[str, Dict] = {}
+        self._terminal_cap = 4 * self.max_jobs
         #: Watchdog view of executing work: job id -> (job, deadline
         #: timestamp or None, executing thread ident).
         self._active: Dict[str, Tuple[Job, Optional[float], int]] = {}
@@ -620,7 +663,10 @@ class JobScheduler:
     # -- submission ----------------------------------------------------
 
     def submit(
-        self, request: JobRequest, deadline_s: Optional[float] = None
+        self,
+        request: JobRequest,
+        deadline_s: Optional[float] = None,
+        client: Optional[str] = None,
     ) -> Job:
         """Register a request; returns its (possibly shared) job.
 
@@ -631,10 +677,15 @@ class JobScheduler:
         just-finishing twin either coalesces or hits the freshly spilled
         blob — never simulates twice.
 
-        ``deadline_s`` overrides the scheduler default for this job.
-        Queue admission is checked *last*: requests the service can
-        answer for free (coalesce, store hit) are never refused, even
-        when the queue is full or draining.
+        ``deadline_s`` overrides the scheduler default for this job;
+        ``client`` (the peer address, when the HTTP layer forwards it)
+        is recorded in the admission log.  Queue admission is checked
+        *last*: requests the service can answer for free (coalesce,
+        store hit) are never refused, even when the queue is full or
+        draining.  With a WAL attached, the ``admitted`` record is
+        appended (and fsynced) *before* the job becomes visible — an
+        append failure refuses admission (:class:`WALError` -> 503)
+        rather than issuing an id that would not survive a crash.
         """
         key = request_store_key(request)
         with self._lock:
@@ -653,10 +704,12 @@ class JobScheduler:
                 return inflight
             if stored is not None:
                 job = Job(self._next_id(), key, request)
+                self._wal_admit(job, client=client, status="done")
                 self._jobs[job.id] = job
                 self._prune_jobs()
                 self.stats.store_hits += 1
                 job._complete(stored, source="store")
+                self._note_terminal(job)
                 return job
             if self.draining:
                 self.stats.rejected_draining += 1
@@ -672,22 +725,28 @@ class JobScheduler:
                 request,
                 deadline_s=self.deadline_s if deadline_s is None else deadline_s,
             )
+            self._wal_admit(job, client=client)
             self._jobs[job.id] = job
             self._prune_jobs()
             self._inflight[key] = job
             self._queue.append(job)
             self._lock.notify_all()
+        faults.fire("server.crash", context=f"admit:{job.id}")
         return job
 
     def submit_sweep(
-        self, request: SweepRequest, deadline_s: Optional[float] = None
+        self,
+        request: SweepRequest,
+        deadline_s: Optional[float] = None,
+        client: Optional[str] = None,
     ) -> SweepJob:
         """Register a sweep; returns its (possibly shared) job.
 
         Same lookup order and admission rules as :meth:`submit` —
         in-flight sweep with the same key coalesces, a fully persisted
-        sweep completes instantly from the store, and only genuinely
-        new work is subject to queue bounds and draining.
+        sweep completes instantly from the store, only genuinely new
+        work is subject to queue bounds and draining, and the admission
+        is WAL-logged before the job is visible.
         """
         key = request_store_key(request)
         with self._lock:
@@ -707,12 +766,14 @@ class JobScheduler:
                 return inflight
             if stored is not None:
                 job = SweepJob(self._next_id(), key, request)
+                self._wal_admit(job, client=client, status="done")
                 job.points_total = stored.get("points_total")
                 job.points_done = job.points_total or 0
                 self._jobs[job.id] = job
                 self._prune_jobs()
                 self.stats.store_hits += 1
                 job._complete(stored, source="store")
+                self._note_terminal(job)
                 return job
             if self.draining:
                 self.stats.rejected_draining += 1
@@ -728,16 +789,24 @@ class JobScheduler:
                 request,
                 deadline_s=self.deadline_s if deadline_s is None else deadline_s,
             )
+            self._wal_admit(job, client=client)
             self._jobs[job.id] = job
             self._prune_jobs()
             self._inflight[key] = job
             self._queue.append(job)
             self._lock.notify_all()
+        faults.fire("server.crash", context=f"admit:{job.id}")
         return job
 
     def _prune_jobs(self) -> None:
         """Drop the oldest *completed* jobs beyond ``max_jobs`` (called
-        under the lock; dict order is insertion/creation order)."""
+        under the lock; dict order is insertion/creation order).
+
+        A pruned id is NOT gone: its terminal outcome stays in the
+        terminal index (mirrored in the WAL), so :meth:`job` resolves it
+        from the store instead of handing the client a 404 for an id it
+        was given.
+        """
         if len(self._jobs) <= self.max_jobs:
             return
         excess = len(self._jobs) - self.max_jobs
@@ -748,13 +817,215 @@ class JobScheduler:
             self.stats.jobs_pruned += 1
 
     def job(self, job_id: str) -> Optional[Job]:
-        """Look a job up by id."""
+        """Look a job up by id.
+
+        Ids no longer in the live index — pruned by the retention cap,
+        or issued before a restart — resolve through their terminal
+        record: ``done`` outcomes re-read the store by key (a miss means
+        the record was evicted; the client resubmits and gets a store
+        hit or a clean re-simulation), ``error`` outcomes replay the
+        recorded failure.
+        """
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            entry = None if job is not None else self._terminal.get(job_id)
+        if job is not None:
+            return job
+        if entry is None:
+            return None
+        return self._resurrect(job_id, entry)
+
+    def _resurrect(self, job_id: str, entry: Dict) -> Optional[Job]:
+        request = _RecoveredRequest(entry.get("request"))
+        if entry.get("status") == "error":
+            job = Job(job_id, entry.get("key") or "", request)
+            job._fail(entry.get("error") or "job failed before restart")
+            with self._lock:
+                self.stats.resurrected += 1
+            return job
+        key = entry.get("key")
+        record = (
+            self.store.get(key)
+            if (self.store is not None and key)
+            else None
+        )
+        if record is None:
+            return None
+        job = Job(job_id, key, request)
+        job._complete(record, source="store")
+        with self._lock:
+            self.stats.resurrected += 1
+        return job
+
+    def _note_terminal(self, job: Job) -> None:
+        """Index a finished job's outcome by id (call under the lock):
+        what keeps the id resolvable after the job itself is pruned."""
+        self._terminal[job.id] = {
+            "status": job.state,
+            "key": job.key,
+            "error": job.error,
+            "request": job.request.to_dict(),
+        }
+        while len(self._terminal) > self._terminal_cap:
+            self._terminal.pop(next(iter(self._terminal)))
 
     def _next_id(self) -> str:
         self._counter += 1
         return f"job-{self._counter:06d}"
+
+    # -- the write-ahead admission log ---------------------------------
+
+    def _wal_admit(
+        self,
+        job: Job,
+        client: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> None:
+        """Log an admission before the job becomes visible (called under
+        the lock; admission-ordering with respect to visibility is the
+        WAL's one correctness requirement).  Failure refuses admission."""
+        if self.wal is None:
+            return
+        try:
+            self.wal.append_admitted(
+                job.id,
+                key=job.key,
+                request=job.request.to_dict(),
+                sweep=isinstance(job, SweepJob),
+                client=client,
+                deadline_s=job.deadline_s,
+                status=status,
+            )
+        except OSError as error:
+            self.stats.wal_append_failures += 1
+            raise WALError(
+                f"admission log append failed: {error}"
+            ) from None
+
+    def _wal_terminal(
+        self,
+        job_id: str,
+        status: str,
+        key: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Log a job's outcome (never fatal: a lost terminal record only
+        costs a redundant — store-hit — replay after the next crash)."""
+        if self.wal is None:
+            return
+        try:
+            self.wal.append_terminal(job_id, status, key=key, error=error)
+        except OSError:
+            with self._lock:
+                self.stats.wal_append_failures += 1
+
+    def recover(self) -> Dict:
+        """Open the WAL and replay outstanding admissions (call once,
+        before :meth:`start` and before serving traffic).
+
+        Every admitted-but-not-terminal record is rebuilt into a job
+        with its **original id**: store hits (the job finished and
+        spilled before the crash) complete instantly with zero engine
+        work, requests that no longer validate fail cleanly, and the
+        rest re-enqueue in admission order.  Terminal records populate
+        the terminal index so completed ids keep resolving.  Replay is
+        at-least-once and idempotent: re-running an admitted job is a
+        store hit or a bit-identical re-simulation, never a wrong
+        answer.
+        """
+        summary = {
+            "requeued": 0,
+            "store_hits": 0,
+            "failed": 0,
+            "terminal": 0,
+            "lines_dropped": 0,
+            "code_changed": False,
+        }
+        if self.wal is None:
+            return summary
+        recovery = self.wal.open()
+        summary["lines_dropped"] = recovery.lines_dropped
+        summary["code_changed"] = recovery.code_changed
+        with self._lock:
+            self._counter = max(self._counter, recovery.max_counter)
+            for job_id, entry in recovery.terminal.items():
+                self._terminal[job_id] = {
+                    "status": entry.get("status") or "done",
+                    "key": entry.get("key"),
+                    "error": entry.get("error"),
+                    "request": entry.get("request"),
+                }
+                summary["terminal"] += 1
+        for job_id, entry in recovery.pending.items():
+            self._recover_job(job_id, entry, summary)
+        return summary
+
+    def _recover_job(
+        self, job_id: str, entry: Dict, summary: Dict
+    ) -> None:
+        """Rebuild one WAL-admitted job (original id) and route it."""
+        data = dict(entry.get("request") or {})
+        deadline_s = entry.get("deadline_s")
+        try:
+            if entry.get("sweep") or data.get("sweep"):
+                request = SweepRequest.make(
+                    data["scenario"],
+                    config=data.get("base"),
+                    seed=data.get("seed", 0),
+                    sample=data.get("sample"),
+                    options=data.get("options"),
+                    check=data.get("check", True),
+                )
+                key = request_store_key(request)
+                job: Job = SweepJob(job_id, key, request, deadline_s=deadline_s)
+            else:
+                request = JobRequest.make(
+                    data["scenario"],
+                    config=data.get("config"),
+                    seed=data.get("seed", 0),
+                    options=data.get("options"),
+                    check=data.get("check", True),
+                )
+                key = request_store_key(request)
+                job = Job(job_id, key, request, deadline_s=deadline_s)
+        except (RequestError, KeyError, TypeError) as error:
+            # The admitted request no longer validates against this code
+            # (scenario removed, option renamed).  Fail it cleanly — an
+            # id the client holds must resolve to *something*.
+            message = f"recovery failed: {type(error).__name__}: {error}"
+            job = Job(job_id, entry.get("key") or "", _RecoveredRequest(data))
+            job._fail(message)
+            self._wal_terminal(job_id, "error", error=message)
+            with self._lock:
+                self._jobs[job_id] = job
+                self.stats.recovered_failed += 1
+                self._note_terminal(job)
+            summary["failed"] += 1
+            return
+        stored = self.store.get(key) if self.store is not None else None
+        if stored is not None:
+            job._complete(stored, source="store")
+            if isinstance(job, SweepJob):
+                job.points_total = stored.get("points_total")
+                job.points_done = job.points_total or 0
+            self._wal_terminal(job_id, "done", key=key)
+            with self._lock:
+                self._jobs[job_id] = job
+                self.stats.recovered_store_hits += 1
+                self._note_terminal(job)
+            summary["store_hits"] += 1
+            return
+        with self._lock:
+            self._jobs[job_id] = job
+            # Two pending admissions can share a key only across a
+            # crash window; the first keeps the coalescing slot, the
+            # duplicate still runs (deterministic — a redundant but
+            # never wrong replay).
+            self._inflight.setdefault(key, job)
+            self._queue.append(job)
+            self.stats.recovered_requeued += 1
+            self._lock.notify_all()
+        summary["requeued"] += 1
 
     # -- execution -----------------------------------------------------
 
@@ -906,6 +1177,12 @@ class JobScheduler:
             # advancing progress, so every point a poller sees counted
             # is already durable.
             index = missing[position]
+            # The crash plane's mid-sweep seam: a kill between points
+            # loses only this delivery — checkpointed points make the
+            # recovered sweep's replay resume, not restart.
+            faults.fire(
+                "server.crash", context=f"sweep-point:{job.id}:{index}"
+            )
             failed = record.get("error") is not None
             if not failed:
                 record = json.loads(record_line(record))
@@ -971,6 +1248,11 @@ class JobScheduler:
         return list(groups.values())
 
     def _finish(self, job: Job, record: Dict) -> None:
+        # The crash plane's finish seam: a kill here leaves the job
+        # admitted-but-not-terminal in the WAL — exactly what recovery
+        # replays (the record, if it reached the store, makes the replay
+        # a zero-work store hit).
+        faults.fire("server.crash", context=f"finish:{job.id}")
         error = record.get("error")
         if error is not None:
             won = job._fail(error)
@@ -978,6 +1260,9 @@ class JobScheduler:
                 self._deindex(job)
                 if won:
                     self.stats.errors += 1
+                    self._note_terminal(job)
+            if won:
+                self._wal_terminal(job.id, "error", key=job.key, error=error)
             return
         # Normalize through the canonical JSON line so a fresh record is
         # byte-for-byte the record a warm store hit will serve tomorrow.
@@ -1004,6 +1289,9 @@ class JobScheduler:
             self._deindex(job)
             if won:
                 self.stats.simulated += 1
+                self._note_terminal(job)
+        if won:
+            self._wal_terminal(job.id, "done", key=job.key)
 
     def _deindex(self, job: Job) -> None:
         """Drop ``job`` from the coalescing index (under the lock) —
@@ -1040,6 +1328,9 @@ class JobScheduler:
             self._deindex(job)
             if won:
                 setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+                self._note_terminal(job)
+        if won:
+            self._wal_terminal(job.id, "error", key=job.key, error=message)
 
     def _watchdog_tick(self) -> None:
         """One watchdog pass: fail overdue jobs; replace a wedged worker.
@@ -1236,4 +1527,6 @@ class JobScheduler:
         payload["program_cache"] = asdict(cache)
         if self.store is not None:
             payload["store"] = self.store.stats_dict()
+        if self.wal is not None:
+            payload["wal"] = self.wal.stats_dict()
         return payload

@@ -47,15 +47,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import threading
 import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..scenarios import all_scenarios
+from . import faults
+from .fsck import STORE_NAME, WAL_NAME, run_fsck
 from .scheduler import (
     DrainingError,
     JobRequest,
@@ -65,6 +70,15 @@ from .scheduler import (
     SweepRequest,
 )
 from .store import ResultStore
+from .supervise import RESTARTS_ENV, Supervisor
+from .wal import AdmissionWAL, WALError
+
+#: Environment variable naming a JSON fault-plan file to install before
+#: serving — how the recovery chaos tests arm ``server.crash`` kills in
+#: a *subprocess* server (and how a killed, supervised server re-arms
+#: the same plan after restart; cross-process ticket budgets in the
+#: plan's ``state_dir`` keep ``count=1`` true across those restarts).
+FAULT_PLAN_ENV = "EQUEUE_FAULT_PLAN"
 
 #: Ceiling on a single long-poll, so an absurd ``wait`` cannot pin a
 #: handler thread for hours.
@@ -211,9 +225,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     status = "ok"
                 else:
                     status = "degraded"
-                self._send_json(200, {"status": status, **health})
+                self._send_json(
+                    200,
+                    {
+                        "status": status,
+                        **health,
+                        # Which process is answering (a supervised
+                        # restart changes it) and how many times the
+                        # supervisor has restarted this service.
+                        "pid": os.getpid(),
+                        "supervise_restarts": _supervise_restarts(),
+                    },
+                )
             elif parts == ["stats"]:
-                self._send_json(200, self.scheduler.stats_dict())
+                payload = self.scheduler.stats_dict()
+                payload["supervise_restarts"] = _supervise_restarts()
+                self._send_json(200, payload)
             elif parts == ["scenarios"]:
                 self._send_json(200, {"scenarios": _scenario_listing()})
             elif len(parts) >= 2 and parts[0] == "jobs":
@@ -288,11 +315,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
         # an orphaned job simulating with its id never returned.
         wait = self._wait_seconds(query, body)
         deadline = self._deadline_seconds(body)
+        client = self.client_address[0]
         try:
             if sweep:
-                job = self.scheduler.submit_sweep(request, deadline_s=deadline)
+                job = self.scheduler.submit_sweep(
+                    request, deadline_s=deadline, client=client
+                )
             else:
-                job = self.scheduler.submit(request, deadline_s=deadline)
+                job = self.scheduler.submit(
+                    request, deadline_s=deadline, client=client
+                )
+        except WALError as error:
+            # Durability could not be promised (admission-log append
+            # failed): refuse rather than issue an id that would not
+            # survive a crash.  Retryable — disk conditions change.
+            self._send_json(
+                503,
+                {"error": str(error), "retry_after": 1.0},
+                retry_after=1.0,
+            )
+            return
         except QueueFullError as error:
             self._send_json(
                 503,
@@ -344,6 +386,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
 
+def _supervise_restarts() -> int:
+    """The supervisor's restart count for this service (0 when not
+    supervised) — injected via the environment at child spawn."""
+    try:
+        return int(os.environ.get(RESTARTS_ENV, "0"))
+    except ValueError:
+        return 0
+
+
 def _scenario_listing():
     listing = []
     for scenario in all_scenarios():
@@ -378,6 +429,9 @@ class ServiceServer(ThreadingHTTPServer):
         self.scheduler = scheduler
         self.verbose = verbose
         self.rate_limiter = rate_limiter
+        #: WAL recovery summary from :func:`make_server` (None when the
+        #: server runs without a ``--state-dir``).
+        self.recovery: Optional[Dict] = None
         self._shutdown_requested = threading.Event()
 
     def request_shutdown(self) -> None:
@@ -403,27 +457,59 @@ def make_server(
     deadline_s: Optional[float] = None,
     rate_limit: Optional[float] = None,
     rate_burst: int = 20,
+    state_dir: Optional[str] = None,
+    wal_sync: bool = True,
 ) -> ServiceServer:
     """A ready-to-run service (scheduler started by :func:`serve_forever`
     or by the caller).  ``port=0`` binds an ephemeral port — read the
-    actual one from ``server.server_address``."""
-    store = (
-        ResultStore(store_path, max_entries=max_entries)
-        if store_path
-        else None
-    )
+    actual one from ``server.server_address``.
+
+    ``state_dir`` is the durable-service mode: the directory holds the
+    result store (``store/``) *and* the admission WAL
+    (``admission.wal``), the WAL is replayed before the socket serves a
+    single request (outstanding jobs re-enqueue under their original
+    ids), and the recovery summary lands on ``server.recovery``.
+    Mutually exclusive with ``store_path`` — the state dir contains the
+    store.
+    """
+    wal = None
+    if state_dir:
+        if store_path:
+            raise ValueError(
+                "state_dir and store_path are mutually exclusive "
+                "(the state dir contains the store)"
+            )
+        state = Path(state_dir)
+        store: Optional[ResultStore] = ResultStore(
+            state / STORE_NAME, max_entries=max_entries
+        )
+        wal = AdmissionWAL(state / WAL_NAME, sync=wal_sync)
+    else:
+        store = (
+            ResultStore(store_path, max_entries=max_entries)
+            if store_path
+            else None
+        )
     scheduler = JobScheduler(
         store=store,
         jobs=jobs,
         max_queue=max_queue,
         deadline_s=deadline_s,
+        wal=wal,
     )
+    # Replay before the socket serves anything: the listener binds in
+    # the constructor below, but no request is processed until
+    # serve_forever — so recovered jobs are queued (original ids
+    # resolvable) before the first GET can ask for them.
+    recovery = scheduler.recover() if wal is not None else None
     limiter = (
         RateLimiter(rate_limit, rate_burst) if rate_limit else None
     )
-    return ServiceServer(
+    server = ServiceServer(
         (host, port), scheduler, verbose=verbose, rate_limiter=limiter
     )
+    server.recovery = recovery
+    return server
 
 
 def main(argv=None) -> int:
@@ -445,6 +531,40 @@ def main(argv=None) -> int:
         "--store", default="",
         help="result-store directory (persistent across restarts); "
         "empty = in-memory service, nothing persists",
+    )
+    parser.add_argument(
+        "--state-dir", default="",
+        help="durable service state directory: holds the result store "
+        "AND the write-ahead admission log; on startup the log is "
+        "replayed so jobs outstanding at a crash re-enqueue under "
+        "their original ids (mutually exclusive with --store)",
+    )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run the server as a supervised child process: abnormal "
+        "deaths restart it (exponential backoff, crash-loop budget), "
+        "SIGTERM passes through for a graceful drain",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="give up after this many consecutive short-lived children "
+        "(crash-loop detection; default 5)",
+    )
+    parser.add_argument(
+        "--restart-backoff", type=float, default=0.2,
+        help="initial restart backoff in seconds, doubling per "
+        "consecutive fast death (default 0.2)",
+    )
+    parser.add_argument(
+        "--min-uptime", type=float, default=5.0,
+        help="a child alive at least this long resets the backoff and "
+        "the crash-loop counter (default 5)",
+    )
+    parser.add_argument(
+        "--fsck", action="store_true",
+        help="check the --state-dir offline (WAL integrity, store blob "
+        "sha256 sweep, leftover report) and exit; non-zero on "
+        "corruption",
     )
     parser.add_argument(
         "--max-entries", type=int, default=0,
@@ -494,7 +614,27 @@ def main(argv=None) -> int:
         parser.error(f"--rate-limit must be >= 0, got {args.rate_limit}")
     if args.rate_burst < 1:
         parser.error(f"--rate-burst must be >= 1, got {args.rate_burst}")
+    if args.store and args.state_dir:
+        parser.error(
+            "--store and --state-dir are mutually exclusive "
+            "(the state dir contains the store)"
+        )
+    if args.fsck:
+        if not args.state_dir:
+            parser.error("--fsck requires --state-dir")
+        return run_fsck(args.state_dir)
+    if args.max_restarts < 1:
+        parser.error(f"--max-restarts must be >= 1, got {args.max_restarts}")
 
+    if args.supervise:
+        return Supervisor(
+            _child_argv(args),
+            max_restarts=args.max_restarts,
+            backoff_s=args.restart_backoff,
+            min_uptime_s=args.min_uptime,
+        ).run()
+
+    _install_fault_plan_from_env()
     server = make_server(
         host=args.host,
         port=args.port,
@@ -506,13 +646,37 @@ def main(argv=None) -> int:
         deadline_s=args.deadline or None,
         rate_limit=args.rate_limit or None,
         rate_burst=args.rate_burst,
+        state_dir=args.state_dir or None,
     )
     host, port = server.server_address[:2]
-    store_note = args.store if args.store else "(in-memory, no store)"
+    if args.state_dir:
+        store_note = f"{args.state_dir} (durable: WAL + store)"
+    elif args.store:
+        store_note = args.store
+    else:
+        store_note = "(in-memory, no store)"
     print(
         f"equeue-serve listening on http://{host}:{port} "
         f"store={store_note}",
         flush=True,
+    )
+    if server.recovery is not None:
+        summary = server.recovery
+        print(
+            "equeue-serve: recovery "
+            f"requeued={summary['requeued']} "
+            f"store_hits={summary['store_hits']} "
+            f"failed={summary['failed']} "
+            f"terminal={summary['terminal']} "
+            f"lines_dropped={summary['lines_dropped']}",
+            flush=True,
+        )
+    # SIGTERM = graceful drain: stop admitting, finish in-flight work,
+    # exit 0.  This is what the supervisor forwards on shutdown, and
+    # what distinguishes an *intentional* stop (clean exit, no restart)
+    # from a crash (restart + WAL replay).
+    signal.signal(
+        signal.SIGTERM, lambda signum, frame: server.request_shutdown()
     )
     server.scheduler.start()
     try:
@@ -524,6 +688,49 @@ def main(argv=None) -> int:
         server.server_close()
     print("equeue-serve: stopped cleanly", flush=True)
     return 0
+
+
+def _child_argv(args) -> list:
+    """The supervised child's command line: this server, same flags,
+    minus the supervision flags (the child must not supervise too)."""
+    argv = [sys.executable, "-m", "repro.service.server"]
+    argv += ["--host", args.host, "--port", str(args.port)]
+    if args.store:
+        argv += ["--store", args.store]
+    if args.state_dir:
+        argv += ["--state-dir", args.state_dir]
+    if args.max_entries:
+        argv += ["--max-entries", str(args.max_entries)]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.max_queue:
+        argv += ["--max-queue", str(args.max_queue)]
+    if args.deadline:
+        argv += ["--deadline", str(args.deadline)]
+    if args.rate_limit:
+        argv += ["--rate-limit", str(args.rate_limit)]
+    if args.rate_burst != 20:
+        argv += ["--rate-burst", str(args.rate_burst)]
+    if args.verbose:
+        argv += ["--verbose"]
+    return argv
+
+
+def _install_fault_plan_from_env() -> None:
+    """Arm the chaos plane when ``EQUEUE_FAULT_PLAN`` names a plan file
+    (how subprocess servers — including supervised restarts — get their
+    seeded kill/fault schedules installed)."""
+    plan_path = os.environ.get(FAULT_PLAN_ENV)
+    if not plan_path:
+        return
+    with open(plan_path, "r", encoding="utf-8") as handle:
+        plan = faults.FaultPlan.from_dict(json.load(handle))
+    faults.install(plan)
+    print(
+        f"equeue-serve: fault plan {plan.name!r} armed "
+        f"({len(plan.faults)} fault(s))",
+        flush=True,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

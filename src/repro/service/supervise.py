@@ -1,0 +1,169 @@
+"""``equeue-serve --supervise``: the crash-restarting parent process.
+
+The WAL (:mod:`repro.service.wal`) makes a crashed server *recoverable*;
+this module makes it *recovered* — automatically, without an operator in
+the loop.  The supervisor runs the real server as a child process and:
+
+* **restarts it** when it dies abnormally (a crash, a ``kill -9``, an
+  injected ``server.crash`` fault), with exponential backoff between
+  attempts so a sick host is not hammered;
+* **resets the backoff** after the child stays up ``min_uptime_s`` — a
+  long-lived server that finally crashes gets a fast restart, only a
+  crash *loop* backs off;
+* **detects crash loops**: ``max_restarts`` consecutive short-lived
+  children (each dead before ``min_uptime_s``) means restarting is not
+  helping — the supervisor gives up with a non-zero exit instead of
+  looping forever;
+* **passes signals through**: SIGTERM/SIGINT to the supervisor forward
+  to the child, whose graceful-drain path (scheduler drain, clean exit)
+  then runs; a child that exits cleanly (code 0) ends supervision —
+  clean exits are intentional, only abnormal deaths restart;
+* **tells the child its history** via ``EQUEUE_SUPERVISE_RESTARTS``, so
+  ``/healthz`` and ``/stats`` report how many times this service has
+  been restarted under supervision.
+
+Recovery itself is entirely the child's business: each restart reopens
+the same ``--state-dir``, replays the WAL, and re-enqueues outstanding
+jobs with their original ids — the supervisor only guarantees there *is*
+a next server to do so.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+#: Environment variable carrying the restart count into the child
+#: (surfaced on ``/healthz`` and ``/stats``).
+RESTARTS_ENV = "EQUEUE_SUPERVISE_RESTARTS"
+
+
+class Supervisor:
+    """Run ``child_argv`` (a full command line) under restart supervision.
+
+    Separated from :func:`repro.service.server.main` so tests can drive
+    the policy (backoff arithmetic, crash-loop budget) without spawning
+    processes: :meth:`should_restart` and :meth:`next_backoff` are pure
+    bookkeeping over exit codes and uptimes.
+    """
+
+    def __init__(
+        self,
+        child_argv: List[str],
+        max_restarts: int = 5,
+        backoff_s: float = 0.2,
+        backoff_max_s: float = 10.0,
+        min_uptime_s: float = 5.0,
+        log=None,
+    ):
+        self.child_argv = list(child_argv)
+        self.max_restarts = max(1, int(max_restarts))
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.min_uptime_s = float(min_uptime_s)
+        self.log = log or (lambda msg: print(msg, file=sys.stderr, flush=True))
+        #: Total abnormal-death restarts performed so far.
+        self.restarts = 0
+        #: Consecutive short-lived children (the crash-loop counter).
+        self.short_lived = 0
+        self._child: Optional[subprocess.Popen] = None
+        self._forwarded: Optional[int] = None
+
+    # -- policy (pure bookkeeping, unit-testable) ----------------------
+
+    def note_exit(self, code: int, uptime_s: float) -> None:
+        """Record one child exit for the restart policy."""
+        if uptime_s >= self.min_uptime_s:
+            self.short_lived = 0
+        else:
+            self.short_lived += 1
+
+    def should_restart(self, code: int) -> bool:
+        """Restart only abnormal deaths, and only while the crash-loop
+        budget holds: ``max_restarts`` *consecutive* short-lived children
+        means restarting is not helping."""
+        if code == 0:
+            return False
+        if self._forwarded is not None:
+            # We forwarded a termination signal; the child dying (even
+            # with a signal exit code) is the shutdown we asked for.
+            return False
+        return self.short_lived < self.max_restarts
+
+    def next_backoff(self) -> float:
+        """Exponential in the *consecutive* short-lived count — a crash
+        after a long healthy run restarts almost immediately."""
+        if self.short_lived <= 0:
+            return 0.0
+        exponent = min(self.short_lived - 1, 16)
+        return min(self.backoff_max_s, self.backoff_s * (2 ** exponent))
+
+    # -- signal plumbing -----------------------------------------------
+
+    def _forward(self, signum, frame) -> None:  # pragma: no cover - signal
+        self._forwarded = signum
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signum)
+            except OSError:
+                pass
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> int:
+        """Supervise until a clean exit, a forwarded shutdown, or the
+        crash-loop budget is spent.  Returns the supervisor exit code:
+        the child's own code for clean/forwarded exits, non-zero for an
+        abandoned crash loop."""
+        previous = {
+            signum: signal.signal(signum, self._forward)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            while True:
+                env = dict(os.environ)
+                env[RESTARTS_ENV] = str(self.restarts)
+                started = time.monotonic()
+                self._child = subprocess.Popen(self.child_argv, env=env)
+                code = self._child.wait()
+                uptime = time.monotonic() - started
+                self._child = None
+                self.note_exit(code, uptime)
+                if code == 0:
+                    self.log("equeue-serve[supervisor]: child exited cleanly")
+                    return 0
+                if self._forwarded is not None:
+                    self.log(
+                        "equeue-serve[supervisor]: child stopped on "
+                        f"forwarded signal {self._forwarded}"
+                    )
+                    return code if code >= 0 else 0
+                if not self.should_restart(code):
+                    self.log(
+                        "equeue-serve[supervisor]: crash loop — "
+                        f"{self.short_lived} consecutive fast deaths "
+                        f"(last exit {code}); giving up"
+                    )
+                    return 1
+                delay = self.next_backoff()
+                self.restarts += 1
+                self.log(
+                    f"equeue-serve[supervisor]: child died (exit {code}, "
+                    f"uptime {uptime:.1f}s); restart #{self.restarts} "
+                    f"in {delay:.1f}s"
+                )
+                if delay:
+                    time.sleep(delay)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+
+def supervise(child_argv: List[str], **kwargs) -> int:
+    """Convenience wrapper: build a :class:`Supervisor` and run it."""
+    return Supervisor(child_argv, **kwargs).run()

@@ -1,0 +1,402 @@
+"""The write-ahead admission log: durable job state for the service.
+
+Every job the scheduler admits lives, until this module existed, only in
+memory — a crash forgot all queued and in-flight work, and only the
+content-addressed store survived.  The WAL closes that gap: an
+``admitted`` record is appended (and fsynced) *before* a job becomes
+visible, and a ``terminal`` record is appended when the job completes or
+fails, so a restart can replay the log and reconstruct exactly the
+outstanding work — with the **original job ids**, which is what keeps
+``GET /jobs/<id>`` working across a crash.
+
+Replay is safe because simulation is deterministic and results are
+content-addressed: re-running an admitted job either hits the store (its
+record was spilled before the crash — zero engine work) or recomputes
+bit-identical bytes.  Replaying too much is therefore merely wasted
+work; replaying too little only loses ids the client can resubmit.  The
+WAL never has to be exactly-once — at-least-once plus idempotent
+execution is the whole design.
+
+**Format.**  The shared :mod:`repro.sim.linecodec` line format (the same
+canonical-JSON + ``#sha256:`` trailer the sweep journal uses): one
+record per line, fsynced appends, torn-tail truncation on open.  Records:
+
+* header — ``{"kind": "admission-wal/v1", "code": <code_version>}``.
+  A code-version mismatch on replay is *recorded, not refused*: admitted
+  jobs re-validate and re-key against the new code, so recovery after a
+  deploy simply re-simulates what the new code cannot prove persisted.
+* ``{"kind": "admitted", "job": id, "key": ..., "request": {...},
+  "sweep": bool, "client": ..., "deadline_s": ..., "status": ...}`` —
+  appended before the job is visible.  ``status`` folds an instant
+  outcome (a store-hit completion) into the admission itself, so the
+  warm path costs one append, not two.
+* ``{"kind": "terminal", "job": id, "status": "done"|"error",
+  "key": ..., "error": ...}`` — appended when the job's outcome lands.
+
+**Compaction.**  Every ``compact_every`` terminal appends the log is
+rewritten (tmp file + fsync + ``os.replace``) keeping only the pending
+``admitted`` records plus the most recent ``keep_terminal`` terminal
+records, so the file stays bounded while recently issued ids remain
+resolvable across a restart.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Dict, List, Mapping, Optional
+
+from ..sim.linecodec import encode_line, scan_lines
+from . import faults
+
+#: The WAL format identifier (bump on incompatible change).
+WAL_KIND = "admission-wal/v1"
+
+
+class WALError(RuntimeError):
+    """The admission log is unusable (wrong kind, closed, or an append
+    failed) — the service must refuse admission rather than promise a
+    durability it cannot deliver."""
+
+
+@dataclass
+class WALStats:
+    """Per-instance counters (surfaced on ``/stats``)."""
+
+    #: Admission records appended (including folded instant outcomes).
+    admitted_appends: int = 0
+    #: Terminal records appended.
+    terminal_appends: int = 0
+    #: Log rewrites that dropped completed entries.
+    compactions: int = 0
+    #: Records replayed from the valid prefix on :meth:`open`.
+    records_replayed: int = 0
+    #: Torn/corrupt trailing lines dropped on :meth:`open`.
+    lines_dropped: int = 0
+
+
+@dataclass
+class WALRecovery:
+    """What :meth:`AdmissionWAL.open` reconstructed from the log.
+
+    ``pending`` maps job id -> admitted record for every job without a
+    terminal outcome, in admission order (the re-enqueue order).
+    ``terminal`` maps job id -> its terminal outcome (status, key,
+    error, and — when the admitted record was still in the log — the
+    original request), so completed ids stay resolvable.
+    ``max_counter`` is the highest numeric job-id suffix seen, which the
+    scheduler must advance past so fresh ids never collide with
+    recovered ones.
+    """
+
+    header: Optional[Dict] = None
+    pending: Dict[str, Dict] = field(default_factory=dict)
+    terminal: Dict[str, Dict] = field(default_factory=dict)
+    max_counter: int = 0
+    records_replayed: int = 0
+    lines_dropped: int = 0
+    #: The log was written by a different code version (informational:
+    #: replay re-keys every request against the current code anyway).
+    code_changed: bool = False
+
+
+def _job_counter(job_id: str) -> int:
+    """The numeric suffix of a ``job-NNNNNN`` id (0 when unparseable)."""
+    suffix = str(job_id).rsplit("-", 1)[-1]
+    try:
+        return int(suffix)
+    except ValueError:
+        return 0
+
+
+class AdmissionWAL:
+    """One service's append-only admission log, thread-safe to append.
+
+    Construction never touches the disk; :meth:`open` replays the valid
+    prefix (truncating any torn tail) and arms appends.  ``sync=True``
+    (the default) fsyncs every append, so a power loss costs at most the
+    in-flight record.
+    """
+
+    def __init__(
+        self,
+        path,
+        sync: bool = True,
+        compact_every: int = 256,
+        keep_terminal: int = 1024,
+    ):
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self.compact_every = max(1, int(compact_every))
+        self.keep_terminal = max(0, int(keep_terminal))
+        self.stats = WALStats()
+        self._lock = Lock()
+        self._handle = None
+        self._header: Dict = {}
+        #: Live replay state, maintained as appends flow so compaction
+        #: never has to re-read the file: admitted-without-terminal by
+        #: id (insertion = admission order), terminal outcomes by id.
+        self._pending: Dict[str, Dict] = {}
+        self._terminal: Dict[str, Dict] = {}
+        self._terminals_since_compact = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self) -> WALRecovery:
+        """Replay the log's valid prefix and arm appends.
+
+        Truncates any torn tail (a crash mid-append leaves at most one),
+        writes a fresh header when the file is new, and returns the
+        :class:`WALRecovery` the scheduler replays.  Raises
+        :class:`WALError` when the first record is not an
+        ``admission-wal/v1`` header.  Idempotent: re-opening an open WAL
+        returns the original recovery view without re-reading the file.
+        """
+        from .store import code_version
+
+        with self._lock:
+            if self._handle is not None:
+                return self._recovery_view(code_version())
+            try:
+                data = self.path.read_bytes()
+            except FileNotFoundError:
+                data = b""
+            records, valid_bytes, dropped = scan_lines(data)
+            header: Optional[Dict] = None
+            for record in records:
+                if header is None:
+                    if record.get("kind") != WAL_KIND:
+                        raise WALError(
+                            f"{self.path}: not an {WAL_KIND} log "
+                            f"(first record kind={record.get('kind')!r})"
+                        )
+                    header = record
+                elif record.get("kind") == "admitted":
+                    self._replay_admitted(record)
+                elif record.get("kind") == "terminal":
+                    self._replay_terminal(record)
+                # Unknown kinds are tolerated so the format can grow.
+            self.stats.records_replayed = len(records)
+            self.stats.lines_dropped = dropped
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+            if self._handle.tell() != valid_bytes:
+                self._handle.truncate(valid_bytes)
+                self._handle.seek(valid_bytes)
+            if header is None:
+                self._header = {"kind": WAL_KIND, "code": code_version()}
+                self._append_locked(self._header)
+            else:
+                self._header = header
+            recovery = self._recovery_view(code_version())
+            recovery.header = dict(self._header)
+            return recovery
+
+    def _recovery_view(self, code: str) -> WALRecovery:
+        ids = list(self._pending) + list(self._terminal)
+        return WALRecovery(
+            header=dict(self._header) if self._handle is not None else None,
+            pending={k: dict(v) for k, v in self._pending.items()},
+            terminal={k: dict(v) for k, v in self._terminal.items()},
+            max_counter=max((_job_counter(i) for i in ids), default=0),
+            records_replayed=self.stats.records_replayed,
+            lines_dropped=self.stats.lines_dropped,
+            code_changed=(
+                bool(self._header) and self._header.get("code") != code
+            ),
+        )
+
+    def _replay_admitted(self, record: Dict) -> None:
+        job_id = record.get("job")
+        if not job_id:
+            return
+        if record.get("status"):
+            # A folded instant outcome: straight to the terminal index.
+            self._pending.pop(job_id, None)
+            self._terminal[job_id] = record
+        else:
+            self._pending[job_id] = record
+
+    def _replay_terminal(self, record: Dict) -> None:
+        job_id = record.get("job")
+        if not job_id:
+            return
+        admitted = self._pending.pop(job_id, None)
+        if admitted is not None and "request" not in record:
+            # Carry the admitted request along so a resolved-after-
+            # restart id can still report what it was.
+            record = {**record, "request": admitted.get("request")}
+        self._terminal[job_id] = record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                if self.sync:
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AdmissionWAL":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -------------------------------------------------------
+
+    def _append_locked(self, record: Mapping) -> None:
+        """Append one record (call under the lock; raises ``OSError`` —
+        including the injected ``wal.append`` fault — on failure)."""
+        if self._handle is None:
+            raise WALError(f"{self.path}: admission log is not open")
+        faults.fire("wal.append", context=str(record.get("kind")))
+        self._handle.write((encode_line(record) + "\n").encode("utf-8"))
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def append_admitted(
+        self,
+        job_id: str,
+        key: str,
+        request: Mapping,
+        sweep: bool = False,
+        client: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        status: Optional[str] = None,
+    ) -> None:
+        """Record an admission — call *before* the job becomes visible.
+
+        ``status`` folds an instant outcome (``"done"`` for a store-hit
+        completion) into the admission record, saving the warm path a
+        second fsync.
+        """
+        record = {
+            "kind": "admitted",
+            "job": str(job_id),
+            "key": key,
+            "request": dict(request),
+            "sweep": bool(sweep),
+            "client": client,
+            "deadline_s": deadline_s,
+            "status": status,
+        }
+        with self._lock:
+            self._append_locked(record)
+            self.stats.admitted_appends += 1
+            self._replay_admitted(record)
+            if status:
+                self._terminals_since_compact += 1
+                self._maybe_compact_locked()
+
+    def append_terminal(
+        self,
+        job_id: str,
+        status: str,
+        key: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record a job's outcome (``"done"`` or ``"error"``)."""
+        record = {
+            "kind": "terminal",
+            "job": str(job_id),
+            "status": str(status),
+            "key": key,
+            "error": error,
+        }
+        with self._lock:
+            self._append_locked(record)
+            self.stats.terminal_appends += 1
+            self._replay_terminal(record)
+            self._terminals_since_compact += 1
+            self._maybe_compact_locked()
+
+    # -- compaction ----------------------------------------------------
+
+    def _maybe_compact_locked(self) -> None:
+        if self._terminals_since_compact >= self.compact_every:
+            self._compact_locked()
+
+    def compact(self) -> None:
+        """Rewrite the log now: pending admissions plus the most recent
+        ``keep_terminal`` terminal outcomes (atomic tmp + replace)."""
+        with self._lock:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        if self._handle is None:
+            raise WALError(f"{self.path}: admission log is not open")
+        if self.keep_terminal and len(self._terminal) > self.keep_terminal:
+            trimmed = list(self._terminal.items())[-self.keep_terminal:]
+            self._terminal = dict(trimmed)
+        elif not self.keep_terminal:
+            self._terminal = {}
+        tmp = self.path.with_name(self.path.name + ".compact-tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(
+                (encode_line(self._header) + "\n").encode("utf-8")
+            )
+            for record in self._pending.values():
+                handle.write((encode_line(record) + "\n").encode("utf-8"))
+            for record in self._terminal.values():
+                handle.write((encode_line(record) + "\n").encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "ab")
+        self._terminals_since_compact = 0
+        self.stats.compactions += 1
+
+    # -- reporting -----------------------------------------------------
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def stats_dict(self) -> Dict:
+        """Counters plus live log state, JSON-ready."""
+        with self._lock:
+            return {
+                **asdict(self.stats),
+                "pending": len(self._pending),
+                "terminal": len(self._terminal),
+                "path": str(self.path),
+            }
+
+
+def load_wal(path) -> WALRecovery:
+    """Read-only replay of a WAL's valid prefix (fsck and tests): never
+    truncates, never writes, raises :class:`WALError` on a bad header."""
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return WALRecovery()
+    records, _, dropped = scan_lines(data)
+    wal = AdmissionWAL(path)
+    header: Optional[Dict] = None
+    for record in records:
+        if header is None:
+            if record.get("kind") != WAL_KIND:
+                raise WALError(
+                    f"{path}: not an {WAL_KIND} log "
+                    f"(first record kind={record.get('kind')!r})"
+                )
+            header = record
+        elif record.get("kind") == "admitted":
+            wal._replay_admitted(record)
+        elif record.get("kind") == "terminal":
+            wal._replay_terminal(record)
+    ids = list(wal._pending) + list(wal._terminal)
+    return WALRecovery(
+        header=header,
+        pending=wal._pending,
+        terminal=wal._terminal,
+        max_counter=max((_job_counter(i) for i in ids), default=0),
+        records_replayed=len(records),
+        lines_dropped=dropped,
+    )

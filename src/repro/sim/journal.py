@@ -6,7 +6,9 @@ checkpoint the sweep loops (:func:`repro.scenarios.run_scenario_sweep`,
 :func:`repro.analysis.run_sweep`) write through as points complete, and
 what ``equeue-sim --journal PATH --resume`` replays to skip them.
 
-Format (one record per line, self-verifying):
+Format (one record per line, self-verifying — the shared
+:mod:`repro.sim.linecodec` format, which the service admission WAL
+(:mod:`repro.service.wal`) also uses):
 
     <canonical JSON> #sha256:<16 hex digits>\n
 
@@ -35,30 +37,20 @@ mid-append leaves at most one torn line — exactly what open tolerates.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
 
+from .linecodec import canonical_line, encode_line, parse_line, scan_lines
+
 
 def record_line(record: Mapping) -> str:
-    """The shared canonical serializer (lazy import: journal sits below
-    :mod:`repro.analysis` in the import graph — ``analysis.dse`` imports
-    the sweep module that writes journals — so a module-level import
-    would be a cycle)."""
-    from ..analysis.export import record_line as canonical
-
-    return canonical(record)
+    """The shared canonical serializer (see :mod:`repro.sim.linecodec`)."""
+    return canonical_line(record)
 
 
 #: The journal format identifier (bump on incompatible change).
 JOURNAL_KIND = "sweep-journal/v1"
-
-#: Hex digits of SHA-256 kept in each line's trailer.
-_TRAILER_HEX = 16
-
-_SEPARATOR = " #sha256:"
 
 
 class JournalError(ValueError):
@@ -68,25 +60,12 @@ class JournalError(ValueError):
 
 def journal_line(record: Mapping) -> str:
     """One self-verifying journal line (no trailing newline)."""
-    line = record_line(record)
-    digest = hashlib.sha256(line.encode("utf-8")).hexdigest()[:_TRAILER_HEX]
-    return f"{line}{_SEPARATOR}{digest}"
+    return encode_line(record)
 
 
 def parse_journal_line(text: str) -> Optional[Dict]:
     """Decode one journal line; ``None`` when torn or corrupt."""
-    text = text.rstrip("\n")
-    line, separator, trailer = text.rpartition(_SEPARATOR)
-    if not separator or len(trailer) != _TRAILER_HEX:
-        return None
-    digest = hashlib.sha256(line.encode("utf-8")).hexdigest()[:_TRAILER_HEX]
-    if trailer != digest:
-        return None
-    try:
-        record = json.loads(line)
-    except ValueError:  # pragma: no cover - digest already guards this
-        return None
-    return record if isinstance(record, dict) else None
+    return parse_line(text)
 
 
 def load_journal(
@@ -105,23 +84,10 @@ def load_journal(
         data = Path(path).read_bytes()
     except FileNotFoundError:
         return None, {}, 0, 0
+    records, valid_bytes, dropped = scan_lines(data)
     header: Optional[Dict] = None
     points: Dict[int, Dict] = {}
-    valid_bytes = 0
-    dropped = 0
-    offset = 0
-    for raw in data.splitlines(keepends=True):
-        size = len(raw)
-        offset += size
-        record = None
-        if raw.endswith(b"\n"):
-            record = parse_journal_line(raw.decode("utf-8", "replace"))
-        if record is None:
-            # Torn or corrupt: the valid prefix ends here.  Count the
-            # rest so callers can report what resume recomputes.
-            remainder = data[offset - size :]
-            dropped = len(remainder.splitlines()) or 1
-            break
+    for record in records:
         if header is None:
             if record.get("kind") != JOURNAL_KIND:
                 raise JournalError(
@@ -131,7 +97,6 @@ def load_journal(
             header = record
         elif record.get("kind") == "point":
             points[int(record["index"])] = record["point"]
-        valid_bytes = offset
     return header, points, valid_bytes, dropped
 
 

@@ -156,8 +156,15 @@ class TestScheduling:
             jobs.append(scheduler.submit(JobRequest.make("mesh", seed=seed)))
             scheduler.run_pending()
         assert scheduler.stats.jobs_pruned == 1
-        assert scheduler.job(jobs[0].id) is None  # oldest done job dropped
+        assert jobs[0].id not in scheduler._jobs  # oldest done job dropped
         assert scheduler.job(jobs[2].id) is jobs[2]
+        # A pruned id is not a 404: it resolves through its terminal
+        # record to the stored result, bit-identical to the original.
+        resurrected = scheduler.job(jobs[0].id)
+        assert resurrected is not None and resurrected is not jobs[0]
+        assert resurrected.done and resurrected.source == "store"
+        assert resurrected.result() == jobs[0].result()
+        assert scheduler.stats.resurrected == 1
         # The pruned job's record is still one store hit away.
         again = scheduler.submit(JobRequest.make("mesh", seed=0))
         assert again.done and again.source == "store"

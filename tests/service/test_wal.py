@@ -1,0 +1,177 @@
+"""The admission WAL: append/replay round trips, torn-tail tolerance,
+folded store-hit admissions, compaction bounds, and the shared line
+codec contract with the sweep journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import Fault, FaultPlan, injected
+from repro.service.wal import (
+    WAL_KIND,
+    AdmissionWAL,
+    WALError,
+    load_wal,
+)
+from repro.sim.linecodec import encode_line, parse_line, scan_lines
+
+
+class TestLineCodec:
+    def test_encode_parse_round_trip(self):
+        record = {"kind": "admitted", "job": "job-000001", "n": 3}
+        assert parse_line(encode_line(record)) == record
+
+    def test_corrupt_line_parses_to_none(self):
+        line = encode_line({"kind": "terminal"})
+        assert parse_line(line[:-1] + ("0" if line[-1] != "0" else "1")) is None
+
+    def test_scan_stops_at_first_torn_line(self):
+        good = [
+            (encode_line({"kind": "a", "i": i}) + "\n").encode("utf-8")
+            for i in range(3)
+        ]
+        data = good[0] + good[1] + b'{"torn": tr'
+        records, valid_bytes, dropped = scan_lines(data)
+        assert [r["i"] for r in records] == [0, 1]
+        assert valid_bytes == len(good[0]) + len(good[1])
+        assert dropped == 1
+
+    def test_wal_and_journal_share_the_format(self):
+        # The WAL's lines must parse with the journal's codec — one
+        # on-disk format, one implementation.
+        from repro.sim.journal import parse_journal_line
+
+        line = encode_line({"kind": "admitted", "job": "job-000009"})
+        assert parse_journal_line(line) == {
+            "kind": "admitted",
+            "job": "job-000009",
+        }
+
+
+class TestAdmissionWAL:
+    def test_fresh_open_writes_header(self, tmp_path):
+        wal = AdmissionWAL(tmp_path / "admission.wal")
+        recovery = wal.open()
+        assert recovery.header["kind"] == WAL_KIND
+        assert recovery.pending == {} and recovery.terminal == {}
+        wal.close()
+        reread = load_wal(tmp_path / "admission.wal")
+        assert reread.header["kind"] == WAL_KIND
+
+    def test_append_and_replay_round_trip(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        with AdmissionWAL(path) as wal:
+            wal.append_admitted(
+                "job-000001",
+                key="k1",
+                request={"scenario": "fir", "seed": 0},
+                client="127.0.0.1",
+                deadline_s=5.0,
+            )
+            wal.append_admitted(
+                "job-000002", key="k2", request={"scenario": "mesh"}
+            )
+            wal.append_terminal("job-000001", "done", key="k1")
+        recovery = AdmissionWAL(path).open()
+        assert list(recovery.pending) == ["job-000002"]
+        assert recovery.pending["job-000002"]["request"] == {
+            "scenario": "mesh"
+        }
+        assert recovery.terminal["job-000001"]["status"] == "done"
+        # The terminal record carries the admitted request along.
+        assert recovery.terminal["job-000001"]["request"] == {
+            "scenario": "fir",
+            "seed": 0,
+        }
+        assert recovery.max_counter == 2
+
+    def test_folded_store_hit_goes_straight_to_terminal(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        with AdmissionWAL(path) as wal:
+            wal.append_admitted(
+                "job-000001", key="k1", request={}, status="done"
+            )
+            assert wal.stats.admitted_appends == 1
+            assert wal.stats.terminal_appends == 0
+        recovery = load_wal(path)
+        assert recovery.pending == {}
+        assert recovery.terminal["job-000001"]["status"] == "done"
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        with AdmissionWAL(path) as wal:
+            wal.append_admitted("job-000001", key="k1", request={})
+        size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "admitted", "job": "job-0')  # torn
+        recovery = AdmissionWAL(path).open()
+        assert recovery.lines_dropped == 1
+        assert list(recovery.pending) == ["job-000001"]
+        assert path.stat().st_size == size  # tail gone
+
+    def test_wrong_kind_refused(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(encode_line({"kind": "sweep-journal/v1"}) + "\n")
+        with pytest.raises(WALError, match="not an admission-wal/v1"):
+            AdmissionWAL(path).open()
+        with pytest.raises(WALError):
+            load_wal(path)
+
+    def test_open_is_idempotent(self, tmp_path):
+        wal = AdmissionWAL(tmp_path / "admission.wal")
+        first = wal.open()
+        wal.append_admitted("job-000001", key="k", request={})
+        again = wal.open()
+        assert again.header == first.header
+        assert list(again.pending) == ["job-000001"]
+
+    def test_compaction_bounds_the_log(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        wal = AdmissionWAL(path, compact_every=10, keep_terminal=5)
+        wal.open()
+        wal.append_admitted("job-999999", key="kp", request={"pend": 1})
+        for index in range(30):
+            job_id = f"job-{index + 1:06d}"
+            wal.append_admitted(job_id, key=f"k{index}", request={})
+            wal.append_terminal(job_id, "done", key=f"k{index}")
+        assert wal.stats.compactions >= 2
+        wal.close()
+        recovery = load_wal(path)
+        # Pending admissions survive every compaction; terminals are
+        # bounded to the most recent keep_terminal.
+        assert list(recovery.pending) == ["job-999999"]
+        assert len(recovery.terminal) == 5
+        assert "job-000030" in recovery.terminal
+        assert "job-000001" not in recovery.terminal
+        # The compacted log replays cleanly through a normal open too.
+        assert list(AdmissionWAL(path).open().pending) == ["job-999999"]
+
+    def test_load_wal_never_mutates(self, tmp_path):
+        path = tmp_path / "admission.wal"
+        with AdmissionWAL(path) as wal:
+            wal.append_admitted("job-000001", key="k", request={})
+        with open(path, "ab") as handle:
+            handle.write(b"torn tail bytes")
+        before = path.read_bytes()
+        recovery = load_wal(path)
+        assert recovery.lines_dropped == 1
+        assert path.read_bytes() == before
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        recovery = load_wal(tmp_path / "never-written.wal")
+        assert recovery.header is None
+        assert recovery.pending == {} and recovery.terminal == {}
+
+    def test_injected_append_fault_raises_oserror(self, tmp_path):
+        wal = AdmissionWAL(tmp_path / "admission.wal")
+        wal.open()
+        plan = FaultPlan(
+            [Fault(site="wal.append", action="io-error", count=1)]
+        )
+        with injected(plan):
+            with pytest.raises(OSError):
+                wal.append_admitted("job-000001", key="k", request={})
+        # The budget spent, the next append lands.
+        wal.append_admitted("job-000002", key="k2", request={})
+        assert list(load_wal(wal.path).pending) == ["job-000002"]
