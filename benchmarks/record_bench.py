@@ -14,12 +14,15 @@ PRs::
     PYTHONPATH=src python benchmarks/record_bench.py --engine-only
     PYTHONPATH=src python benchmarks/record_bench.py --sweep-jobs 8
 
-The engine snapshot records events/s for the compiled engine on both
+The engine snapshot records events/s for the plan-mode engine on both
 scheduler backends (the tiered event wheel and the binary-heap
-reference) plus the interpreted engine, and one oracle-checked
-events/s row per registered workload scenario (``scenario_runs``,
-from :mod:`repro.scenarios` via ``bench_scenarios.py`` — each row in
-its own subprocess); the sweep snapshot records
+reference), the interpreted engine, the warm execution-mode ablation
+(plan vs source codegen over a pre-warmed plan cache — the
+compile-once/execute-many regime, recorded as ``codegen_speedup``),
+and one oracle-checked events/s row per registered workload scenario
+(``scenario_runs``, from :mod:`repro.scenarios` via
+``bench_scenarios.py`` — each row in its own subprocess); the sweep
+snapshot records
 whole-sweep points/s for the serial reference loop versus the sharded
 batch runner (``jobs=N`` with cross-simulation compile caching and
 structural result reuse), after checking the two produce bit-identical
@@ -46,13 +49,13 @@ SERVICE_OUTPUT = REPO_ROOT / "BENCH_service_throughput.json"
 SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
 
 
-def run_workload(compile_plans: bool, scheduler: str = "wheel") -> dict:
+def _bench_program():
+    """The engine-speed workload: program plus deterministic inputs."""
     from repro.dialects.linalg import ConvDims
     from repro.generators.systolic import (
         SystolicConfig,
         build_systolic_program,
     )
-    from repro.sim import EngineOptions, simulate
 
     rng = np.random.default_rng(7)
     dims = ConvDims(n=1, c=3, h=SIZE, w=SIZE, fh=2, fw=2)
@@ -61,19 +64,21 @@ def run_workload(compile_plans: bool, scheduler: str = "wheel") -> dict:
     weights = rng.integers(
         -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
     ).astype(np.int32)
-    inputs = program.prepare_inputs(ifmap, weights)
-    started = time.perf_counter()
-    result = simulate(
-        program.module,
-        EngineOptions(compile_plans=compile_plans, scheduler=scheduler),
-        inputs=inputs,
-    )
-    wall_clock_s = time.perf_counter() - started
+    return program, ifmap, weights
+
+
+def _row(mode, scheduler, warm, result, wall_clock_s, compile_summary):
+    """One engine-speed snapshot row from a timed simulation."""
     summary = result.summary
+    if compile_summary is None:
+        compile_summary = summary
     events = summary.scheduler_events
     return {
-        "compile_plans": compile_plans,
+        "mode": mode,
+        # Kept for readers of pre-ExecutionMode snapshots.
+        "compile_plans": mode != "interpret",
         "scheduler": scheduler,
+        "warm": warm,
         "cycles": result.cycles,
         "scheduler_events": events,
         "wall_clock_s": round(wall_clock_s, 6),
@@ -82,11 +87,105 @@ def run_workload(compile_plans: bool, scheduler: str = "wheel") -> dict:
         "wheel_events": summary.wheel_events,
         "heap_events": summary.heap_events,
         "launches_executed": summary.launches_executed,
-        "plans_compiled": summary.plans_compiled,
+        "plans_compiled": compile_summary.plans_compiled,
         "plan_cache_hits": summary.plan_cache_hits,
-        "vector_loops": summary.vector_loops,
+        "vector_loops": compile_summary.vector_loops,
         "vector_iterations": summary.vector_iterations,
+        "blocks_codegenned": compile_summary.blocks_codegenned,
+        "codegen_fallbacks": compile_summary.codegen_fallbacks,
     }
+
+
+def run_workload(
+    mode: str = "plan",
+    scheduler: str = "wheel",
+    warm: bool = False,
+    repeats: int = 1,
+) -> dict:
+    """One engine-speed row.
+
+    ``mode`` selects the execution path (interpret | plan | codegen).
+    ``warm=True`` measures steady-state throughput: the plan cache is
+    pre-warmed by a throwaway run, so the timed pass pays zero plan
+    compilation or source codegen — the compile-once/execute-many regime
+    every sweep and service workload runs in.  ``repeats`` times the
+    measured pass that many times and keeps the fastest (noise floor).
+    """
+    from repro.sim import EngineOptions, PlanCache, simulate
+
+    program, ifmap, weights = _bench_program()
+    options = EngineOptions(mode=mode, scheduler=scheduler)
+    plan_cache = None
+    compile_summary = None
+    if warm:
+        plan_cache = PlanCache()
+        warm_up = simulate(
+            program.module,
+            options,
+            inputs=program.prepare_inputs(ifmap, weights),
+            plan_cache=plan_cache,
+        )
+        # The timed pass compiles nothing (the cache is warm); the
+        # warm-up pass's counters describe the artifacts it executes.
+        compile_summary = warm_up.summary
+    wall_clock_s = None
+    for _ in range(max(1, repeats)):
+        inputs = program.prepare_inputs(ifmap, weights)
+        started = time.perf_counter()
+        result = simulate(
+            program.module, options, inputs=inputs, plan_cache=plan_cache
+        )
+        elapsed = time.perf_counter() - started
+        if wall_clock_s is None or elapsed < wall_clock_s:
+            wall_clock_s = elapsed
+    return _row(mode, scheduler, warm, result, wall_clock_s, compile_summary)
+
+
+def run_warm_ablation(repeats: int = 5) -> list:
+    """Both warm execution-mode rows (plan and codegen) from one process.
+
+    The ``codegen_speedup`` ratio gates CI, so its two sides must not be
+    measured in separate subprocesses minutes apart: machine-load drift
+    between the invocations shows up as a phantom ratio change.  Here
+    each mode gets its own pre-warmed plan cache, then the timed passes
+    are *interleaved* (plan, codegen, plan, codegen, ...) with best-of-N
+    per mode, so a load spike degrades both sides symmetrically and the
+    ratio stays machine-neutral.
+    """
+    from repro.sim import EngineOptions, PlanCache, simulate
+
+    program, ifmap, weights = _bench_program()
+    modes = ("plan", "codegen")
+    options = {m: EngineOptions(mode=m) for m in modes}
+    caches = {m: PlanCache() for m in modes}
+    compile_summaries = {}
+    for m in modes:
+        warm_up = simulate(
+            program.module,
+            options[m],
+            inputs=program.prepare_inputs(ifmap, weights),
+            plan_cache=caches[m],
+        )
+        compile_summaries[m] = warm_up.summary
+    best = {m: None for m in modes}
+    results = {}
+    for _ in range(max(1, repeats)):
+        for m in modes:
+            inputs = program.prepare_inputs(ifmap, weights)
+            started = time.perf_counter()
+            results[m] = simulate(
+                program.module,
+                options[m],
+                inputs=inputs,
+                plan_cache=caches[m],
+            )
+            elapsed = time.perf_counter() - started
+            if best[m] is None or elapsed < best[m]:
+                best[m] = elapsed
+    return [
+        _row(m, "wheel", True, results[m], best[m], compile_summaries[m])
+        for m in modes
+    ]
 
 
 def throughput_sweep_spec():
@@ -194,6 +293,13 @@ def _engine_scenario_subprocess(**kwargs) -> dict:
     against a warmer, more fragmented heap than the first (the same
     isolation rule the sweep scenarios follow)."""
     return _scenario_subprocess("--engine-scenario", **kwargs)
+
+
+def _engine_ablation_subprocess(**kwargs) -> list:
+    """Both warm execution-mode rows from ONE fresh interpreter: the
+    codegen/plan ratio gates CI, so its two sides must share a process
+    (and interleave their timed passes) to stay machine-neutral."""
+    return _scenario_subprocess("--ablation-scenario", **kwargs)
 
 
 def _workload_row_subprocess(**kwargs) -> dict:
@@ -383,6 +489,9 @@ def main(argv=None) -> int:
         "--engine-scenario", default="", help=argparse.SUPPRESS,
     )
     parser.add_argument(
+        "--ablation-scenario", default="", help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
         "--scenario-row", default="", help=argparse.SUPPRESS,
     )
     parser.add_argument(
@@ -395,6 +504,11 @@ def main(argv=None) -> int:
         return 0
     if args.engine_scenario:
         print(json.dumps(run_workload(**json.loads(args.engine_scenario))))
+        return 0
+    if args.ablation_scenario:
+        print(json.dumps(
+            run_warm_ablation(**json.loads(args.ablation_scenario))
+        ))
         return 0
     if args.scenario_row:
         print(json.dumps(run_scenario_row(**json.loads(args.scenario_row))))
@@ -420,24 +534,38 @@ def main(argv=None) -> int:
     runs = []
     if not args.interpret_only:
         runs.append(
-            _engine_scenario_subprocess(compile_plans=True, scheduler="wheel")
+            _engine_scenario_subprocess(mode="plan", scheduler="wheel")
         )
         # The scheduler-backend ablation row: same compiled engine on the
         # reference binary-heap scheduler.
         runs.append(
-            _engine_scenario_subprocess(compile_plans=True, scheduler="heap")
+            _engine_scenario_subprocess(mode="plan", scheduler="heap")
         )
-    runs.append(_engine_scenario_subprocess(compile_plans=False))
-    compiled = next((r for r in runs if r["compile_plans"]), None)
+        # The execution-mode ablation rows, measured warm (pre-warmed
+        # plan cache, interleaved best-of-5): the compile-once/
+        # execute-many regime where source codegen earns its keep.  Both
+        # rows come from one subprocess so the gated ratio cannot be
+        # skewed by machine drift between separate invocations.
+        runs.extend(_engine_ablation_subprocess(repeats=5))
+    runs.append(_engine_scenario_subprocess(mode="interpret"))
+    compiled = next(
+        (r for r in runs if r["mode"] == "plan" and not r["warm"]), None
+    )
     heap_run = next(
         (
             r
             for r in runs
-            if r["compile_plans"] and r["scheduler"] == "heap"
+            if r["mode"] == "plan" and r["scheduler"] == "heap"
         ),
         None,
     )
-    interpreted = next(r for r in runs if not r["compile_plans"])
+    warm_plan = next(
+        (r for r in runs if r["mode"] == "plan" and r["warm"]), None
+    )
+    warm_codegen = next(
+        (r for r in runs if r["mode"] == "codegen" and r["warm"]), None
+    )
+    interpreted = next(r for r in runs if r["mode"] == "interpret")
     snapshot = {
         "benchmark": "bench_engine_speed",
         "workload": f"{SIZE}x{SIZE} ifmap, 2x2x3 weights, 4x4 WS array",
@@ -468,6 +596,33 @@ def main(argv=None) -> int:
                 f"{compiled['cycles']}cy/{compiled['scheduler_events']}ev "
                 f"!= {heap_run['cycles']}cy/{heap_run['scheduler_events']}ev"
             )
+    if warm_plan is not None and warm_codegen is not None:
+        # Codegen is an execution path, not a model change: cycles and
+        # event counts must be bit-identical before the ratio means
+        # anything.
+        for row in (warm_plan, warm_codegen):
+            if row["cycles"] != interpreted["cycles"] or (
+                row["scheduler_events"] != interpreted["scheduler_events"]
+            ):
+                raise SystemExit(
+                    f"mode={row['mode']} warm row diverged: "
+                    f"{row['cycles']}cy/{row['scheduler_events']}ev != "
+                    f"{interpreted['cycles']}cy/"
+                    f"{interpreted['scheduler_events']}ev"
+                )
+        snapshot["codegen_speedup"] = round(
+            warm_codegen["events_per_s"]
+            / max(warm_plan["events_per_s"], 1),
+            3,
+        )
+        print(
+            f"  codegen ablation (warm): plan "
+            f"{warm_plan['events_per_s']:,} -> codegen "
+            f"{warm_codegen['events_per_s']:,} events/s "
+            f"({snapshot['codegen_speedup']}x, "
+            f"{warm_codegen['blocks_codegenned']} blocks generated, "
+            f"{warm_codegen['codegen_fallbacks']} fallbacks)"
+        )
     headline = compiled or interpreted
     print(
         f"{output}: {headline['events_per_s']:,} events/s "
@@ -492,11 +647,31 @@ def main(argv=None) -> int:
     return 0
 
 
+def _run_mode(run: dict) -> str:
+    """A run's execution mode; pre-ExecutionMode snapshots only carry
+    the ``compile_plans`` boolean, which maps onto plan/interpret."""
+    mode = run.get("mode")
+    if mode is not None:
+        return mode
+    return "plan" if run.get("compile_plans") else "interpret"
+
+
 def _events_per_s(snapshot: dict, compile_plans: bool) -> int:
-    """The snapshot's first run with the given engine strategy (any
+    """The snapshot's first cold run with the given engine strategy (any
     scheduler — pre-wheel snapshots lack the field), or 0."""
     for run in snapshot.get("runs", []):
-        if bool(run.get("compile_plans")) == compile_plans:
+        if run.get("warm"):
+            continue
+        if (_run_mode(run) != "interpret") == compile_plans:
+            return run.get("events_per_s", 0)
+    return 0
+
+
+def _mode_events_per_s(snapshot: dict, mode: str, warm: bool) -> int:
+    """The snapshot's first run with the given mode/warmth, or 0 (older
+    committed snapshots have no warm ablation rows)."""
+    for run in snapshot.get("runs", []):
+        if _run_mode(run) == mode and bool(run.get("warm")) == warm:
             return run.get("events_per_s", 0)
     return 0
 
@@ -535,6 +710,23 @@ def check_engine_regression(
                     "compiled/interpreted events/s ratio",
                     round(before / base_before, 4),
                     round(after / base_after, 4),
+                    threshold,
+                )
+            )
+        # The codegen ablation gate: the warm codegen/plan events/s
+        # ratio is machine-neutral the same way (both sides measured in
+        # one run on one machine), so a codegen-path regression fails CI
+        # even when raw throughput swings.
+        cg_before = _mode_events_per_s(committed, "codegen", warm=True)
+        cg_after = _mode_events_per_s(fresh, "codegen", warm=True)
+        warm_before = _mode_events_per_s(committed, "plan", warm=True)
+        warm_after = _mode_events_per_s(fresh, "plan", warm=True)
+        if cg_before and cg_after and warm_before and warm_after:
+            checks.append(
+                (
+                    "codegen/plan warm events/s ratio",
+                    round(cg_before / warm_before, 4),
+                    round(cg_after / warm_after, 4),
                     threshold,
                 )
             )

@@ -307,8 +307,11 @@ def run_scenario_sweep(
     ``sample`` evaluates only a deterministic subsample of that many
     points (same convention as the systolic sweep).
     ``option_overrides`` restates :class:`EngineOptions` fields (e.g.
-    ``{"scheduler": "heap"}`` for a differential sweep); ``check`` runs
-    each point's reference-stats oracle in the worker.
+    ``{"scheduler": "heap"}`` for a differential sweep, or
+    ``{"mode": "codegen"}`` to select an
+    :class:`~repro.sim.ExecutionMode` — all three modes are
+    bit-identical); ``check`` runs each point's reference-stats oracle
+    in the worker.
 
     Resilience (see ``docs/performance.md``, "Resilient sweeps"):
 

@@ -38,7 +38,7 @@ import json
 import threading
 import time
 import traceback
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.export import record_line
@@ -56,7 +56,8 @@ from .wal import AdmissionWAL, WALError
 #: at build time in the program cache).
 _ALLOWED_OPTIONS = (
     "scheduler",
-    "compile_plans",
+    "mode",
+    "compile_plans",  # deprecated alias; canonicalized onto "mode"
     "vectorize_loops",
     "max_cycles",
     "strict_capacity",
@@ -79,6 +80,35 @@ class DrainingError(RuntimeError):
 
 def _freeze(mapping: Optional[Mapping]) -> Tuple[Tuple[str, object], ...]:
     return tuple(sorted((mapping or {}).items()))
+
+
+def _canonical_options(options: Optional[Mapping]) -> Dict:
+    """Normalize execution-mode spellings to one canonical form.
+
+    The deprecated ``compile_plans`` alias is folded into ``mode`` via
+    :func:`~repro.sim.engine.resolve_execution_mode` (the single
+    normalization point every surface shares), and ``mode`` is recorded
+    only when it differs from the default ``plan`` — so ``{}``,
+    ``{"mode": "plan"}``, and ``{"compile_plans": true}`` all freeze to
+    the same request and therefore the same store key, while plan and
+    codegen requests can never share one.
+    """
+    from ..sim.engine import ExecutionMode, resolve_execution_mode
+
+    mapping = dict(options or {})
+    alias = mapping.pop("compile_plans", None)
+    try:
+        mode = resolve_execution_mode(
+            mapping.get("mode"),
+            compile_plans=True if alias is None else bool(alias),
+        )
+    except ValueError as error:
+        raise RequestError(str(error)) from None
+    if mode is ExecutionMode.PLAN:
+        mapping.pop("mode", None)
+    else:
+        mapping["mode"] = mode.value
+    return mapping
 
 
 @dataclass(frozen=True)
@@ -142,15 +172,16 @@ class JobRequest:
                     f"engine option {name!r} must be a scalar, "
                     f"got {type(value).__name__}"
                 )
+        canonical = _canonical_options(options)
         try:
-            EngineOptions(**dict(options or {}))
-        except TypeError as error:
+            EngineOptions(**canonical)
+        except (TypeError, ValueError) as error:
             raise RequestError(f"invalid engine options: {error}") from None
         return cls(
             scenario=scenario_obj.name,
             config=_freeze(asdict(cfg)),
             seed=int(seed),
-            options=_freeze(options),
+            options=_freeze(canonical),
             check=bool(check),
         )
 
@@ -572,6 +603,10 @@ class SchedulerStats:
     #: Jobs no longer in memory (pruned, or completed before a restart)
     #: resolved from their terminal record + the store.
     resurrected: int = 0
+    #: Submissions by resolved execution mode ("interpret" | "plan" |
+    #: "codegen"); requests spelled with the deprecated
+    #: ``compile_plans`` alias count under their resolved mode.
+    submitted_by_mode: Dict[str, int] = field(default_factory=dict)
 
 
 class JobScheduler:
@@ -688,8 +723,12 @@ class JobScheduler:
         rather than issuing an id that would not survive a crash.
         """
         key = request_store_key(request)
+        mode = dict(request.options).get("mode", "plan")
         with self._lock:
             self.stats.submitted += 1
+            self.stats.submitted_by_mode[mode] = (
+                self.stats.submitted_by_mode.get(mode, 0) + 1
+            )
             inflight = self._inflight.get(key)
             if inflight is not None:
                 inflight.waiters += 1
@@ -749,8 +788,12 @@ class JobScheduler:
         is WAL-logged before the job is visible.
         """
         key = request_store_key(request)
+        mode = dict(request.options).get("mode", "plan")
         with self._lock:
             self.stats.submitted += 1
+            self.stats.submitted_by_mode[mode] = (
+                self.stats.submitted_by_mode.get(mode, 0) + 1
+            )
             self.stats.sweeps_submitted += 1
             inflight = self._inflight.get(key)
             if inflight is not None:

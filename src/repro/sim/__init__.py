@@ -45,8 +45,10 @@ from .engine import (
     Engine,
     EngineError,
     EngineOptions,
+    ExecutionMode,
     Future,
     SimulationResult,
+    resolve_execution_mode,
     simulate,
 )
 from .kernel import (
@@ -74,8 +76,8 @@ __all__ = [
     "ConnectionModel", "DMAModel", "EventEntry", "MemoryModel", "MemorySpec",
     "ProcessorModel", "ProcessorSpec", "memory_spec", "processor_spec",
     "register_memory_kind", "register_processor_kind",
-    "Engine", "EngineError", "EngineOptions", "Future", "SimulationResult",
-    "simulate",
+    "Engine", "EngineError", "EngineOptions", "ExecutionMode", "Future",
+    "SimulationResult", "resolve_execution_mode", "simulate",
     "CachedProgram", "CompileCache", "CompileCacheStats", "SweepRunner",
     "default_jobs", "deterministic_conv_inputs", "process_compile_cache",
     "sample_conv_inputs", "simulate_systolic_cached",

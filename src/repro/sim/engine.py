@@ -18,19 +18,31 @@ an accurate global timestamp (launch/memcpy issue, contended memory or
 connection access, events).  This keeps tight compute loops cheap without
 changing observable timing.
 
-Execution has two interchangeable strategies (``EngineOptions.compile_plans``):
+Execution has three interchangeable strategies, selected by one
+:class:`ExecutionMode` (``EngineOptions.mode``):
 
-* **Interpreted** — :meth:`Engine._run_block` walks ``block.ops`` and
+* ``interpret`` — :meth:`Engine._run_block` walks ``block.ops`` and
   dispatches through the handler table on every execution.  Simple,
   always available, and the reference semantics.
-* **Compiled** — on first execution each block is lowered by
+* ``plan`` (the default) — on first execution each block is lowered by
   :mod:`repro.sim.plan` into a :class:`~repro.sim.plan.BlockPlan` of
   pre-bound step closures (handler lookup, attribute parsing, operand
   decomposition, and flush/trace decisions resolved once); subsequent
   executions replay the cached plan, and contention-free ``affine.for``
-  bodies collapse into single batched NumPy evaluations.  Observable
-  results (cycles, buffers, statistics) are bit-identical to the
-  interpreter; see ``docs/performance.md`` for the full story.
+  bodies collapse into single batched NumPy evaluations.
+* ``codegen`` — every inlineable plan is additionally lowered by
+  :mod:`repro.sim.codegen` into specialized Python *source* —
+  straight-line code with the step dispatch loop gone, constants folded
+  into direct environment stores, and suspension-free ``affine.for``
+  bodies flattened — which is ``compile()``d once and cached next to
+  the plan.  Plans the emitter cannot flatten fall back to plan replay.
+
+Observable results (cycle counts, buffers, statistics, even the
+scheduler-event count) are bit-identical across all three modes; see
+``docs/performance.md`` for the full story.  ``compile_plans`` remains
+as a deprecated boolean alias for ``interpret``/``plan``;
+:func:`resolve_execution_mode` is the one canonical normalization
+point mapping the alias and the enum onto each other.
 
 Orthogonally, ``EngineOptions.scheduler`` selects the DES scheduler
 backend: the tiered event wheel (``"wheel"``, default — microtask ring
@@ -42,9 +54,11 @@ the reference both must match bit-for-bit; see
 
 from __future__ import annotations
 
+import enum
 import time as _time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -79,6 +93,57 @@ class EngineError(Exception):
     """Raised for runtime simulation errors (deadlock, unresolved values)."""
 
 
+class ExecutionMode(str, enum.Enum):
+    """The execution-path selector: one enum for CLI, engine, sweeps,
+    and the service tier.
+
+    A ``str`` subclass, so resolved modes compare equal to their plain
+    spellings (``options.mode == "codegen"``) and serialize as strings
+    in stats records, journal headers, and store keys.
+    """
+
+    #: The reference interpreter (:meth:`Engine._run_block`).
+    INTERPRET = "interpret"
+    #: Compile-once/execute-many block plans (:mod:`repro.sim.plan`).
+    PLAN = "plan"
+    #: Plans plus specialized Python source per block
+    #: (:mod:`repro.sim.codegen`).
+    CODEGEN = "codegen"
+
+
+def resolve_execution_mode(
+    mode: Union[str, ExecutionMode, None],
+    compile_plans: bool = True,
+) -> ExecutionMode:
+    """THE canonical normalization point for execution-path selection.
+
+    Maps the :class:`ExecutionMode` enum and the deprecated
+    ``compile_plans`` boolean alias onto one resolved mode.  Every
+    surface that accepts both — :class:`EngineOptions`, ``equeue-sim``
+    (``--mode`` vs ``--interpret``), the service request layer — routes
+    through here, so the alias cannot drift from the enum.
+
+    ``mode=None`` defers to the alias (``True`` → ``plan``, ``False`` →
+    ``interpret``).  An explicit mode wins, but contradicting it with
+    ``compile_plans=False`` raises ``ValueError`` rather than guessing.
+    """
+    if mode is None:
+        return ExecutionMode.PLAN if compile_plans else ExecutionMode.INTERPRET
+    try:
+        resolved = ExecutionMode(mode)
+    except ValueError:
+        valid = ", ".join(m.value for m in ExecutionMode)
+        raise ValueError(
+            f"unknown execution mode {mode!r}; valid modes: {valid}"
+        ) from None
+    if not compile_plans and resolved is not ExecutionMode.INTERPRET:
+        raise ValueError(
+            f"mode={resolved.value!r} conflicts with compile_plans=False "
+            "(drop the deprecated alias when selecting a mode explicitly)"
+        )
+    return resolved
+
+
 @dataclass
 class EngineOptions:
     """Knobs for the simulation engine."""
@@ -104,19 +169,39 @@ class EngineOptions:
     #: already verified (e.g. programs served from the cross-simulation
     #: compile cache, which verify once at build time).
     verify_module: bool = True
-    #: Compile each block once into a :class:`~repro.sim.plan.BlockPlan`
-    #: and replay it (the compile-once/execute-many fast path).  Disable
-    #: to force the reference interpreter, e.g. for differential testing.
+    #: Deprecated alias for ``mode``: ``True`` → ``plan``, ``False`` →
+    #: ``interpret``.  Normalized (and kept in sync with the resolved
+    #: mode, so existing ``options.compile_plans`` readers keep working)
+    #: by :func:`resolve_execution_mode` in ``__post_init__``.
     compile_plans: bool = True
+    #: Execution path: ``interpret`` | ``plan`` | ``codegen`` (an
+    #: :class:`ExecutionMode` or its string spelling; ``None`` defers to
+    #: the ``compile_plans`` alias, i.e. defaults to ``plan``).  After
+    #: construction this is always a resolved :class:`ExecutionMode`.
+    mode: Union[str, ExecutionMode, None] = None
     #: Allow compiled plans to batch contention-free ``affine.for`` bodies
-    #: into single NumPy evaluations (requires ``compile_plans``).
+    #: into single NumPy evaluations (plan and codegen modes).
     vectorize_loops: bool = True
     #: Discrete-event scheduler backend: ``"wheel"`` (the tiered
     #: microtask-ring + calendar-wheel scheduler, the default) or
     #: ``"heap"`` (the classic binary-heap reference).  Both produce
     #: bit-identical simulations; the heap is kept as an escape hatch
-    #: mirroring ``compile_plans`` (see ``--scheduler`` on equeue-sim).
+    #: mirroring ``mode=interpret`` (see ``--scheduler`` on equeue-sim).
     scheduler: str = "wheel"
+
+    def __post_init__(self):
+        if self.mode is None and not self.compile_plans:
+            warnings.warn(
+                "EngineOptions(compile_plans=False) is deprecated; use "
+                "EngineOptions(mode='interpret') (ExecutionMode.INTERPRET)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        self.mode = resolve_execution_mode(self.mode, self.compile_plans)
+        # Keep the deprecated alias observable and consistent: sweep and
+        # batch plumbing still reads ``options.compile_plans`` to decide
+        # whether a plan cache applies (true for plan AND codegen).
+        self.compile_plans = self.mode is not ExecutionMode.INTERPRET
 
 
 class Future:
@@ -500,7 +585,16 @@ class Engine:
                     local_env[arg] = value
                 if plans is not None:
                     plan = plans.plan_for(block)
-                    if plan.inlineable:
+                    body_fn = plan.compiled
+                    if body_fn is not None:
+                        # Codegen mode: the block's specialized source,
+                        # compiled once, under the same inline/suspend
+                        # protocol as _inline_run.
+                        returns = _NO_RETURNS
+                        suspended = body_fn(body_ex, local_env)
+                        if suspended is not None:
+                            yield from suspended
+                    elif plan.inlineable:
                         # An inlineable plan has no K_RET step, so there
                         # are never return values to collect.
                         returns = _NO_RETURNS
@@ -1300,12 +1394,16 @@ class Engine:
             # accumulates across simulations, but each run reports only
             # its own compiles/hits (so a fully warm run shows
             # plans_compiled == 0 and pure cache hits).
-            compiled, hits, vec_loops, vec_iters, vec_falls = (
+            (
+                compiled, hits, vec_loops, vec_iters, vec_falls,
+                codegenned, codegen_falls,
+            ) = (
                 current - base
                 for current, base in zip(plans.counters(), self._plan_base)
             )
         else:
             compiled = hits = vec_loops = vec_iters = vec_falls = 0
+            codegenned = codegen_falls = 0
         sim = self.sim
         return ProfilingSummary(
             execution_time_s=elapsed,
@@ -1323,6 +1421,9 @@ class Engine:
             vector_loops=vec_loops,
             vector_iterations=vec_iters,
             vector_fallbacks=vec_falls,
+            blocks_codegenned=codegenned,
+            codegen_fallbacks=codegen_falls,
+            execution_mode=self.options.mode.value,
         )
 
 
@@ -1354,8 +1455,9 @@ def simulate(
 
     ``inputs`` maps top-level buffer names to arrays loaded into them after
     elaboration, before simulation starts.  ``plan_cache`` lets repeated
-    simulations of the same module share compiled block plans (the
-    cross-simulation compile cache; ignored when ``compile_plans`` is off).
+    simulations of the same module share compiled block plans — and, in
+    codegen mode, their generated code objects (the cross-simulation
+    compile cache; ignored in interpret mode).
     """
     return Engine(module, options, inputs, plan_cache=plan_cache).run()
 

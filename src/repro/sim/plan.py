@@ -114,13 +114,22 @@ _INLINEABLE = frozenset(
 
 
 class BlockPlan:
-    """A compiled block: a flat list of ``(kind, payload, extra)`` steps."""
+    """A compiled block: a flat list of ``(kind, payload, extra)`` steps.
 
-    __slots__ = ("steps", "inlineable")
+    Under ``mode=codegen`` an inlineable plan additionally carries
+    ``compiled`` — the specialized Python function
+    :func:`repro.sim.codegen.compile_block_body` emitted and
+    ``compile()``d from this plan's steps, honoring the same
+    inline/suspend protocol as :func:`_inline_run`.  ``None`` in plan
+    mode or when the emitter declined the plan (fallback to replay).
+    """
+
+    __slots__ = ("steps", "inlineable", "compiled")
 
     def __init__(self, steps):
         self.steps = steps
         self.inlineable = all(k in _INLINEABLE for k, _, _ in steps)
+        self.compiled = None
 
     def execute(self, ex, env):
         """Run under the inline/suspend protocol: ``None`` when the plan
@@ -129,6 +138,8 @@ class BlockPlan:
         the remaining work.  Callers that need ``equeue.return_values``
         must use :meth:`run` instead; inlineable plans never contain a
         ``K_RET`` step, so they have no return values to lose."""
+        if self.compiled is not None:
+            return self.compiled(ex, env)
         if self.inlineable:
             return _inline_run(self, ex, env)
         return self.run(ex, env)
@@ -283,6 +294,9 @@ class PlanCache:
         self.vector_iterations = 0
         self.vector_fallbacks = 0
         self.vectorize = False
+        self.codegen = False
+        self.codegen_blocks = 0
+        self.codegen_fallbacks = 0
         self._config_key = None
         #: Last-seen-memory memo cells of compiled access steps; reset on
         #: detach so they cannot pin a completed engine's component tree.
@@ -298,12 +312,21 @@ class PlanCache:
 
     @staticmethod
     def _key(engine):
-        """The configuration baked into compiled steps at compile time."""
+        """The configuration baked into compiled steps at compile time.
+
+        The execution mode participates so a cache reattached under a
+        different mode flushes: plan-mode and codegen-mode artifacts are
+        never mixed within one store (a ``compiled`` body emitted for one
+        plan must not survive into a run that asked for pure plan replay,
+        and vice versa)."""
+        from .engine import ExecutionMode
+
         options = engine.options
         return (
             type(engine),
             bool(options.trace and options.detailed_trace),
             bool(options.vectorize_loops),
+            options.mode is ExecutionMode.CODEGEN,
         )
 
     def detach(self) -> None:
@@ -331,9 +354,12 @@ class PlanCache:
         self.vectorize = options.vectorize_loops and not (
             options.trace and options.detailed_trace
         )
+        from .engine import ExecutionMode
+
+        self.codegen = options.mode is ExecutionMode.CODEGEN
         return self
 
-    def counters(self) -> Tuple[int, int, int, int, int]:
+    def counters(self) -> Tuple[int, int, int, int, int, int, int]:
         """Cumulative statistics (engines snapshot these for per-run deltas)."""
         return (
             self.compiled,
@@ -341,6 +367,8 @@ class PlanCache:
             self.vector_loops,
             self.vector_iterations,
             self.vector_fallbacks,
+            self.codegen_blocks,
+            self.codegen_fallbacks,
         )
 
     def plan_for(self, block) -> BlockPlan:
@@ -378,6 +406,15 @@ class PlanCache:
             if step is not None:
                 steps.append(step)
         plan = BlockPlan(steps)
+        if self.codegen:
+            if plan.inlineable:
+                from .codegen import compile_block_body
+
+                plan.compiled = compile_block_body(plan)
+            if plan.compiled is not None:
+                self.codegen_blocks += 1
+            else:
+                self.codegen_fallbacks += 1
         self.plans[id(block)] = (block, plan)
         self.compiled += 1
         return plan
@@ -486,11 +523,18 @@ def _c_arith(cache, engine, op):
     )
     resolve = engine._resolve
     fn = interp.binary_callable(name)
+    # Inline-expansion metadata for the codegen emitter: enough to emit
+    # the step's body as straight-line source instead of a closure call.
+    # Suppressed under detailed tracing (the traced wrapper must run) —
+    # the emitter then falls back to calling the wrapped closure.
+    meta = "int"
     if fn is not None and len(operand_ssa) == 2:
         s0, s1 = operand_ssa
         raw = interp.raw_int_callable(name)
 
         if raw is not None:
+            meta = ("arith2", s0, s1, result, raw, fn, is_free, resolve)
+
             def step(ex, env):
                 try:
                     a = env[s0]
@@ -508,6 +552,8 @@ def _c_arith(cache, engine, op):
                     env[result] = fn(a, b)
                 return 0 if is_free else ex.proc.spec.arith_cycles
         else:
+            meta = ("barith2", s0, s1, result, fn, is_free, resolve)
+
             def step(ex, env):
                 try:
                     a = env[s0]
@@ -524,6 +570,7 @@ def _c_arith(cache, engine, op):
     elif name == "arith.cmpi" and len(operand_ssa) == 2:
         s0, s1 = operand_ssa
         compare = interp.compare_callable(attrs["predicate"])
+        meta = ("cmp", s0, s1, result, compare, is_free, resolve)
 
         def step(ex, env):
             try:
@@ -554,7 +601,14 @@ def _c_arith(cache, engine, op):
             env[result] = evaluate(name, operands, attrs)
             return 0 if is_free else ex.proc.spec.arith_cycles
 
-    return (K_DYN, _maybe_trace(cache, op, step), None)
+    # The "int" tag certifies the step always returns a plain int (never a
+    # generator), letting generated code skip the type dispatch; the richer
+    # tuples above let it inline the whole body.  Plan-mode replay ignores
+    # the extra slot entirely.
+    options = engine.options
+    if options.trace and options.detailed_trace:
+        meta = "int"
+    return (K_DYN, _maybe_trace(cache, op, step), meta)
 
 
 @_compiles("equeue.op")
@@ -580,7 +634,13 @@ def _c_external(cache, engine, op):
             return fixed_cycles
         return int(cycles(operands))
 
-    return (K_DYN, _maybe_trace(cache, op, step), None)
+    options = engine.options
+    meta = "int"
+    if fixed_cycles is not None and not (
+        options.trace and options.detailed_trace
+    ):
+        meta = ("extern", operand_ssa, result_ssa, func, fixed_cycles, resolve)
+    return (K_DYN, _maybe_trace(cache, op, step), meta)
 
 
 # -- pre-bound handler steps ---------------------------------------------------
@@ -674,7 +734,11 @@ def _c_read(cache, engine, op):
                 return 0
             return general(ex, env)
 
-        return (K_DYN, step, None)
+        meta = (
+            "read", buffer_ssa, result, posted, state, const_idx, general,
+            resolve,
+        )
+        return (K_DYN, step, meta)
 
     def step(ex, env):
         try:
@@ -704,7 +768,11 @@ def _c_read(cache, engine, op):
             return 0
         return general(ex, env)
 
-    return (K_DYN, step, None)
+    meta = (
+        "readx", buffer_ssa, result, posted, state, indices_ssa, general,
+        resolve,
+    )
+    return (K_DYN, step, meta)
 
 
 @_compiles("equeue.write")
@@ -760,7 +828,11 @@ def _c_write(cache, engine, op):
             return 0
         return general(ex, env)
 
-    return (K_DYN, step, None)
+    meta = (
+        "write", buffer_ssa, value_ssa, posted, state, const_idx,
+        indices_ssa, general, resolve,
+    )
+    return (K_DYN, step, meta)
 
 
 @_compiles("affine.load", "memref.load")
@@ -801,7 +873,11 @@ def _c_load(cache, engine, op):
             return 0
         return general(ex, env)
 
-    return (K_DYN, step, None)
+    meta = (
+        "load", buffer_ssa, result, state, const_idx, indices_ssa, general,
+        resolve,
+    )
+    return (K_DYN, step, meta)
 
 
 @_compiles("affine.store", "memref.store")
@@ -844,7 +920,11 @@ def _c_store(cache, engine, op):
             return 0
         return general(ex, env)
 
-    return (K_DYN, step, None)
+    meta = (
+        "store", buffer_ssa, value_ssa, state, const_idx, indices_ssa,
+        general, resolve,
+    )
+    return (K_DYN, step, meta)
 
 
 @_compiles("equeue.launch")
@@ -902,7 +982,7 @@ def _c_local(cache, engine, op):
         "linalg.fill": cls._h_fill,
     }
     step = _bound(cache, handlers[op.name], op)
-    return (K_DYN, _maybe_trace(cache, op, step), None)
+    return (K_DYN, _maybe_trace(cache, op, step), "int")
 
 
 # -- structured control flow ---------------------------------------------------
@@ -938,11 +1018,17 @@ def _c_if(cache, engine, op):
         plan = then_plan if taken else else_plan
         if plan is None:
             return None
+        body = plan.compiled
+        if body is not None:
+            return body(ex, env)
         if plan.inlineable:
             return _inline_run(plan, ex, env)
         return plan.run(ex, env)
 
-    return (K_CTRL, step, None)
+    # ("if", ...) metadata: the codegen emitter expands the condition
+    # dispatch and direct branch-body calls inline (plan replay ignores
+    # the extra slot for K_CTRL).
+    return (K_CTRL, step, ("if", cond_ssa, then_plan, else_plan, resolve))
 
 
 @_compiles("affine.for")
@@ -964,7 +1050,11 @@ def _c_for(cache, engine, op):
             if suspended is not None:
                 yield from suspended
 
-    return (K_CTRL, step, None)
+    # The ("for", ...) metadata lets the codegen emitter flatten the loop
+    # into the generated body — no generator frame per loop — while plan
+    # replay keeps using the step closure above (the extra slot is ignored
+    # by both executors for K_CTRL).
+    return (K_CTRL, step, ("for", body_plan, induction, loop_range))
 
 
 @_compiles("affine.parallel")

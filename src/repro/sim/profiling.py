@@ -101,6 +101,13 @@ class ProfilingSummary:
     #: Vectorized executions that hit a runtime guard and replayed the
     #: scalar plan instead.
     vector_fallbacks: int = 0
+    #: Block plans lowered to specialized Python source (``mode=codegen``).
+    blocks_codegenned: int = 0
+    #: Plans codegen mode declined (non-inlineable); replayed as plans.
+    codegen_fallbacks: int = 0
+    #: Resolved :class:`~repro.sim.engine.ExecutionMode` value the run
+    #: executed under ("" for records written before modes existed).
+    execution_mode: str = ""
 
     # -- aggregate helpers (used by the Fig. 11 benches) ---------------------
 
@@ -191,6 +198,11 @@ class ProfilingSummary:
                 f"vectorized loops:         {self.vector_loops} compiled, "
                 f"{self.vector_iterations} iterations batched, "
                 f"{self.vector_fallbacks} fallbacks"
+            )
+        if self.blocks_codegenned or self.codegen_fallbacks:
+            lines.append(
+                f"codegen blocks:           {self.blocks_codegenned} "
+                f"generated, {self.codegen_fallbacks} fallbacks"
             )
         if self.connections:
             lines.append("-- connections (bytes/cycle) --")

@@ -3,6 +3,7 @@
 Usage::
 
     equeue-sim program.mlir --trace trace.json
+    equeue-sim program.mlir --mode codegen --stats-json stats.json
     equeue-sim program.mlir --pipeline "equeue-read-write,..." --max-cycles 100000
     equeue-sim a.mlir b.mlir c.mlir --jobs 4
     equeue-sim --scenario gemm:k=32,tile_k=8 --seed 7
@@ -26,13 +27,19 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional, Tuple
 
 from .. import dialects  # noqa: F401  (register dialects)
 from ..ir import parse_module, verify
 from ..passes import PassManager
 from ..scenarios import ScenarioError, all_scenarios, parse_scenario_spec
-from ..sim import EngineOptions, SweepRunner, simulate
+from ..sim import (
+    EngineOptions,
+    SweepRunner,
+    resolve_execution_mode,
+    simulate,
+)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -77,15 +84,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="error if allocations exceed declared memory sizes",
     )
     parser.add_argument(
+        "--mode", choices=("interpret", "plan", "codegen"), default=None,
+        help="execution path: the reference interpreter, block-plan "
+        "replay (default), or specialized Python source generated per "
+        "block plan (fastest on repeated execution; bit-identical "
+        "results across all three)",
+    )
+    parser.add_argument(
         "--interpret", action="store_true",
-        help="disable block-plan compilation and run the reference "
-        "interpreter (slower; for differential debugging)",
+        help="deprecated alias for --mode interpret",
     )
     parser.add_argument(
         "--scheduler", choices=("wheel", "heap"), default="wheel",
         help="discrete-event scheduler backend: the tiered event wheel "
         "(default) or the classic binary heap (slower; for differential "
-        "debugging, mirroring --interpret)",
+        "debugging, mirroring --mode interpret)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -147,7 +160,7 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
     """
     (
         name, source, pipeline, inputs_path, dump_buffers,
-        max_cycles, strict_capacity, interpret, scheduler, trace_path,
+        max_cycles, strict_capacity, mode, scheduler, trace_path,
         stats_path,
     ) = payload
     lines: List[str] = []
@@ -161,7 +174,7 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
             detailed_trace=bool(trace_path),
             max_cycles=max_cycles,
             strict_capacity=strict_capacity,
-            compile_plans=not interpret,
+            mode=mode,
             scheduler=scheduler,
         )
         inputs = None
@@ -241,7 +254,7 @@ def _engine_options(args, trace: bool) -> EngineOptions:
         detailed_trace=trace,
         max_cycles=args.max_cycles,
         strict_capacity=args.strict_capacity,
-        compile_plans=not args.interpret,
+        mode=args.mode,
         scheduler=args.scheduler,
     )
 
@@ -301,8 +314,8 @@ def _sweep_option_overrides(args) -> Optional[dict]:
         overrides["max_cycles"] = args.max_cycles
     if args.strict_capacity:
         overrides["strict_capacity"] = True
-    if args.interpret:
-        overrides["compile_plans"] = False
+    if args.mode != "plan":
+        overrides["mode"] = args.mode
     if args.scheduler != "wheel":
         overrides["scheduler"] = args.scheduler
     return overrides or None
@@ -412,14 +425,36 @@ def _run_sweep(args, scenario, cfg) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    parser = build_arg_parser()
-    args = parser.parse_args(argv)
-    if args.list_scenarios:
-        _print_scenarios()
-        return 0
-    # Flag-value validation happens at the argparse boundary so bad
-    # values exit with a clean usage error, never a traceback.
+def _validate_args(parser: argparse.ArgumentParser, args) -> None:
+    """Single validation path for every flag combination.
+
+    All rejections route through ``parser.error`` so bad invocations
+    exit with a clean usage error (status 2), never a traceback, and
+    the rules cannot drift between call sites.  On return ``args.mode``
+    holds the resolved :class:`~repro.sim.ExecutionMode` value
+    (``"interpret"`` | ``"plan"`` | ``"codegen"``) with the deprecated
+    ``--interpret`` alias folded in.
+    """
+    # -- execution-mode resolution (the one canonical normalization) ----
+    if args.interpret and args.mode not in (None, "interpret"):
+        parser.error(
+            f"--interpret conflicts with --mode {args.mode} "
+            "(--interpret is a deprecated alias for --mode interpret)"
+        )
+    if args.interpret:
+        warnings.warn(
+            "--interpret is deprecated; use --mode interpret",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    try:
+        mode = resolve_execution_mode(
+            args.mode, compile_plans=not args.interpret
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    args.mode = mode.value
+    # -- flag-value ranges ---------------------------------------------
     if args.max_cycles < 0:
         parser.error(f"--max-cycles must be >= 0, got {args.max_cycles}")
     if args.jobs < 0:
@@ -428,6 +463,7 @@ def main(argv=None) -> int:
         parser.error(f"--seed must be >= 0, got {args.seed}")
     if args.sample < 0:
         parser.error(f"--sample must be >= 0, got {args.sample}")
+    # -- sweep flag dependencies ---------------------------------------
     if args.sweep and not args.scenario:
         parser.error("--sweep requires --scenario")
     if not args.sweep:
@@ -442,6 +478,7 @@ def main(argv=None) -> int:
                 parser.error(f"{flag} requires --sweep")
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
+    # -- scenario-mode exclusions --------------------------------------
     if args.scenario:
         if args.input != ["-"]:
             parser.error("--scenario replaces input files; drop the paths")
@@ -466,6 +503,16 @@ def main(argv=None) -> int:
             ):
                 if value:
                     parser.error(f"{flag} does not apply to --sweep runs")
+
+
+def main(argv=None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.list_scenarios:
+        _print_scenarios()
+        return 0
+    _validate_args(parser, args)
+    if args.scenario:
         try:
             scenario, cfg = parse_scenario_spec(args.scenario)
         except ScenarioError as error:
@@ -504,7 +551,7 @@ def main(argv=None) -> int:
     payloads = [
         (
             name, source, args.pipeline, args.inputs, args.dump_buffer,
-            args.max_cycles, args.strict_capacity, args.interpret,
+            args.max_cycles, args.strict_capacity, args.mode,
             args.scheduler, args.trace, args.stats_json,
         )
         for name, source in sources

@@ -1,11 +1,12 @@
 """Differential tests: every registered scenario is bit-identical across
-the wheel/heap schedulers AND compiled/interpreted execution.
+the wheel/heap schedulers AND all three execution modes (the reference
+interpreter, block-plan replay, and per-plan source codegen).
 
 The registry makes this a closed-world property: the suite sweeps the
 *registry*, so a newly added workload is automatically held to the same
 standard — cycles, scheduler-event counts, launches, final buffer
 contents, per-memory and per-connection traffic all equal across the
-four (scheduler x engine-strategy) combinations, with the reference
+six (scheduler x execution-mode) combinations, with the reference
 scheduler/interpreter pair as ground truth.
 """
 
@@ -24,10 +25,12 @@ from repro.scenarios import (
 from repro.sim import Engine, EngineOptions, simulate
 
 BACKENDS = [
-    ("wheel", True),
-    ("wheel", False),
-    ("heap", True),
-    ("heap", False),
+    ("wheel", "plan"),
+    ("wheel", "interpret"),
+    ("wheel", "codegen"),
+    ("heap", "plan"),
+    ("heap", "interpret"),
+    ("heap", "codegen"),
 ]
 
 
@@ -58,19 +61,19 @@ def observables(engine: Engine, result):
 
 
 def run_all_backends(name: str, seed: int = 0, **overrides):
-    """Simulate a scenario config on all four backends; assert equality.
+    """Simulate a scenario config on all six backends; assert equality.
 
-    Returns the reference (wheel + compiled) result for further checks.
+    Returns the reference (wheel + plan) result for further checks.
     """
     scenario = get_scenario(name)
     cfg = scenario.configure(**overrides)
     reference = None
     reference_result = None
-    for scheduler, compile_plans in BACKENDS:
+    for scheduler, mode in BACKENDS:
         module = scenario.build(cfg)  # fresh module: engines mutate buffers
         engine = Engine(
             module,
-            EngineOptions(scheduler=scheduler, compile_plans=compile_plans),
+            EngineOptions(scheduler=scheduler, mode=mode),
             scenario.make_inputs(cfg, seed),
         )
         result = engine.run()
@@ -79,8 +82,7 @@ def run_all_backends(name: str, seed: int = 0, **overrides):
             reference, reference_result = observed, result
         else:
             assert observed == reference, (
-                f"{name} diverged on scheduler={scheduler} "
-                f"compile_plans={compile_plans}"
+                f"{name} diverged on scheduler={scheduler} mode={mode}"
             )
     # The oracle holds on the cross-checked result.
     scenario.check(cfg, reference_result, seed)
@@ -133,7 +135,7 @@ class TestNewWorkloadsDifferential:
 
 
 class TestRegisteredScenariosDifferential:
-    """Every registry entry, default config, all four backends."""
+    """Every registry entry, default config, all six backends."""
 
     @pytest.mark.parametrize("name", sorted(scenario_names()))
     def test_backends_identical(self, name):

@@ -404,3 +404,106 @@ def test_code_version_bump_invalidates_store(tmp_path, monkeypatch):
     bumped = scheduler.submit(JobRequest.make("fir"))
     assert not bumped.done and bumped.state == "queued"
     assert bumped.key != job.key
+
+
+# ---------------------------------------------------------------------------
+# Execution-mode store safety
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionModeStoreSafety:
+    """The resolved mode participates in the store key: plan and codegen
+    records never cross, while alias spellings coalesce onto one key."""
+
+    def test_alias_spellings_share_one_key(self):
+        base = JobRequest.make("fir")
+        assert JobRequest.make("fir", options={"mode": "plan"}) == base
+        assert JobRequest.make("fir", options={"compile_plans": True}) == base
+        assert base.options == ()  # canonical: default mode is omitted
+        interpret = JobRequest.make("fir", options={"mode": "interpret"})
+        aliased = JobRequest.make("fir", options={"compile_plans": False})
+        assert interpret.key() == aliased.key()
+        assert dict(interpret.options) == {"mode": "interpret"}
+
+    def test_mode_conflicts_and_bad_values_rejected(self):
+        with pytest.raises(RequestError, match="compile_plans"):
+            JobRequest.make(
+                "fir", options={"mode": "codegen", "compile_plans": False}
+            )
+        with pytest.raises(RequestError, match="valid modes"):
+            JobRequest.make("fir", options={"mode": "turbo"})
+
+    def test_each_mode_gets_its_own_key(self):
+        keys = {
+            mode: JobRequest.make("fir", options={"mode": mode}).key()
+            for mode in ("interpret", "plan", "codegen")
+        }
+        assert len(set(keys.values())) == 3
+
+    def test_warm_hits_never_cross_modes(self, tmp_path, monkeypatch):
+        """A record persisted under mode=plan must never answer a
+        mode=codegen request (or vice versa); true same-mode hits serve
+        with provably zero engine work."""
+        clear_scenario_caches()
+        plan_request = JobRequest.make("fir")
+        codegen_request = JobRequest.make("fir", options={"mode": "codegen"})
+
+        cold = JobScheduler(store=ResultStore(tmp_path))
+        plan_job = cold.submit(plan_request)
+        cold.run_pending()
+        plan_record = plan_job.result()
+        assert plan_record["summary"]["execution_mode"] == "plan"
+
+        # A fresh scheduler over the warm store: the codegen request
+        # must queue and simulate, not hit the plan record.
+        cross = JobScheduler(store=ResultStore(tmp_path))
+        codegen_job = cross.submit(codegen_request)
+        assert not codegen_job.done
+        cross.run_pending()
+        assert codegen_job.source == "simulated"
+        assert cross.stats.store_hits == 0
+        codegen_record = codegen_job.result()
+        assert codegen_record["summary"]["execution_mode"] == "codegen"
+        assert codegen_record["summary"]["blocks_codegenned"] > 0
+        # The modes are bit-identical where it counts.
+        assert codegen_record["cycles"] == plan_record["cycles"]
+        assert (
+            codegen_record["summary"]["scheduler_events"]
+            == plan_record["summary"]["scheduler_events"]
+        )
+        assert codegen_record["checked"] == plan_record["checked"]
+
+        # True per-mode hits, booby-trapped: any simulation fails.
+        warm = JobScheduler(store=ResultStore(tmp_path))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm path invoked the simulation engine")
+
+        monkeypatch.setattr(scheduler_module, "evaluate_request", boom)
+        monkeypatch.setattr("repro.scenarios.sweep.simulate", boom)
+        for request, record in (
+            (plan_request, plan_record),
+            (codegen_request, codegen_record),
+        ):
+            job = warm.submit(request)
+            assert job.done and job.source == "store"
+            assert job.record == record
+        # Deprecated alias spellings hit the same records.
+        aliased = warm.submit(
+            JobRequest.make("fir", options={"compile_plans": True})
+        )
+        assert aliased.done and aliased.source == "store"
+        assert aliased.record == plan_record
+        assert warm.stats.simulated == 0
+        assert warm.stats.store_hits == 3
+
+    def test_stats_report_submissions_by_mode(self, tmp_path):
+        scheduler = JobScheduler(store=ResultStore(tmp_path))
+        scheduler.submit(JobRequest.make("fir"))
+        scheduler.submit(JobRequest.make("fir", options={"mode": "codegen"}))
+        scheduler.submit(
+            JobRequest.make("fir", options={"compile_plans": False}, seed=1)
+        )
+        scheduler.run_pending()
+        by_mode = scheduler.stats_dict()["submitted_by_mode"]
+        assert by_mode == {"plan": 1, "codegen": 1, "interpret": 1}

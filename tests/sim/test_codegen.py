@@ -1,0 +1,431 @@
+"""Source-codegen differential tests and the ExecutionMode API contract.
+
+``EngineOptions.mode`` selects one of three execution paths — the
+reference interpreter, block-plan replay, or per-plan Python source
+codegen (:mod:`repro.sim.codegen`).  These tests pin down:
+
+* the one canonical normalization point (:func:`resolve_execution_mode`)
+  and the deprecated ``compile_plans`` alias's behavior,
+* bit-identity of all three modes on loop/branch/dynamic-index programs,
+  including a hypothesis property over randomly generated small modules,
+* the codegen counters, the ``__codegen_source__`` escape hatch, and the
+  plan cache's mode keying (plan and codegen artifacts never mix).
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir
+from repro.dialects import affine, arith, scf
+from repro.dialects.equeue import EQueueBuilder
+from repro.sim import (
+    Engine,
+    EngineOptions,
+    ExecutionMode,
+    PlanCache,
+    resolve_execution_mode,
+    simulate,
+)
+
+MODES = ("interpret", "plan", "codegen")
+
+
+# ---------------------------------------------------------------------------
+# ExecutionMode resolution: the single normalization point
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionMode:
+    def test_resolution_matrix(self):
+        assert resolve_execution_mode(None, True) is ExecutionMode.PLAN
+        assert resolve_execution_mode(None, False) is ExecutionMode.INTERPRET
+        for spelling in MODES:
+            assert resolve_execution_mode(spelling) is ExecutionMode(spelling)
+            assert (
+                resolve_execution_mode(ExecutionMode(spelling))
+                is ExecutionMode(spelling)
+            )
+
+    def test_str_enum_compares_to_plain_spelling(self):
+        assert ExecutionMode.CODEGEN == "codegen"
+        assert ExecutionMode("plan") is ExecutionMode.PLAN
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="valid modes"):
+            resolve_execution_mode("turbo")
+
+    def test_alias_conflict_rejected(self):
+        for spelling in ("plan", "codegen"):
+            with pytest.raises(ValueError, match="compile_plans"):
+                resolve_execution_mode(spelling, compile_plans=False)
+        # interpret agrees with the alias: no conflict.
+        assert (
+            resolve_execution_mode("interpret", compile_plans=False)
+            is ExecutionMode.INTERPRET
+        )
+
+    def test_options_default_is_plan(self):
+        options = EngineOptions()
+        assert options.mode is ExecutionMode.PLAN
+        assert options.compile_plans is True
+
+    def test_options_codegen_keeps_alias_observable(self):
+        options = EngineOptions(mode="codegen")
+        assert options.mode is ExecutionMode.CODEGEN
+        # Sweep/batch plumbing still reads the alias: a plan cache
+        # applies to plan AND codegen runs.
+        assert options.compile_plans is True
+
+    def test_options_alias_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="compile_plans"):
+            options = EngineOptions(compile_plans=False)
+        assert options.mode is ExecutionMode.INTERPRET
+
+    def test_options_explicit_mode_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (
+                EngineOptions(mode="interpret").mode
+                is ExecutionMode.INTERPRET
+            )
+            assert EngineOptions(mode="plan").compile_plans is True
+
+    def test_options_conflict_raises(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            EngineOptions(mode="codegen", compile_plans=False)
+
+
+# ---------------------------------------------------------------------------
+# Three-way differential
+# ---------------------------------------------------------------------------
+
+
+def observables(engine, result):
+    return {
+        "cycles": result.cycles,
+        "events": result.summary.scheduler_events,
+        "launches": result.summary.launches_executed,
+        "buffers": {
+            name: buffer.array.tolist()
+            for name, buffer in sorted(result.buffers.items())
+        },
+        "processors": [
+            (p.name, p.busy_cycles, p.executed_events)
+            for p in engine.processors
+        ],
+        "memories": [
+            (m.name, m.bytes_read, m.bytes_written, m.reads, m.writes)
+            for m in engine.memories
+        ],
+    }
+
+
+def run_all_modes(build, **option_overrides):
+    """Build + simulate a program once per mode and assert every
+    observable matches.  ``build()`` must return ``(module, inputs)``
+    freshly each call (engines mutate buffer state).  Returns the
+    per-mode results keyed by mode string."""
+    results = {}
+    reference = None
+    for mode in MODES:
+        module, inputs = build()
+        options = EngineOptions(mode=mode, **option_overrides)
+        engine = Engine(module, options, inputs)
+        result = engine.run()
+        assert result.summary.execution_mode == mode
+        seen = observables(engine, result)
+        if reference is None:
+            reference = seen
+        else:
+            assert seen == reference, f"mode {mode!r} diverged"
+        results[mode] = result
+    return results
+
+
+def _branchy_program(n: int = 12):
+    """A loop mixing the codegen fast paths: constant-folded arith,
+    dynamic-index reads/writes, and an ``scf.if`` clamp."""
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+    pe = eq.create_proc("MAC", name="pe")
+    mem = eq.create_mem("Register", 256, ir.i32, name="mem")
+    src = eq.alloc(mem, [n], ir.i32, name="src")
+    dst = eq.alloc(mem, [n], ir.i32, name="dst")
+    start = eq.control_start()
+
+    def body(b, src_a, dst_a):
+        def loop(b2, i):
+            eq2 = EQueueBuilder(b2)
+            x = eq2.read_element(src_a, [i])
+            three = arith.constant(b2, 3, ir.i32)
+            scaled = arith.muli(b2, x, three)
+            eq2.write_element(scaled, dst_a, [i])
+            limit = arith.constant(b2, 20, ir.i32)
+            cond = arith.cmpi(b2, "sgt", scaled, limit)
+
+            def clamp(b3):
+                eq3 = EQueueBuilder(b3)
+                eq3.write_element(limit, dst_a, [i])
+
+            scf.if_op(b2, cond, clamp)
+
+        affine.for_loop(b, 0, n, body=loop)
+
+    done, = eq.launch(
+        start, pe, args=[src, dst], body=body, label="branchy"
+    )
+    eq.await_(done)
+    ir.verify(module)
+    return module
+
+
+class TestCodegenDifferential:
+    def test_branchy_loop(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+
+        def build():
+            return _branchy_program(), {"src": data}
+
+        results = run_all_modes(build)
+        codegen = results["codegen"]
+        assert codegen.summary.blocks_codegenned > 0
+        expected = np.minimum(data * 3, 20)
+        np.testing.assert_array_equal(codegen.buffer("dst"), expected)
+
+    def test_systolic(self, rng):
+        from repro.dialects.linalg import ConvDims
+        from repro.generators.systolic import (
+            SystolicConfig,
+            build_systolic_program,
+        )
+
+        dims = ConvDims(n=1, c=2, h=6, w=6, fh=2, fw=2)
+        ifmap = rng.integers(-3, 4, (2, 6, 6)).astype(np.int32)
+        weights = rng.integers(-3, 4, (1, 2, 2, 2)).astype(np.int32)
+
+        def build():
+            program = build_systolic_program(
+                SystolicConfig("WS", 3, 3, dims)
+            )
+            return program.module, program.prepare_inputs(ifmap, weights)
+
+        results = run_all_modes(build)
+        assert results["codegen"].summary.blocks_codegenned > 0
+
+    def test_fir_counts_fallbacks(self, rng):
+        from repro.generators.fir import FIRConfig, build_fir_program
+
+        cfg = FIRConfig(n_cores=2, bandwidth=4, samples=32)
+        samples = rng.integers(-8, 9, cfg.samples + cfg.taps).astype(np.int32)
+        coeffs = rng.integers(-4, 5, cfg.taps).astype(np.int32)
+
+        def build():
+            program = build_fir_program(cfg)
+            return program.module, program.prepare_inputs(samples, coeffs)
+
+        results = run_all_modes(build)
+        summary = results["codegen"].summary
+        # The FIR cascade has both inlineable bodies and suspension-heavy
+        # ones: codegen takes the former and cleanly declines the latter.
+        assert summary.blocks_codegenned > 0
+        assert summary.codegen_fallbacks > 0
+
+    def test_heap_scheduler(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+
+        def build():
+            return _branchy_program(), {"src": data}
+
+        run_all_modes(build, scheduler="heap")
+
+    def test_detailed_trace_matches(self, rng):
+        """Detailed tracing disables the arith/extern metadata fast
+        paths; the traced wrappers must still run under codegen and
+        emit the interpreter's exact records."""
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        records = []
+        for mode in MODES:
+            options = EngineOptions(trace=True, detailed_trace=True, mode=mode)
+            result = Engine(
+                _branchy_program(), options, {"src": data}
+            ).run()
+            records.append(
+                [(r.name, r.start, r.duration) for r in result.trace.records]
+            )
+        assert records[0] == records[1] == records[2]
+
+
+# ---------------------------------------------------------------------------
+# Mechanics: counters, source attribute, cache keying
+# ---------------------------------------------------------------------------
+
+
+class TestCodegenMechanics:
+    def test_generated_source_attached(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        engine = Engine(
+            _branchy_program(), EngineOptions(mode="codegen"), {"src": data}
+        )
+        engine.run()
+        bodies = [
+            plan.compiled
+            for _, plan in engine._plans.plans.values()
+            if plan.compiled is not None
+        ]
+        assert bodies
+        for body in bodies:
+            source = body.__codegen_source__
+            assert source.startswith("def _plan_body(ex, env")
+
+    def test_interpreter_never_codegens(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        engine = Engine(
+            _branchy_program(), EngineOptions(mode="interpret"), {"src": data}
+        )
+        result = engine.run()
+        assert engine._plans is None
+        assert result.summary.blocks_codegenned == 0
+        assert result.summary.plans_compiled == 0
+
+    def test_plan_mode_never_codegens(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        engine = Engine(
+            _branchy_program(), EngineOptions(mode="plan"), {"src": data}
+        )
+        result = engine.run()
+        assert result.summary.plans_compiled > 0
+        assert result.summary.blocks_codegenned == 0
+        assert all(
+            plan.compiled is None
+            for _, plan in engine._plans.plans.values()
+        )
+
+    def test_cache_mode_switch_flushes(self, rng):
+        """A shared plan cache reattached under a different mode flushes:
+        a plan-mode artifact must never serve a codegen run or vice
+        versa (mirrors the service store's key separation)."""
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        module = _branchy_program()
+        cache = PlanCache()
+        simulate(module, EngineOptions(mode="plan"), inputs={"src": data},
+                 plan_cache=cache)
+        assert cache.codegen_blocks == 0
+        assert all(
+            plan.compiled is None for _, plan in cache.plans.values()
+        )
+        plan_compiles = cache.compiled
+        simulate(module, EngineOptions(mode="codegen"), inputs={"src": data},
+                 plan_cache=cache)
+        # The flush recompiled every plan, this time with codegen bodies.
+        assert cache.compiled == 2 * plan_compiles
+        assert cache.codegen_blocks > 0
+        assert any(
+            plan.compiled is not None for _, plan in cache.plans.values()
+        )
+
+    def test_summary_format_reports_codegen(self, rng):
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        result = simulate(
+            _branchy_program(), EngineOptions(mode="codegen"),
+            inputs={"src": data},
+        )
+        assert "codegen blocks:" in result.summary.format()
+        assert result.summary.execution_mode == "codegen"
+
+    def test_summary_roundtrip_keeps_mode(self, rng):
+        from repro.sim import ProfilingSummary
+
+        data = rng.integers(-40, 40, 12).astype(np.int32)
+        result = simulate(
+            _branchy_program(), EngineOptions(mode="codegen"),
+            inputs={"src": data},
+        )
+        record = result.summary.to_dict()
+        assert record["execution_mode"] == "codegen"
+        loaded = ProfilingSummary.from_dict(record)
+        assert loaded == result.summary
+        # Records written before modes existed still load.
+        record.pop("execution_mode")
+        record.pop("blocks_codegenned")
+        record.pop("codegen_fallbacks")
+        old = ProfilingSummary.from_dict(record)
+        assert old.execution_mode == ""
+
+
+# ---------------------------------------------------------------------------
+# Property: random small modules are mode-independent
+# ---------------------------------------------------------------------------
+
+
+_OPS = ("addi", "subi", "muli", "maxsi", "minsi", "xori", "andi", "ori")
+
+
+def _random_program(n, consts, ops, threshold):
+    """A random straight-line arith chain inside a loop, with a
+    conditional clamp — every codegen fast path in one small module."""
+    module = ir.create_module()
+    builder = ir.Builder(ir.InsertionPoint.at_end(module.body))
+    eq = EQueueBuilder(builder)
+    pe = eq.create_proc("MAC", name="pe")
+    mem = eq.create_mem("Register", 256, ir.i32, name="mem")
+    src = eq.alloc(mem, [n], ir.i32, name="src")
+    dst = eq.alloc(mem, [n], ir.i32, name="dst")
+    start = eq.control_start()
+
+    def body(b, src_a, dst_a):
+        def loop(b2, i):
+            eq2 = EQueueBuilder(b2)
+            x = eq2.read_element(src_a, [i])
+            for value, op_name in zip(consts, itertools.cycle(ops)):
+                rhs = arith.constant(b2, value, ir.i32)
+                x = getattr(arith, op_name)(b2, x, rhs)
+            eq2.write_element(x, dst_a, [i])
+            limit = arith.constant(b2, threshold, ir.i32)
+            cond = arith.cmpi(b2, "slt", x, limit)
+
+            def clamp(b3):
+                eq3 = EQueueBuilder(b3)
+                eq3.write_element(limit, dst_a, [i])
+
+            scf.if_op(b2, cond, clamp)
+
+        affine.for_loop(b, 0, n, body=loop)
+
+    done, = eq.launch(start, pe, args=[src, dst], body=body, label="rand")
+    eq.await_(done)
+    ir.verify(module)
+    return module
+
+
+class TestCodegenProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        consts=st.lists(
+            st.integers(min_value=-7, max_value=7), min_size=1, max_size=4
+        ),
+        ops=st.lists(st.sampled_from(_OPS), min_size=1, max_size=4),
+        threshold=st.integers(min_value=-5, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_modes_agree_on_random_modules(
+        self, n, consts, ops, threshold, seed
+    ):
+        data = (
+            np.random.default_rng(seed)
+            .integers(-50, 50, n)
+            .astype(np.int32)
+        )
+
+        def build():
+            return _random_program(n, consts, ops, threshold), {"src": data}
+
+        run_all_modes(build)

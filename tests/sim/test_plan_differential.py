@@ -1,10 +1,11 @@
 """Differential tests: the compiled engine is bit-identical to the interpreter.
 
-``EngineOptions.compile_plans`` switches between the reference interpreter
-(``False``) and the block-plan compiler of :mod:`repro.sim.plan`
-(``True``, the default).  These tests run representative workloads — the
+``EngineOptions.mode`` switches between the reference interpreter
+(``"interpret"``), the block-plan compiler of :mod:`repro.sim.plan`
+(``"plan"``, the default), and per-plan source codegen (``"codegen"``).
+These tests run representative workloads — the
 systolic generator under all three dataflows, the FIR cascade, and the
-lowering-pipeline stages — through *both* engines and assert that every
+lowering-pipeline stages — through the engines and assert that every
 observable is identical:
 
 * simulated cycles and the scheduler-event count,
@@ -36,11 +37,9 @@ def run_both(build, **option_overrides):
     freshly each call (engines mutate buffer state)."""
     engines = []
     results = []
-    for compile_plans in (True, False):
+    for mode in ("plan", "interpret"):
         module, inputs = build()
-        options = EngineOptions(
-            compile_plans=compile_plans, **option_overrides
-        )
+        options = EngineOptions(mode=mode, **option_overrides)
         engine = Engine(module, options, inputs)
         results.append(engine.run())
         engines.append(engine)
@@ -275,7 +274,7 @@ class TestVectorizedLoops:
         data = rng.integers(-50, 50, 16).astype(np.int32)
         module = _loop_program("Register")
         engine = Engine(
-            module, EngineOptions(compile_plans=False), {"src": data}
+            module, EngineOptions(mode="interpret"), {"src": data}
         )
         result = engine.run()
         assert result.summary.plans_compiled == 0
@@ -308,10 +307,10 @@ class TestTraceDifferential:
         and must emit the same trace records as the interpreter."""
         data = rng.integers(-50, 50, 16).astype(np.int32)
         records = []
-        for compile_plans in (True, False):
+        for mode in ("plan", "interpret", "codegen"):
             module = _loop_program("Register")
             options = EngineOptions(
-                trace=True, detailed_trace=True, compile_plans=compile_plans
+                trace=True, detailed_trace=True, mode=mode
             )
             result = Engine(module, options, {"src": data}).run()
             records.append(
@@ -320,4 +319,4 @@ class TestTraceDifferential:
                     for r in result.trace.records
                 ]
             )
-        assert records[0] == records[1]
+        assert records[0] == records[1] == records[2]

@@ -30,7 +30,7 @@ from repro.dialects.linalg import ConvDims
 from repro.sim import Engine, EngineOptions
 
 
-def run_both_schedulers(build, compile_plans=True, **option_overrides):
+def run_both_schedulers(build, mode="plan", **option_overrides):
     """Build + simulate a program under the wheel and heap schedulers and
     assert every observable matches.  ``build()`` must return
     ``(module, inputs)`` freshly each call (engines mutate buffer state).
@@ -41,7 +41,7 @@ def run_both_schedulers(build, compile_plans=True, **option_overrides):
         module, inputs = build()
         options = EngineOptions(
             scheduler=scheduler,
-            compile_plans=compile_plans,
+            mode=mode,
             **option_overrides,
         )
         engine = Engine(module, options, inputs)
@@ -108,9 +108,9 @@ def run_both_schedulers(build, compile_plans=True, **option_overrides):
 
 
 class TestGeneratorsDifferential:
-    @pytest.mark.parametrize("compile_plans", [True, False])
+    @pytest.mark.parametrize("mode", ["plan", "interpret", "codegen"])
     @pytest.mark.parametrize("dataflow", ["WS", "IS", "OS"])
-    def test_systolic(self, dataflow, compile_plans, rng):
+    def test_systolic(self, dataflow, mode, rng):
         from repro.generators.systolic import (
             SystolicConfig,
             build_systolic_program,
@@ -126,7 +126,7 @@ class TestGeneratorsDifferential:
             )
             return program.module, program.prepare_inputs(ifmap, weights)
 
-        wheel, _ = run_both_schedulers(build, compile_plans=compile_plans)
+        wheel, _ = run_both_schedulers(build, mode=mode)
         # The workload's zero-delay resumes really ride the microtask ring
         # and its short read/write latencies ride the calendar wheel.
         assert wheel.summary.microtask_events > 0

@@ -339,8 +339,9 @@ class TestEqueueSimScenarios:
         )
 
     def test_scenario_respects_engine_flags(self, capsys):
-        """--scheduler heap + --interpret produce the same semantic
-        summary as the default backends (the CLI-level differential)."""
+        """--scheduler heap + --mode interpret/codegen produce the same
+        semantic summary as the default backends (the CLI-level
+        differential)."""
 
         def semantic(argv):
             assert equeue_sim.main(argv) == 0
@@ -349,14 +350,15 @@ class TestEqueueSimScenarios:
                 for line in capsys.readouterr().out.splitlines()
                 if not line.startswith(
                     ("simulator execution time", "scheduler tiers",
-                     "block plans", "vectorized loops")
+                     "block plans", "vectorized loops", "codegen blocks")
                 )
             ]
 
         base = ["--scenario", "mesh:rows=2,cols=2,rounds=2"]
         assert semantic(base) == semantic(
-            base + ["--scheduler", "heap", "--interpret"]
+            base + ["--scheduler", "heap", "--mode", "interpret"]
         )
+        assert semantic(base) == semantic(base + ["--mode", "codegen"])
 
     def test_unknown_scenario_exits_cleanly_listing_names(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -421,3 +423,92 @@ class TestEqueueSimScenarios:
             assert excinfo.value.code == 2
             err = capsys.readouterr().err
             assert extra[0] in err
+
+
+class TestExecutionModeFlag:
+    """--mode and the deprecated --interpret alias: one validation path."""
+
+    def _semantic(self, capsys, argv):
+        assert equeue_sim.main(argv) == 0
+        return [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if not line.startswith(
+                ("simulator execution time", "scheduler tiers",
+                 "block plans", "vectorized loops", "codegen blocks")
+            )
+        ]
+
+    def test_all_modes_semantically_identical(self, program_file, capsys):
+        base = self._semantic(capsys, [str(program_file)])
+        for mode in ("interpret", "plan", "codegen"):
+            assert base == self._semantic(
+                capsys, [str(program_file), "--mode", mode]
+            ), mode
+
+    def test_interpret_alias_warns_and_matches_mode(
+        self, program_file, capsys
+    ):
+        with pytest.warns(DeprecationWarning, match="--mode interpret"):
+            aliased = self._semantic(capsys, [str(program_file), "--interpret"])
+        explicit = self._semantic(
+            capsys, [str(program_file), "--mode", "interpret"]
+        )
+        assert aliased == explicit
+
+    def test_alias_agreeing_with_mode_accepted(self, program_file, capsys):
+        with pytest.warns(DeprecationWarning):
+            code = equeue_sim.main(
+                [str(program_file), "--interpret", "--mode", "interpret"]
+            )
+        assert code == 0
+
+    def test_mode_conflict_rejected(self, program_file, capsys):
+        for mode in ("plan", "codegen"):
+            with pytest.raises(SystemExit) as excinfo:
+                equeue_sim.main(
+                    [str(program_file), "--interpret", "--mode", mode]
+                )
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "--interpret conflicts with --mode" in err
+            assert "Traceback" not in err
+
+    def test_bad_mode_choice_rejected(self, program_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            equeue_sim.main([str(program_file), "--mode", "turbo"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("mode", ["interpret", "plan", "codegen"])
+    def test_stats_json_reports_resolved_mode(self, tmp_path, capsys, mode):
+        stats_path = tmp_path / "stats.json"
+        code = equeue_sim.main(
+            ["--scenario", "fir", "--mode", mode,
+             "--stats-json", str(stats_path)]
+        )
+        assert code == 0
+        record = json.loads(stats_path.read_text())
+        assert record["summary"]["execution_mode"] == mode
+        if mode == "codegen":
+            assert record["summary"]["blocks_codegenned"] > 0
+
+    def test_stats_json_alias_resolves_to_interpret(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        with pytest.warns(DeprecationWarning):
+            code = equeue_sim.main(
+                ["--scenario", "fir", "--interpret",
+                 "--stats-json", str(stats_path)]
+            )
+        assert code == 0
+        record = json.loads(stats_path.read_text())
+        assert record["summary"]["execution_mode"] == "interpret"
+
+    def test_sweep_accepts_mode(self, capsys):
+        code = equeue_sim.main(
+            ["--scenario", "fir", "--sweep", "--sample", "2",
+             "--mode", "codegen", "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reference checks: OK" in out
