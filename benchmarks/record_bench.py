@@ -47,6 +47,9 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine_speed.json"
 SWEEP_OUTPUT = REPO_ROOT / "BENCH_sweep_throughput.json"
 SERVICE_OUTPUT = REPO_ROOT / "BENCH_service_throughput.json"
 SIZE = 16  # matches bench_engine_speed's default (non-FULL_SWEEP) workload
+#: Enabled-telemetry cost ceiling: metrics-on warm wall clock may be at
+#: most 2% above metrics-off (see docs/observability.md).
+OBS_OVERHEAD_CEILING = 1.02
 
 
 def _bench_program():
@@ -188,6 +191,123 @@ def run_warm_ablation(repeats: int = 5) -> list:
     ]
 
 
+def run_obs_overhead(repeats: int = 150) -> dict:
+    """The telemetry-cost row: warm plan-mode passes with the metrics
+    registry enabled vs disabled, interleaved as ``repeats`` adjacent
+    on/off pairs in one process; the recorded ``obs_overhead`` is the
+    **median of the per-pair relative differences** (as a ratio).
+
+    The ratio gates CI at 1.02 (enabled telemetry must cost <= 2%), so
+    its measurement has to resolve well under 2% on a single-CPU runner
+    whose wall clock drifts by more than that over seconds.  Three
+    choices buy that resolution: the workload is a *short* (~tens of
+    ms) run so the two sides of a pair sit close enough in time to
+    share one drift regime (the difference cancels it); the pair order
+    alternates so any residual within-pair ramp biases successive pairs
+    in opposite directions; and the median over many pairs discards
+    preemption spikes.  A best-of-N quotient of two long runs has none
+    of these protections and swings by ±4% on identical code here —
+    unusable for this gate.
+
+    The engine records metrics once per *run* (never per event), so
+    the enabled side pays a handful of counter increments; anything
+    above the gate means a metric write crept into the event loop.
+    The two sides must also stay bit-identical (cycles, event counts):
+    telemetry observes the simulation, it never perturbs it.
+    """
+    import gc
+
+    from repro.dialects.linalg import ConvDims
+    from repro.generators.systolic import (
+        SystolicConfig,
+        build_systolic_program,
+    )
+    from repro.obs import metrics as obs_metrics
+    from repro.sim import EngineOptions, PlanCache, simulate
+
+    rng = np.random.default_rng(7)
+    dims = ConvDims(n=1, c=3, h=6, w=6, fh=2, fw=2)
+    program = build_systolic_program(SystolicConfig("WS", 4, 4, dims))
+    ifmap = rng.integers(-3, 4, (dims.c, dims.h, dims.w)).astype(np.int32)
+    weights = rng.integers(
+        -3, 4, (dims.n, dims.c, dims.fh, dims.fw)
+    ).astype(np.int32)
+    options = EngineOptions(mode="plan")
+    cache = PlanCache()
+    simulate(
+        program.module,
+        options,
+        inputs=program.prepare_inputs(ifmap, weights),
+        plan_cache=cache,
+    )
+    states = ("off", "on")
+    best = {state: None for state in states}
+    samples = {state: [] for state in states}
+    results = {}
+    diffs = []
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for iteration in range(max(1, repeats)):
+            ordered = states if iteration % 2 == 0 else states[::-1]
+            elapsed = {}
+            prepared = {
+                state: program.prepare_inputs(ifmap, weights)
+                for state in ordered
+            }
+            for state in ordered:
+                if state == "on":
+                    obs_metrics.enable_metrics()
+                else:
+                    obs_metrics.disable_metrics()
+                started = time.perf_counter()
+                results[state] = simulate(
+                    program.module,
+                    options,
+                    inputs=prepared[state],
+                    plan_cache=cache,
+                )
+                elapsed[state] = time.perf_counter() - started
+                samples[state].append(elapsed[state])
+                if best[state] is None or elapsed[state] < best[state]:
+                    best[state] = elapsed[state]
+            diffs.append(
+                (elapsed["on"] - elapsed["off"]) / max(elapsed["off"], 1e-9)
+            )
+            if iteration % 25 == 24:
+                # Periodic collection between pairs (never inside one)
+                # keeps heap growth from turning into allocator drift.
+                gc.collect()
+    finally:
+        obs_metrics.disable_metrics()
+        if gc_was_enabled:
+            gc.enable()
+    overhead = 1.0 + sorted(diffs)[len(diffs) // 2]
+    on, off = results["on"], results["off"]
+    if on.cycles != off.cycles or (
+        on.summary.scheduler_events != off.summary.scheduler_events
+    ):
+        raise SystemExit(
+            "telemetry perturbed the simulation: metrics-on "
+            f"{on.cycles}cy/{on.summary.scheduler_events}ev != metrics-off "
+            f"{off.cycles}cy/{off.summary.scheduler_events}ev"
+        )
+    registry = obs_metrics.get_registry().snapshot()
+    return {
+        "repeats": repeats,
+        "wall_clock_off_s": round(best["off"], 6),
+        "wall_clock_on_s": round(best["on"], 6),
+        "obs_overhead": round(overhead, 4),
+        "cycles": on.cycles,
+        "scheduler_events": on.summary.scheduler_events,
+        "identical_results": True,
+        "metrics_recorded": sum(
+            1 for v in registry.values() if isinstance(v, (int, float)) and v
+        ),
+    }
+
+
 def throughput_sweep_spec():
     """The sweep-throughput workload: a natural DSE slice of the §VI-E
     space (all three dataflows over two array shapes and a block of conv
@@ -300,6 +420,13 @@ def _engine_ablation_subprocess(**kwargs) -> list:
     codegen/plan ratio gates CI, so its two sides must share a process
     (and interleave their timed passes) to stay machine-neutral."""
     return _scenario_subprocess("--ablation-scenario", **kwargs)
+
+
+def _obs_overhead_subprocess(**kwargs) -> dict:
+    """The telemetry-cost row from ONE fresh interpreter: the gated
+    obs_overhead ratio, like the codegen ratio, must measure both sides
+    in one process with interleaved passes."""
+    return _scenario_subprocess("--obs-scenario", **kwargs)
 
 
 def _workload_row_subprocess(**kwargs) -> dict:
@@ -492,6 +619,9 @@ def main(argv=None) -> int:
         "--ablation-scenario", default="", help=argparse.SUPPRESS,
     )
     parser.add_argument(
+        "--obs-scenario", default="", help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
         "--scenario-row", default="", help=argparse.SUPPRESS,
     )
     parser.add_argument(
@@ -509,6 +639,9 @@ def main(argv=None) -> int:
         print(json.dumps(
             run_warm_ablation(**json.loads(args.ablation_scenario))
         ))
+        return 0
+    if args.obs_scenario:
+        print(json.dumps(run_obs_overhead(**json.loads(args.obs_scenario))))
         return 0
     if args.scenario_row:
         print(json.dumps(run_scenario_row(**json.loads(args.scenario_row))))
@@ -548,6 +681,11 @@ def main(argv=None) -> int:
         # skewed by machine drift between separate invocations.
         runs.extend(_engine_ablation_subprocess(repeats=5))
     runs.append(_engine_scenario_subprocess(mode="interpret"))
+    obs_row = None
+    if not args.interpret_only:
+        # The telemetry-cost row: enabled-metrics warm passes vs
+        # disabled, interleaved in one subprocess; the ratio gates below.
+        obs_row = _obs_overhead_subprocess(repeats=150)
     compiled = next(
         (r for r in runs if r["mode"] == "plan" and not r["warm"]), None
     )
@@ -623,6 +761,24 @@ def main(argv=None) -> int:
             f"{warm_codegen['blocks_codegenned']} blocks generated, "
             f"{warm_codegen['codegen_fallbacks']} fallbacks)"
         )
+    if obs_row is not None:
+        snapshot["obs_overhead"] = obs_row["obs_overhead"]
+        snapshot["obs_overhead_run"] = obs_row
+        print(
+            f"  obs overhead (warm): metrics off "
+            f"{obs_row['wall_clock_off_s']:.4f}s -> on "
+            f"{obs_row['wall_clock_on_s']:.4f}s "
+            f"({obs_row['obs_overhead']}x, "
+            f"{obs_row['metrics_recorded']} metrics recorded, "
+            "identical results)"
+        )
+        if obs_row["obs_overhead"] > OBS_OVERHEAD_CEILING:
+            raise SystemExit(
+                f"enabled-telemetry overhead {obs_row['obs_overhead']}x "
+                f"exceeds the {OBS_OVERHEAD_CEILING}x acceptance ceiling "
+                "(a metric write crept into the simulation hot path; "
+                "see docs/observability.md)"
+            )
     headline = compiled or interpreted
     print(
         f"{output}: {headline['events_per_s']:,} events/s "
@@ -742,6 +898,22 @@ def check_engine_regression(
         )
         return
     failures = []
+    # The telemetry gate is absolute, not relative to the committed
+    # snapshot: enabled metrics must cost <= 2% regardless of history.
+    obs_overhead = fresh.get("obs_overhead")
+    if obs_overhead is not None:
+        verdict = "OK" if obs_overhead <= OBS_OVERHEAD_CEILING else (
+            "REGRESSION"
+        )
+        print(
+            f"regression check [obs_overhead]: fresh {obs_overhead}x "
+            f"(absolute ceiling {OBS_OVERHEAD_CEILING}x): {verdict}"
+        )
+        if obs_overhead > OBS_OVERHEAD_CEILING:
+            failures.append(
+                f"obs_overhead {obs_overhead}x exceeds the "
+                f"{OBS_OVERHEAD_CEILING}x ceiling"
+            )
     for metric, before, after, tolerance in checks:
         change = (after - before) / before
         if tolerance is None:

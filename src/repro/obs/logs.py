@@ -1,0 +1,167 @@
+"""Structured JSONL logging with request-id propagation.
+
+A deliberately small logger — the service tier needs machine-parseable
+lines and a request-id that survives thread and process hops, not a
+logging framework.  Each line is one JSON object::
+
+    {"ts": 1754640000.123, "level": "info", "logger": "service.server",
+     "event": "http.access", "request_id": "req-1a2b3c4d5e6f",
+     "method": "POST", "path": "/jobs", "status": 200, "duration_ms": 12.5}
+
+The request-id lives in a :class:`contextvars.ContextVar` so every log
+line emitted while handling a request carries it automatically.  It is
+generated at admission, crosses into sweep-pool workers inside the
+pickled payload tuple, and lands in WAL records and fault-plan fired
+logs — the propagation diagram is in ``docs/observability.md``.
+
+Human-readable output (the default) keeps the same fields in ``key=``
+form; ``--log-json`` on the service CLIs switches to JSONL.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import sys
+import threading
+import time
+import uuid
+from typing import Optional, TextIO
+
+__all__ = [
+    "LEVELS",
+    "configure_logging",
+    "get_logger",
+    "Logger",
+    "new_request_id",
+    "current_request_id",
+    "bind_request_id",
+    "set_request_id",
+]
+
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class _Config:
+    __slots__ = ("stream", "rank", "json_mode", "lock")
+
+    def __init__(self) -> None:
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at emit
+        self.rank = _LEVEL_RANK["info"]
+        self.json_mode = False
+        self.lock = threading.Lock()
+
+
+_CONFIG = _Config()
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Set process-wide log level, format, and destination.
+
+    ``stream=None`` resolves to ``sys.stderr`` at emit time so tests
+    that capture stderr (and supervisors that re-pipe it) see lines
+    without re-configuring.
+    """
+    if level not in _LEVEL_RANK:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    _CONFIG.rank = _LEVEL_RANK[level]
+    _CONFIG.json_mode = json_mode
+    _CONFIG.stream = stream
+
+
+class Logger:
+    """Named emitter; cheap enough to create per call site."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        if _LEVEL_RANK[level] < _CONFIG.rank:
+            return
+        record = {"ts": round(time.time(), 3), "level": level, "logger": self.name, "event": event}
+        rid = _REQUEST_ID.get()
+        if rid is not None:
+            record["request_id"] = rid
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        stream = _CONFIG.stream or sys.stderr
+        if _CONFIG.json_mode:
+            line = json.dumps(record, default=str, separators=(",", ":"))
+        else:
+            head = f"[{self.name}] {level}: {event}"
+            tail = " ".join(
+                f"{k}={record[k]}"
+                for k in record
+                if k not in ("ts", "level", "logger", "event")
+            )
+            line = f"{head} {tail}".rstrip()
+        with _CONFIG.lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a broken pipe must never take the service down
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> Logger:
+    return Logger(name)
+
+
+# ---------------------------------------------------------------------------
+# Request-id propagation
+# ---------------------------------------------------------------------------
+
+_REQUEST_ID: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "equeue_request_id", default=None
+)
+
+
+def new_request_id() -> str:
+    """A fresh, short, log-friendly request id (``req-<12 hex>``)."""
+    return "req-" + uuid.uuid4().hex[:12]
+
+
+def current_request_id() -> Optional[str]:
+    return _REQUEST_ID.get()
+
+
+def set_request_id(request_id: Optional[str]) -> None:
+    """Bind without scoping — for worker loops that re-bind per item."""
+    _REQUEST_ID.set(request_id)
+
+
+class bind_request_id:
+    """Scope a request id to a ``with`` block (restores the previous one)."""
+
+    __slots__ = ("request_id", "_token")
+
+    def __init__(self, request_id: Optional[str]):
+        self.request_id = request_id
+        self._token = None
+
+    def __enter__(self) -> Optional[str]:
+        self._token = _REQUEST_ID.set(self.request_id)
+        return self.request_id
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _REQUEST_ID.reset(self._token)

@@ -1,0 +1,202 @@
+"""Host wall-clock span tracing in Chrome Trace Event form.
+
+Spans measure where a request's *wall clock* goes on the host —
+parse, verify, plan compile, codegen, the DES run itself, store put,
+respond — as opposed to the cycle-domain slices the engine's
+:class:`~repro.sim.tracing.TraceRecorder` keeps for simulated hardware.
+
+Both domains speak Chrome Trace Event JSON, so one Perfetto file can
+hold both: host spans are emitted as ``"X"`` (complete) events on their
+own ``pid`` (``"host"``), while cycle slices keep the component-group
+pids (``"Processor"``, ``"DMA"``, ...) the recorder already assigns.
+:func:`merge_host_trace` does the merge; ``equeue-sim --host-trace``
+is the CLI surface.
+
+The hot-path discipline matches :mod:`repro.obs.metrics`: the module
+global ``TRACER`` is ``None`` when disabled, and :func:`span` returns a
+shared no-op context manager without allocating.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "TRACER",
+    "enable_spans",
+    "disable_spans",
+    "spans_enabled",
+    "span",
+    "merge_host_trace",
+]
+
+#: pid for every host span — distinct from the component-group pids the
+#: cycle-domain recorder uses, so Perfetto shows host and simulated
+#: timelines as separate process tracks.
+HOST_PID = "host"
+
+
+class Span:
+    """An open span; closed by the ``with`` exit."""
+
+    __slots__ = ("name", "args", "start_s", "_recorder")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, args: Dict[str, object]):
+        self._recorder = recorder
+        self.name = name
+        self.args = args
+        self.start_s = time.perf_counter()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_s = time.perf_counter() - self.start_s
+        if exc_type is not None:
+            self.args = dict(self.args, error=exc_type.__name__)
+        self._recorder._close(self, duration_s)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects completed host spans as Chrome ``"X"`` events.
+
+    Timestamps are wall-clock microseconds relative to the recorder's
+    epoch, one event per span (``ph: "X"`` with ``dur``), tid derived
+    from the recording thread so concurrent service workers get their
+    own rows.
+    """
+
+    def __init__(self, max_records: Optional[int] = None):
+        self.epoch_s = time.perf_counter()
+        self.max_records = max_records
+        self.dropped = 0
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+
+    def open(self, name: str, args: Dict[str, object]) -> Span:
+        return Span(self, name, args)
+
+    def _close(self, span: Span, duration_s: float) -> None:
+        event = {
+            "name": span.name,
+            "cat": "host",
+            "ph": "X",
+            "ts": (span.start_s - self.epoch_s) * 1e6,
+            "dur": duration_s * 1e6,
+            "pid": HOST_PID,
+            "tid": threading.current_thread().name,
+        }
+        if span.args:
+            event["args"] = {k: _jsonable(v) for k, v in span.args.items()}
+        with self._lock:
+            if self.max_records is not None and len(self._events) >= self.max_records:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def to_events(self) -> List[dict]:
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Process-global switch
+# ---------------------------------------------------------------------------
+
+#: ``None`` when span tracing is disabled (the common case).
+TRACER: Optional[SpanRecorder] = None
+
+
+def enable_spans(max_records: Optional[int] = None) -> SpanRecorder:
+    global TRACER
+    TRACER = SpanRecorder(max_records=max_records)
+    return TRACER
+
+
+def disable_spans() -> None:
+    global TRACER
+    TRACER = None
+
+
+def spans_enabled() -> bool:
+    return TRACER is not None
+
+
+def span(name: str, **args):
+    """Open a host span, or hand back the shared no-op when disabled.
+
+    Usage: ``with span("codegen.compile", block=label): ...`` — keyword
+    arguments become the Chrome event's ``args`` payload.
+    """
+    tracer = TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.open(name, args)
+
+
+# ---------------------------------------------------------------------------
+# Merging with the cycle-domain trace
+# ---------------------------------------------------------------------------
+
+
+def merge_host_trace(
+    host_events: List[dict],
+    cycle_events: List[dict],
+    path: Optional[str] = None,
+    indent: int = 1,
+) -> str:
+    """One Perfetto-loadable JSON holding both timing domains.
+
+    Host spans keep their wall-clock microsecond timeline on pid
+    ``"host"``; cycle events keep the 1-cycle-=-1-µs mapping on their
+    component pids.  Perfetto renders each pid as its own process
+    track, so the two clock domains never visually interleave.  Process
+    name metadata labels the tracks.
+    """
+    pids = {HOST_PID: "host wall clock"}
+    for event in cycle_events:
+        pids.setdefault(event.get("pid", "sim"), "simulated cycles")
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"{pid} ({label})"},
+        }
+        for pid, label in sorted(pids.items())
+    ]
+    text = json.dumps(metadata + host_events + cycle_events, indent=indent)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

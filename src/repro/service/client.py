@@ -22,6 +22,10 @@ from typing import Dict, List, Optional
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
+from ..obs import logs as obs_logs
+
+_log = obs_logs.get_logger("service.client")
+
 #: HTTP statuses that mean "try again later", not "you are wrong".
 RETRYABLE_STATUSES = frozenset({429, 503})
 
@@ -59,6 +63,8 @@ class ServiceClient:
         retries: int = 3,
         backoff_s: float = 0.1,
         backoff_max_s: float = 5.0,
+        log_level: Optional[str] = None,
+        log_json: bool = False,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -66,6 +72,13 @@ class ServiceClient:
         self.backoff_s = backoff_s
         self.backoff_max_s = backoff_max_s
         self._rng = random.Random()
+        # The client-side half of the --log-json/--log-level switches:
+        # passing either reconfigures the process-wide structured
+        # logger (embedders that already configured logging omit both).
+        if log_level is not None or log_json:
+            obs_logs.configure_logging(
+                level=log_level or "info", json_mode=log_json
+            )
 
     # -- transport -----------------------------------------------------
 
@@ -90,7 +103,18 @@ class ServiceClient:
                 if not retryable or attempt == attempts - 1:
                     raise
                 last_error = error
-                time.sleep(self._backoff(attempt, error.retry_after))
+                delay = self._backoff(attempt, error.retry_after)
+                _log.debug(
+                    "client.retry",
+                    method=method,
+                    path=path,
+                    attempt=attempt + 1,
+                    attempts=attempts,
+                    status=error.status,
+                    backoff_s=round(delay, 3),
+                    error=str(error),
+                )
+                time.sleep(delay)
         raise last_error  # pragma: no cover - loop always raises first
 
     def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:

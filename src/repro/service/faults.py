@@ -39,6 +39,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.logs import current_request_id as _current_request_id
+
 
 class InjectedFault(Exception):
     """An injected *recoverable* failure (engine error, pool failure,
@@ -183,8 +185,11 @@ class FaultPlan:
         #: arm a ``match``-targeted fault on its Nth match.
         self._match_visits: Dict[int, int] = {}
         self._remaining: List[int] = [f.count for f in self.faults]
-        #: Every firing: ``(site, action, context)`` in firing order.
-        self.fired: List[Tuple[str, str, Optional[str]]] = []
+        #: Every firing: ``(site, action, context, request_id)`` in
+        #: firing order.  The request id comes from the structured-log
+        #: contextvar (``None`` outside a request), so chaos post-mortems
+        #: can join fired faults against service logs and WAL records.
+        self.fired: List[Tuple[str, str, Optional[str], Optional[str]]] = []
 
     # -- construction ----------------------------------------------------
 
@@ -425,7 +430,9 @@ class FaultPlan:
                 if not self._consume_budget(index, fault):
                     continue
                 action = fault.action
-                self.fired.append((site, action, context))
+                self.fired.append(
+                    (site, action, context, _current_request_id())
+                )
                 if action == "slow":
                     sleep_s = fault.delay_s
                 elif action == "corrupt":

@@ -42,6 +42,9 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.export import record_line
+from ..obs import logs as obs_logs
+from ..obs import metrics as obs_metrics
+from ..obs.spans import span as _span
 from ..scenarios import get_scenario, parse_scenario_spec, scenario_cache_stats
 from ..scenarios.sweep import grid_record, scenario_grid, simulate_scenario
 from ..sim.batch import ResilienceStats, SweepRunner, result_record
@@ -49,6 +52,8 @@ from ..sim.engine import EngineOptions
 from . import faults
 from .store import ResultStore, code_version, inputs_digest, request_key
 from .wal import AdmissionWAL, WALError
+
+_log = obs_logs.get_logger("service.scheduler")
 
 #: Engine-options fields a request may override.  Trace recording is
 #: excluded (traces are not part of the stored record), and
@@ -359,12 +364,16 @@ def evaluate_request(payload: Tuple) -> Dict:
     """Spawn-safe batch worker: simulate one request, return its record.
 
     ``payload`` is ``(scenario, config_items, seed, option_items,
-    check)`` — plain picklable data, so batches can shard across a
-    :class:`SweepRunner` pool.  Simulation rides the per-process scenario
-    program cache; failures come back as ``{"error": ...}`` records so
-    one bad job cannot take down its batch.
+    check)`` with an optional trailing ``request_id`` — plain picklable
+    data, so batches can shard across a :class:`SweepRunner` pool (and
+    the request id survives the pickle hop into pool workers, where it
+    re-binds the log contextvar so fault firings and engine logs inside
+    the worker still carry it).  Simulation rides the per-process
+    scenario program cache; failures come back as ``{"error": ...}``
+    records so one bad job cannot take down its batch.
     """
-    name, config, seed, options, check = payload
+    name, config, seed, options, check, *rest = payload
+    obs_logs.set_request_id(rest[0] if rest else None)
     try:
         # The chaos plane's per-job seam: an injected engine error fails
         # this job alone (caught below); an InjectedCrash is a
@@ -428,7 +437,8 @@ class Job:
 
     __slots__ = (
         "id", "key", "request", "state", "record", "error", "source",
-        "waiters", "submitted_at", "finished_at", "deadline_s",
+        "waiters", "submitted_at", "started_at", "finished_at",
+        "deadline_s", "request_id", "store_put_s", "timings",
         "_done", "_outcome_lock",
     )
 
@@ -438,6 +448,7 @@ class Job:
         key: str,
         request: JobRequest,
         deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ):
         self.id = job_id
         self.key = key
@@ -450,9 +461,21 @@ class Job:
         #: Callers sharing this job (1 = no coalescing happened).
         self.waiters = 1
         self.submitted_at = time.time()
+        #: When execution started (None until drained; store hits and
+        #: coalesces never start).
+        self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         #: Wall-clock execution budget (None = unbounded).
         self.deadline_s = deadline_s
+        #: The structured-log correlation id issued at admission; lives
+        #: in the WAL record, every log line touching this job, and the
+        #: wire dict.  Request-scoped, so deliberately NOT part of the
+        #: stored record (which is shared across coalesced/warm callers).
+        self.request_id = request_id
+        #: Seconds spent spilling the fresh record to the store.
+        self.store_put_s: Optional[float] = None
+        #: Wall-clock phase breakdown, stamped at completion.
+        self.timings: Dict[str, float] = {}
         self._done = threading.Event()
         self._outcome_lock = threading.Lock()
 
@@ -481,6 +504,7 @@ class Job:
             self.source = source
             self.state = "done"
             self.finished_at = time.time()
+            self._stamp_timings()
             self._done.set()
         return True
 
@@ -491,8 +515,23 @@ class Job:
             self.error = message
             self.state = "error"
             self.finished_at = time.time()
+            self._stamp_timings()
             self._done.set()
         return True
+
+    def _stamp_timings(self) -> None:
+        """The per-request wall-clock breakdown (called under the
+        outcome lock, after ``finished_at`` is set).  A store hit shows
+        ``execute_s == 0`` — the whole point of the warm path."""
+        finished = self.finished_at or time.time()
+        started = self.started_at or finished
+        self.timings = {
+            "queued_s": round(max(0.0, started - self.submitted_at), 6),
+            "execute_s": round(max(0.0, finished - started), 6),
+            "total_s": round(max(0.0, finished - self.submitted_at), 6),
+        }
+        if self.store_put_s is not None:
+            self.timings["store_put_s"] = round(self.store_put_s, 6)
 
     def to_dict(self, include_record: bool = True) -> Dict:
         """The job's wire representation (the ``equeue-serve`` shape)."""
@@ -504,7 +543,10 @@ class Job:
             "waiters": self.waiters,
             "request": self.request.to_dict(),
             "error": self.error,
+            "request_id": self.request_id,
         }
+        if self.timings:
+            payload["timings"] = dict(self.timings)
         if include_record and self.record is not None:
             payload["record"] = self.record
         return payload
@@ -528,8 +570,11 @@ class SweepJob(Job):
         key: str,
         request: "SweepRequest",
         deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ):
-        super().__init__(job_id, key, request, deadline_s=deadline_s)
+        super().__init__(
+            job_id, key, request, deadline_s=deadline_s, request_id=request_id
+        )
         self.points_total: Optional[int] = None
         self.points_done = 0
         self.points_resumed = 0
@@ -607,6 +652,53 @@ class SchedulerStats:
     #: "codegen"); requests spelled with the deprecated
     #: ``compile_plans`` alias count under their resolved mode.
     submitted_by_mode: Dict[str, int] = field(default_factory=dict)
+
+
+#: Version tag for the ``/stats`` wire shape.  Additions bump nothing;
+#: renames/removals of documented keys bump the suffix.
+STATS_SCHEMA = "equeue-stats/v1"
+
+#: How ``/stats`` sections map onto dotted metric-name roots.  Keys not
+#: listed here flatten under ``scheduler.``.
+_METRIC_SECTIONS = {
+    "store": "store",
+    "wal": "wal",
+    "program_cache": "program_cache",
+    "resilience": "scheduler.resilience",
+    "worker": "scheduler.worker",
+    "submitted_by_mode": "scheduler.submitted_by_mode",
+}
+
+
+def _flatten_stats(payload: Mapping) -> Dict[str, float]:
+    """Flatten the ``/stats`` payload into ``{dotted_name: value}``.
+
+    One function feeds the ``metrics`` block of ``/stats``, the
+    scheduler's registry collector, and (through it) ``GET /metrics`` —
+    a single source of truth for the documented metric names.
+    Non-numeric leaves (code_version, last_error) are dropped; booleans
+    export as 0/1 gauges.
+    """
+    out: Dict[str, float] = {}
+
+    def emit(prefix: str, mapping: Mapping) -> None:
+        for key, value in mapping.items():
+            if isinstance(value, Mapping):
+                emit(f"{prefix}.{key}", value)
+            elif isinstance(value, bool):
+                out[f"{prefix}.{key}"] = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                out[f"{prefix}.{key}"] = float(value)
+
+    for key, value in payload.items():
+        root = _METRIC_SECTIONS.get(key)
+        if isinstance(value, Mapping):
+            emit(root if root is not None else f"scheduler.{key}", value)
+        elif isinstance(value, bool):
+            out[f"scheduler.{key}"] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            out[f"scheduler.{key}"] = float(value)
+    return out
 
 
 class JobScheduler:
@@ -694,6 +786,14 @@ class JobScheduler:
         self._worker: Optional[threading.Thread] = None
         self._watchdog: Optional[threading.Thread] = None
         self._stopping = False
+        # Join the process metrics registry as a scrape-time collector:
+        # every counter this scheduler (and its store/WAL) already keeps
+        # becomes a dotted metric with zero hot-path writes.  Named
+        # registration replaces any previous scheduler's collector, so
+        # test suites that build many schedulers never double-count.
+        obs_metrics.get_registry().register_collector(
+            "scheduler", self.metrics_snapshot
+        )
 
     # -- submission ----------------------------------------------------
 
@@ -702,6 +802,7 @@ class JobScheduler:
         request: JobRequest,
         deadline_s: Optional[float] = None,
         client: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> Job:
         """Register a request; returns its (possibly shared) job.
 
@@ -721,9 +822,14 @@ class JobScheduler:
         appended (and fsynced) *before* the job becomes visible — an
         append failure refuses admission (:class:`WALError` -> 503)
         rather than issuing an id that would not survive a crash.
+
+        ``request_id`` is the structured-log correlation id — issued
+        here at admission when the caller (a non-HTTP embedder) did not
+        already mint one at the front door.
         """
         key = request_store_key(request)
         mode = dict(request.options).get("mode", "plan")
+        request_id = request_id or obs_logs.new_request_id()
         with self._lock:
             self.stats.submitted += 1
             self.stats.submitted_by_mode[mode] = (
@@ -742,13 +848,14 @@ class JobScheduler:
                 self.stats.coalesced += 1
                 return inflight
             if stored is not None:
-                job = Job(self._next_id(), key, request)
+                job = Job(self._next_id(), key, request, request_id=request_id)
                 self._wal_admit(job, client=client, status="done")
                 self._jobs[job.id] = job
                 self._prune_jobs()
                 self.stats.store_hits += 1
                 job._complete(stored, source="store")
                 self._note_terminal(job)
+                _log.debug("job.store_hit", job=job.id, request_id=request_id)
                 return job
             if self.draining:
                 self.stats.rejected_draining += 1
@@ -763,6 +870,7 @@ class JobScheduler:
                 key,
                 request,
                 deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+                request_id=request_id,
             )
             self._wal_admit(job, client=client)
             self._jobs[job.id] = job
@@ -770,6 +878,12 @@ class JobScheduler:
             self._inflight[key] = job
             self._queue.append(job)
             self._lock.notify_all()
+        _log.debug(
+            "job.admitted",
+            job=job.id,
+            scenario=request.scenario,
+            request_id=request_id,
+        )
         faults.fire("server.crash", context=f"admit:{job.id}")
         return job
 
@@ -778,6 +892,7 @@ class JobScheduler:
         request: SweepRequest,
         deadline_s: Optional[float] = None,
         client: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> SweepJob:
         """Register a sweep; returns its (possibly shared) job.
 
@@ -789,6 +904,7 @@ class JobScheduler:
         """
         key = request_store_key(request)
         mode = dict(request.options).get("mode", "plan")
+        request_id = request_id or obs_logs.new_request_id()
         with self._lock:
             self.stats.submitted += 1
             self.stats.submitted_by_mode[mode] = (
@@ -808,7 +924,9 @@ class JobScheduler:
                 self.stats.coalesced += 1
                 return inflight
             if stored is not None:
-                job = SweepJob(self._next_id(), key, request)
+                job = SweepJob(
+                    self._next_id(), key, request, request_id=request_id
+                )
                 self._wal_admit(job, client=client, status="done")
                 job.points_total = stored.get("points_total")
                 job.points_done = job.points_total or 0
@@ -831,6 +949,7 @@ class JobScheduler:
                 key,
                 request,
                 deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+                request_id=request_id,
             )
             self._wal_admit(job, client=client)
             self._jobs[job.id] = job
@@ -838,6 +957,12 @@ class JobScheduler:
             self._inflight[key] = job
             self._queue.append(job)
             self._lock.notify_all()
+        _log.debug(
+            "sweep.admitted",
+            job=job.id,
+            scenario=request.scenario,
+            request_id=request_id,
+        )
         faults.fire("server.crash", context=f"admit:{job.id}")
         return job
 
@@ -938,6 +1063,7 @@ class JobScheduler:
                 client=client,
                 deadline_s=job.deadline_s,
                 status=status,
+                request_id=job.request_id,
             )
         except OSError as error:
             self.stats.wal_append_failures += 1
@@ -1089,8 +1215,10 @@ class JobScheduler:
         ident = threading.get_ident()
         with self._lock:
             drained, self._queue = self._queue, []
+            started = time.time()
             for job in drained:
                 job.state = "running"
+                job.started_at = started
             self._drains[ident] = drained
         completed = 0
         sweeps = [job for job in drained if isinstance(job, SweepJob)]
@@ -1140,6 +1268,7 @@ class JobScheduler:
                 job.request.seed,
                 job.request.options,
                 job.request.check,
+                job.request_id,
             )
             for job in batch
         ]
@@ -1211,6 +1340,7 @@ class JobScheduler:
                 point_requests[i].seed,
                 point_requests[i].options,
                 point_requests[i].check,
+                job.request_id,
             )
             for i in missing
         ]
@@ -1306,6 +1436,12 @@ class JobScheduler:
                     self._note_terminal(job)
             if won:
                 self._wal_terminal(job.id, "error", key=job.key, error=error)
+                _log.warning(
+                    "job.error",
+                    job=job.id,
+                    error=error,
+                    request_id=job.request_id,
+                )
             return
         # Normalize through the canonical JSON line so a fresh record is
         # byte-for-byte the record a warm store hit will serve tomorrow.
@@ -1317,11 +1453,14 @@ class JobScheduler:
         # when the job already failed on deadline: the record is good
         # and content-addressed, so the *next* request is a store hit.
         if self.store is not None:
+            put_started = time.perf_counter()
             try:
-                self.store.put(job.key, record)
+                with _span("store.put", key=job.key[:16]):
+                    self.store.put(job.key, record)
             except OSError:
                 with self._lock:
                     self.stats.store_put_failures += 1
+            job.store_put_s = time.perf_counter() - put_started
         # Complete before deindexing: a submit racing this window either
         # coalesces onto the (already done) job or hits the fresh blob —
         # in neither case does it queue a duplicate simulation.  A job
@@ -1335,6 +1474,12 @@ class JobScheduler:
                 self._note_terminal(job)
         if won:
             self._wal_terminal(job.id, "done", key=job.key)
+            _log.debug(
+                "job.done",
+                job=job.id,
+                source="simulated",
+                request_id=job.request_id,
+            )
 
     def _deindex(self, job: Job) -> None:
         """Drop ``job`` from the coalescing index (under the lock) —
@@ -1440,7 +1585,10 @@ class JobScheduler:
             try:
                 self._watchdog_tick()
             except Exception:  # noqa: BLE001 - the watchdog must survive
-                traceback.print_exc()
+                _log.error(
+                    "scheduler.watchdog_error",
+                    traceback=traceback.format_exc(),
+                )
             time.sleep(self.watchdog_poll_s)
 
     # -- the background worker -----------------------------------------
@@ -1531,9 +1679,11 @@ class JobScheduler:
                     self.stats.worker_restarts += 1
                     self.last_error = traceback.format_exc()
                     self.last_error_at = time.time()
-                import sys
-
-                traceback.print_exc(file=sys.stderr)
+                _log.error(
+                    "scheduler.worker_error",
+                    restarts=self.stats.worker_restarts,
+                    traceback=self.last_error,
+                )
 
     # -- reporting -----------------------------------------------------
 
@@ -1553,9 +1703,22 @@ class JobScheduler:
             }
 
     def stats_dict(self) -> Dict:
-        """Scheduler + store + program-cache counters, JSON-ready."""
+        """Scheduler + store + program-cache counters, JSON-ready.
+
+        The shape is versioned (``schema``) and strictly additive: the
+        historical top-level keys stay where clients found them, and the
+        same numbers re-derive as flat dotted metric names under
+        ``metrics`` — the exact names ``GET /metrics`` exports, so the
+        two surfaces can never drift apart.
+        """
+        payload = self._stats_payload()
+        payload["metrics"] = _flatten_stats(payload)
+        return payload
+
+    def _stats_payload(self) -> Dict:
         with self._lock:
             payload = {
+                "schema": STATS_SCHEMA,
                 **asdict(self.stats),
                 "queued": len(self._queue),
                 "inflight": len(self._inflight),
@@ -1573,3 +1736,7 @@ class JobScheduler:
         if self.wal is not None:
             payload["wal"] = self.wal.stats_dict()
         return payload
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat ``{dotted_name: value}`` view for the metrics registry."""
+        return _flatten_stats(self._stats_payload())

@@ -58,6 +58,9 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..obs import logs as obs_logs
+from ..obs import metrics as obs_metrics
+from ..obs.spans import span as obs_span
 from ..scenarios import all_scenarios
 from . import faults
 from .fsck import STORE_NAME, WAL_NAME, run_fsck
@@ -72,6 +75,9 @@ from .scheduler import (
 from .store import ResultStore
 from .supervise import RESTARTS_ENV, Supervisor
 from .wal import AdmissionWAL, WALError
+
+_log = obs_logs.get_logger("service.server")
+_access_log = obs_logs.get_logger("service.access")
 
 #: Environment variable naming a JSON fault-plan file to install before
 #: serving — how the recovery chaos tests arm ``server.crash`` kills in
@@ -111,6 +117,9 @@ class RateLimiter:
     def __init__(self, rate: float, burst: int):
         self.rate = float(rate)
         self.burst = max(1, int(burst))
+        #: Total requests refused (the token-bucket rejection counter
+        #: surfaced as ``server.rate_limited`` on ``/metrics``).
+        self.rejections = 0
         self._buckets: Dict[str, Tuple[float, float]] = {}
         self._lock = threading.Lock()
 
@@ -122,6 +131,7 @@ class RateLimiter:
             if tokens >= 1.0:
                 self._buckets[client] = (tokens - 1.0, now)
                 return True, 0.0
+            self.rejections += 1
             self._buckets[client] = (tokens, now)
             retry_after = (1.0 - tokens) / self.rate if self.rate > 0 else 1.0
             if len(self._buckets) > 4096:  # prune idle clients
@@ -147,10 +157,50 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.scheduler  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.verbose:  # type: ignore[attr-defined]
-            sys.stderr.write(
-                "equeue-serve: %s %s\n" % (self.address_string(), format % args)
-            )
+        # The structured access log (one line per response, emitted by
+        # _finish_response) supersedes http.server's ad-hoc stderr
+        # logging; stdlib-internal messages route through it at debug.
+        _log.debug("http.stdlib", client=self.address_string(), message=format % args)
+
+    def _begin(self) -> None:
+        """Stamp the request: start clock + a fresh request id.
+
+        The id minted here is THE request id — it rides into the
+        scheduler (admission log, job wire dict, worker contextvar) and
+        back out on the ``X-Request-Id`` response header, so one grep
+        joins the access log, the service logs, and the WAL.
+        """
+        self._began = time.perf_counter()
+        self._request_id = obs_logs.new_request_id()
+
+    def _finish_response(self, status: int) -> None:
+        """Access-log + meter one completed response (any status)."""
+        duration_ms = round((time.perf_counter() - self._began) * 1e3, 3)
+        _access_log.info(
+            "http.access",
+            method=self.command,
+            path=self.path,
+            status=status,
+            duration_ms=duration_ms,
+            client=self.client_address[0],
+            request_id=self._request_id,
+        )
+        registry = obs_metrics.METRICS
+        if registry is not None:
+            registry.counter(
+                "server.requests", "HTTP responses sent"
+            ).inc()
+            if status >= 500:
+                registry.counter(
+                    "server.responses_5xx", "HTTP 5xx responses"
+                ).inc()
+            elif status >= 400:
+                registry.counter(
+                    "server.responses_4xx", "HTTP 4xx responses"
+                ).inc()
+            registry.histogram(
+                "server.request_seconds", "Wall-clock seconds per HTTP request"
+            ).observe(duration_ms / 1e3)
 
     def _send_json(
         self,
@@ -162,10 +212,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id)
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         self.wfile.write(body)
+        self._finish_response(status)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", self._request_id)
+        self.end_headers()
+        self.wfile.write(data)
+        self._finish_response(status)
 
     def _discard_body(self, length: int) -> None:
         """Read-and-discard an unconsumed request body before an error
@@ -213,11 +275,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._begin()
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
         parts = [part for part in parsed.path.split("/") if part]
         try:
-            if parts == ["healthz"]:
+            if parts == ["metrics"]:
+                self._send_text(
+                    200,
+                    obs_metrics.get_registry().render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parts == ["healthz"]:
                 health = self.scheduler.worker_health()
                 if health["draining"]:
                     status = "draining"
@@ -251,6 +320,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(error)})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._begin()
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
         try:
@@ -275,6 +345,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if limiter is not None:
             admitted, retry_after = limiter.allow(self.client_address[0])
             if not admitted:
+                registry = obs_metrics.METRICS
+                if registry is not None:
+                    registry.counter(
+                        "server.rate_limited",
+                        "Submissions refused by the token bucket",
+                    ).inc()
                 self._discard_body(
                     int(self.headers.get("Content-Length") or 0)
                 )
@@ -319,11 +395,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             if sweep:
                 job = self.scheduler.submit_sweep(
-                    request, deadline_s=deadline, client=client
+                    request,
+                    deadline_s=deadline,
+                    client=client,
+                    request_id=self._request_id,
                 )
             else:
                 job = self.scheduler.submit(
-                    request, deadline_s=deadline, client=client
+                    request,
+                    deadline_s=deadline,
+                    client=client,
+                    request_id=self._request_id,
                 )
         except WALError as error:
             # Durability could not be promised (admission-log append
@@ -347,7 +429,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         if wait:
             job.wait(wait)
-        self._send_json(200 if job.done else 202, {"job": job.to_dict()})
+        with obs_span("server.respond", job=job.id):
+            self._send_json(200 if job.done else 202, {"job": job.to_dict()})
 
     def _deadline_seconds(self, body: Dict) -> Optional[float]:
         raw = body.get("deadline", None)
@@ -429,6 +512,15 @@ class ServiceServer(ThreadingHTTPServer):
         self.scheduler = scheduler
         self.verbose = verbose
         self.rate_limiter = rate_limiter
+        limiter = rate_limiter
+        obs_metrics.get_registry().register_collector(
+            "server",
+            lambda: {
+                "server.token_bucket_rejections": (
+                    limiter.rejections if limiter is not None else 0
+                )
+            },
+        )
         #: WAL recovery summary from :func:`make_server` (None when the
         #: server runs without a ``--state-dir``).
         self.recovery: Optional[Dict] = None
@@ -472,6 +564,11 @@ def make_server(
     Mutually exclusive with ``store_path`` — the state dir contains the
     store.
     """
+    # The service is the telemetry plane's natural home: arm the
+    # process registry so engine-side counters record.  Per-run cost is
+    # one coarse aggregation per simulation (the ``obs_overhead``
+    # benchmark row gates it at ≤2%).
+    obs_metrics.enable_metrics()
     wal = None
     if state_dir:
         if store_path:
@@ -599,7 +696,20 @@ def main(argv=None) -> int:
         "--verbose", action="store_true",
         help="log each request to stderr",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as JSONL (one JSON object per line) "
+        "instead of human-readable key=value lines",
+    )
+    parser.add_argument(
+        "--log-level", default="info", choices=list(obs_logs.LEVELS),
+        help="minimum structured-log level (default info)",
+    )
     args = parser.parse_args(argv)
+    obs_logs.configure_logging(
+        level="debug" if args.verbose else args.log_level,
+        json_mode=args.log_json,
+    )
     if args.port < 0:
         parser.error(f"--port must be >= 0, got {args.port}")
     if args.max_entries < 0:
@@ -662,14 +772,13 @@ def main(argv=None) -> int:
     )
     if server.recovery is not None:
         summary = server.recovery
-        print(
-            "equeue-serve: recovery "
-            f"requeued={summary['requeued']} "
-            f"store_hits={summary['store_hits']} "
-            f"failed={summary['failed']} "
-            f"terminal={summary['terminal']} "
-            f"lines_dropped={summary['lines_dropped']}",
-            flush=True,
+        _log.info(
+            "server.recovery",
+            requeued=summary["requeued"],
+            store_hits=summary["store_hits"],
+            failed=summary["failed"],
+            terminal=summary["terminal"],
+            lines_dropped=summary["lines_dropped"],
         )
     # SIGTERM = graceful drain: stop admitting, finish in-flight work,
     # exit 0.  This is what the supervisor forwards on shutdown, and
@@ -713,6 +822,10 @@ def _child_argv(args) -> list:
         argv += ["--rate-burst", str(args.rate_burst)]
     if args.verbose:
         argv += ["--verbose"]
+    if args.log_json:
+        argv += ["--log-json"]
+    if args.log_level != "info":
+        argv += ["--log-level", args.log_level]
     return argv
 
 
@@ -726,11 +839,7 @@ def _install_fault_plan_from_env() -> None:
     with open(plan_path, "r", encoding="utf-8") as handle:
         plan = faults.FaultPlan.from_dict(json.load(handle))
     faults.install(plan)
-    print(
-        f"equeue-serve: fault plan {plan.name!r} armed "
-        f"({len(plan.faults)} fault(s))",
-        flush=True,
-    )
+    _log.info("server.fault_plan_armed", plan=plan.name, faults=len(plan.faults))
 
 
 if __name__ == "__main__":  # pragma: no cover

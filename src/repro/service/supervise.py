@@ -33,13 +33,21 @@ from __future__ import annotations
 import os
 import signal
 import subprocess
-import sys
 import time
 from typing import List, Optional
+
+from ..obs import logs as obs_logs
 
 #: Environment variable carrying the restart count into the child
 #: (surfaced on ``/healthz`` and ``/stats``).
 RESTARTS_ENV = "EQUEUE_SUPERVISE_RESTARTS"
+
+_log = obs_logs.get_logger("service.supervisor")
+
+
+def _default_log(msg: str) -> None:
+    """Route supervisor messages through the structured logger."""
+    _log.info("supervisor", message=msg)
 
 
 class Supervisor:
@@ -65,7 +73,7 @@ class Supervisor:
         self.backoff_s = float(backoff_s)
         self.backoff_max_s = float(backoff_max_s)
         self.min_uptime_s = float(min_uptime_s)
-        self.log = log or (lambda msg: print(msg, file=sys.stderr, flush=True))
+        self.log = log or _default_log
         #: Total abnormal-death restarts performed so far.
         self.restarts = 0
         #: Consecutive short-lived children (the crash-loop counter).

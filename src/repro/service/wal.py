@@ -268,12 +268,14 @@ class AdmissionWAL:
         client: Optional[str] = None,
         deadline_s: Optional[float] = None,
         status: Optional[str] = None,
+        request_id: Optional[str] = None,
     ) -> None:
         """Record an admission — call *before* the job becomes visible.
 
         ``status`` folds an instant outcome (``"done"`` for a store-hit
         completion) into the admission record, saving the warm path a
-        second fsync.
+        second fsync.  ``request_id`` ties the record to the structured
+        service logs; replay tolerates its absence in older WALs.
         """
         record = {
             "kind": "admitted",
@@ -284,6 +286,7 @@ class AdmissionWAL:
             "client": client,
             "deadline_s": deadline_s,
             "status": status,
+            "request_id": request_id,
         }
         with self._lock:
             self._append_locked(record)

@@ -87,6 +87,8 @@ from .plan import _EMPTY as _NO_RETURNS
 from .plan import _inline_run
 from .profiling import ConnectionReport, MemoryReport, ProfilingSummary
 from .tracing import TraceRecorder
+from ..obs import metrics as _obs_metrics
+from ..obs.spans import span as _span
 
 
 class EngineError(Exception):
@@ -188,6 +190,11 @@ class EngineOptions:
     #: bit-identical simulations; the heap is kept as an escape hatch
     #: mirroring ``mode=interpret`` (see ``--scheduler`` on equeue-sim).
     scheduler: str = "wheel"
+    #: Cap on retained Chrome-trace records (0 = unbounded, the
+    #: historical behaviour).  Long service-mode runs with tracing on
+    #: truncate the trace (``trace.dropped`` counts the overflow)
+    #: instead of exhausting memory.
+    trace_max_records: int = 0
 
     def __post_init__(self):
         if self.mode is None and not self.compile_plans:
@@ -317,7 +324,10 @@ class Engine:
         self.memories: List[MemoryModel] = []
         self.connections: List[ConnectionModel] = []
         self.buffers: Dict[str, Buffer] = {}
-        self.trace = TraceRecorder(enabled=self.options.trace)
+        self.trace = TraceRecorder(
+            enabled=self.options.trace,
+            max_records=self.options.trace_max_records or None,
+        )
         self._elaborated: set = set()
         self._name_counter = 0
         self._ideal_memory: Optional[MemoryModel] = None
@@ -360,8 +370,10 @@ class Engine:
             self._plans.attach(self)
             self._plan_base = self._plans.counters()
         if self.options.verify_module:
-            verify(self.module)
-        self._elaborate()
+            with _span("engine.verify"):
+                verify(self.module)
+        with _span("engine.elaborate"):
+            self._elaborate()
         for name, data in self.inputs.items():
             if name not in self.buffers:
                 raise EngineError(
@@ -387,13 +399,15 @@ class Engine:
         for proc in self.processors:
             self.sim.process(self._proc_loop(proc), name=f"loop:{proc.name}")
         until = self.options.max_cycles or None
-        self.sim.run(until=until)
+        with _span("engine.des_run", mode=self.options.mode.value):
+            self.sim.run(until=until)
         truncated = until is not None and not top_done.triggered
         if not truncated:
             self._check_deadlock()
         elapsed = _time.perf_counter() - started
         cycles = self.sim.now
         summary = self._build_summary(elapsed, cycles)
+        self._record_metrics(summary)
         return SimulationResult(
             cycles=cycles,
             summary=summary,
@@ -1425,6 +1439,45 @@ class Engine:
             codegen_fallbacks=codegen_falls,
             execution_mode=self.options.mode.value,
         )
+
+    def _record_metrics(self, summary: ProfilingSummary) -> None:
+        """Fold one finished run into the process metrics registry.
+
+        Aggregated once per run — never per simulated event — so the
+        enabled-metrics overhead on the events/s benchmark stays in the
+        noise (the ``obs_overhead`` row in BENCH_engine_speed.json
+        gates this at ≤2%).  A single ``is None`` test when disabled.
+        """
+        registry = _obs_metrics.METRICS
+        if registry is None:
+            return
+        registry.counter(
+            "engine.runs", "Completed engine runs"
+        ).inc()
+        registry.counter(
+            "engine.cycles", "Total simulated cycles across runs"
+        ).inc(summary.cycles)
+        registry.counter(
+            "engine.scheduler_events", "DES events processed"
+        ).inc(summary.scheduler_events)
+        registry.counter(
+            "engine.launches", "equeue.launch ops executed"
+        ).inc(summary.launches_executed)
+        registry.counter(
+            "engine.plans_compiled", "Block plans compiled"
+        ).inc(summary.plans_compiled)
+        registry.counter(
+            "engine.plan_cache_hits", "Block-plan cache hits"
+        ).inc(summary.plan_cache_hits)
+        registry.counter(
+            "engine.blocks_codegenned", "Blocks lowered to Python source"
+        ).inc(summary.blocks_codegenned)
+        registry.counter(
+            "engine.trace_records_dropped", "Trace records over max_records"
+        ).inc(self.trace.dropped)
+        registry.histogram(
+            "engine.run_seconds", "Wall-clock seconds per engine run"
+        ).observe(summary.execution_time_s)
 
 
 def _conv2d_reference(ifmap: np.ndarray, weight: np.ndarray) -> np.ndarray:

@@ -77,6 +77,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..ir.types import IndexType, IntegerType, MemRefType
+from ..obs.spans import span as _span
 from . import interp
 from .components import Buffer, MemoryModel
 
@@ -380,6 +381,10 @@ class PlanCache:
         return entry[1]
 
     def compile(self, block) -> BlockPlan:
+        with _span("plan.compile", ops=len(block.ops)):
+            return self._compile_block(block)
+
+    def _compile_block(self, block) -> BlockPlan:
         steps = []
         engine = self.engine
         for op in block.ops:
@@ -410,7 +415,8 @@ class PlanCache:
             if plan.inlineable:
                 from .codegen import compile_block_body
 
-                plan.compiled = compile_block_body(plan)
+                with _span("codegen.compile", steps=len(plan.steps)):
+                    plan.compiled = compile_block_body(plan)
             if plan.compiled is not None:
                 self.codegen_blocks += 1
             else:

@@ -40,10 +40,19 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects trace records during simulation."""
+    """Collects trace records during simulation.
 
-    def __init__(self, enabled: bool = True):
+    ``max_records`` caps the in-memory slice count so a long
+    service-mode run with tracing left on degrades to a truncated trace
+    (counted in :attr:`dropped`) instead of silently exhausting memory.
+    ``None`` keeps the historical unbounded behaviour for one-shot CLI
+    runs.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
         self.enabled = enabled
+        self.max_records = max_records
+        self.dropped = 0
         self.records: List[TraceRecord] = []
 
     def record(
@@ -56,6 +65,9 @@ class TraceRecorder:
         duration: int,
     ) -> None:
         if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
             return
         self.records.append(
             TraceRecord(name, category, pid, tid, start, duration)

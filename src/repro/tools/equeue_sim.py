@@ -32,6 +32,8 @@ from typing import List, Optional, Tuple
 
 from .. import dialects  # noqa: F401  (register dialects)
 from ..ir import parse_module, verify
+from ..obs import spans as obs_spans
+from ..obs.spans import span as _span
 from ..passes import PassManager
 from ..scenarios import ScenarioError, all_scenarios, parse_scenario_spec
 from ..sim import (
@@ -60,6 +62,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--trace", default="",
         help="write a Chrome Trace Event JSON file to this path "
         "(single input only)",
+    )
+    parser.add_argument(
+        "--host-trace", default="",
+        help="write ONE merged Perfetto-loadable JSON to this path: "
+        "host wall-clock spans (parse, verify, plan/codegen compile, "
+        "DES run) on their own pid alongside the simulated-cycle "
+        "slices (single input only; see docs/observability.md)",
     )
     parser.add_argument(
         "--inputs", default="",
@@ -161,17 +170,20 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
     (
         name, source, pipeline, inputs_path, dump_buffers,
         max_cycles, strict_capacity, mode, scheduler, trace_path,
-        stats_path,
+        stats_path, host_trace_path,
     ) = payload
     lines: List[str] = []
     try:
-        module = parse_module(source)
-        verify(module)
+        with _span("sim.parse", input=name):
+            module = parse_module(source)
+        with _span("sim.verify", input=name):
+            verify(module)
         if pipeline:
-            PassManager.parse(pipeline).run(module)
+            with _span("sim.pipeline", pipeline=pipeline):
+                PassManager.parse(pipeline).run(module)
         options = EngineOptions(
-            trace=bool(trace_path),
-            detailed_trace=bool(trace_path),
+            trace=bool(trace_path or host_trace_path),
+            detailed_trace=bool(trace_path or host_trace_path),
             max_cycles=max_cycles,
             strict_capacity=strict_capacity,
             mode=mode,
@@ -186,13 +198,17 @@ def _simulate_payload(payload: Tuple) -> Tuple[str, str, Optional[str]]:
         result = simulate(module, options, inputs=inputs)
     except Exception as error:  # CLI boundary: report, don't traceback
         return name, "", str(error)
-    emitted, error = _emit_result(result, dump_buffers, trace_path, stats_path)
+    emitted, error = _emit_result(
+        result, dump_buffers, trace_path, stats_path,
+        host_trace_path=host_trace_path,
+    )
     lines.extend(emitted)
     return name, "\n".join(lines), error
 
 
 def _emit_result(
-    result, dump_buffers, trace_path, stats_path="", checked=None
+    result, dump_buffers, trace_path, stats_path="", checked=None,
+    host_trace_path="",
 ) -> Tuple[List[str], Optional[str]]:
     """Summary, buffer dumps, and trace/stats writes for one simulation.
 
@@ -220,6 +236,20 @@ def _emit_result(
             return lines, str(error)
         lines.append(
             f"trace written to {trace_path} ({len(result.trace)} records)"
+        )
+    if host_trace_path:
+        tracer = obs_spans.TRACER
+        host_events = tracer.to_events() if tracer is not None else []
+        try:
+            obs_spans.merge_host_trace(
+                host_events, result.trace.to_events(), path=host_trace_path
+            )
+        except OSError as error:
+            return lines, str(error)
+        lines.append(
+            f"host trace written to {host_trace_path} "
+            f"({len(host_events)} host spans, "
+            f"{len(result.trace)} cycle records)"
         )
     if stats_path:
         from ..analysis.export import record_line
@@ -262,10 +292,14 @@ def _engine_options(args, trace: bool) -> EngineOptions:
 def _run_scenario(args, scenario, cfg) -> int:
     """Build, simulate, and oracle-check one registry scenario."""
     try:
-        module = scenario.build(cfg)
-        inputs = scenario.make_inputs(cfg, args.seed)
+        with _span("scenario.build", scenario=scenario.name):
+            module = scenario.build(cfg)
+        with _span("scenario.make_inputs", seed=args.seed):
+            inputs = scenario.make_inputs(cfg, args.seed)
         result = simulate(
-            module, _engine_options(args, bool(args.trace)), inputs=inputs
+            module,
+            _engine_options(args, bool(args.trace or args.host_trace)),
+            inputs=inputs,
         )
     except Exception as error:  # CLI boundary: report, don't traceback
         print(f"equeue-sim: error: {error}", file=sys.stderr)
@@ -280,7 +314,8 @@ def _run_scenario(args, scenario, cfg) -> int:
             check_failure = str(error)
     print(f"== scenario {scenario.name}: {cfg} ==")
     lines, error = _emit_result(
-        result, args.dump_buffer, args.trace, args.stats_json, checked
+        result, args.dump_buffer, args.trace, args.stats_json, checked,
+        host_trace_path=args.host_trace,
     )
     print("\n".join(lines))
     if error is not None:
@@ -498,6 +533,7 @@ def _validate_args(parser: argparse.ArgumentParser, args) -> None:
             # Single-run output flags have no per-point meaning.
             for flag, value in (
                 ("--trace", args.trace),
+                ("--host-trace", args.host_trace),
                 ("--stats-json", args.stats_json),
                 ("--dump-buffer", args.dump_buffer),
             ):
@@ -512,6 +548,10 @@ def main(argv=None) -> int:
         _print_scenarios()
         return 0
     _validate_args(parser, args)
+    if args.host_trace:
+        # Arm the host span tracer for this process; the engine, the
+        # parser, and the plan/codegen compilers all record into it.
+        obs_spans.enable_spans()
     if args.scenario:
         try:
             scenario, cfg = parse_scenario_spec(args.scenario)
@@ -523,6 +563,12 @@ def main(argv=None) -> int:
     if args.trace and len(args.input) > 1:
         print(
             "equeue-sim: error: --trace supports a single input file",
+            file=sys.stderr,
+        )
+        return 1
+    if args.host_trace and len(args.input) > 1:
+        print(
+            "equeue-sim: error: --host-trace supports a single input file",
             file=sys.stderr,
         )
         return 1
@@ -552,7 +598,7 @@ def main(argv=None) -> int:
         (
             name, source, args.pipeline, args.inputs, args.dump_buffer,
             args.max_cycles, args.strict_capacity, args.mode,
-            args.scheduler, args.trace, args.stats_json,
+            args.scheduler, args.trace, args.stats_json, args.host_trace,
         )
         for name, source in sources
     ]

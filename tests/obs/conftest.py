@@ -1,0 +1,27 @@
+"""Shared hygiene for the observability tests.
+
+The obs plane is process-global by design (``METRICS``/``TRACER``
+module switches, one logging config), so every test runs against a
+guaranteed-disabled baseline and restores it afterwards — no test may
+leak an enabled registry or tracer into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_globals():
+    obs_metrics.disable_metrics()
+    obs_spans.disable_spans()
+    obs_logs.set_request_id(None)
+    yield
+    obs_metrics.disable_metrics()
+    obs_spans.disable_spans()
+    obs_logs.set_request_id(None)
+    obs_logs.configure_logging()  # back to info / human / stderr

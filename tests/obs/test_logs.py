@@ -1,0 +1,146 @@
+"""Structured logging: JSONL shape, level filtering, request-id scoping."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logs import (
+    LEVELS,
+    bind_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    set_request_id,
+)
+
+
+@pytest.fixture
+def jsonl():
+    """Capture JSONL output; returns (read_records, stream)."""
+    stream = io.StringIO()
+    configure_logging(level="debug", json_mode=True, stream=stream)
+
+    def records():
+        return [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if line
+        ]
+
+    return records
+
+
+class TestJsonlShape:
+    def test_record_fields(self, jsonl):
+        get_logger("service.server").info(
+            "http.access", method="POST", path="/jobs", status=200
+        )
+        (record,) = jsonl()
+        assert record["level"] == "info"
+        assert record["logger"] == "service.server"
+        assert record["event"] == "http.access"
+        assert record["method"] == "POST"
+        assert record["path"] == "/jobs"
+        assert record["status"] == 200
+        assert isinstance(record["ts"], float)
+
+    def test_none_fields_dropped(self, jsonl):
+        get_logger("test").info("event", present=1, absent=None)
+        (record,) = jsonl()
+        assert record["present"] == 1
+        assert "absent" not in record
+
+    def test_non_serializable_fields_stringified(self, jsonl):
+        get_logger("test").info("event", value=complex(1, 2))
+        (record,) = jsonl()
+        assert record["value"] == str(complex(1, 2))
+
+    def test_one_line_per_record(self, jsonl):
+        log = get_logger("test")
+        for index in range(3):
+            log.info("event", index=index)
+        assert [r["index"] for r in jsonl()] == [0, 1, 2]
+
+
+class TestLevels:
+    def test_below_threshold_suppressed(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", json_mode=True, stream=stream)
+        log = get_logger("test")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        log.error("loud")
+        events = [
+            json.loads(line)["level"]
+            for line in stream.getvalue().splitlines()
+        ]
+        assert events == ["warning", "error"]
+
+    def test_level_order_is_documented_order(self):
+        assert LEVELS == ("debug", "info", "warning", "error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="verbose")
+
+
+class TestHumanFormat:
+    def test_key_value_line(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_mode=False, stream=stream)
+        get_logger("service.server").info("server.recovery", requeued=2)
+        line = stream.getvalue().strip()
+        assert line == "[service.server] info: server.recovery requeued=2"
+
+
+class TestRequestIds:
+    def test_new_request_id_shape(self):
+        rid = new_request_id()
+        assert rid.startswith("req-")
+        assert len(rid) == len("req-") + 12
+        int(rid[4:], 16)  # hex payload
+        assert new_request_id() != rid
+
+    def test_bind_scopes_and_restores(self):
+        assert current_request_id() is None
+        with bind_request_id("req-outer"):
+            assert current_request_id() == "req-outer"
+            with bind_request_id("req-inner"):
+                assert current_request_id() == "req-inner"
+            assert current_request_id() == "req-outer"
+        assert current_request_id() is None
+
+    def test_set_request_id_unscoped(self):
+        set_request_id("req-worker")
+        assert current_request_id() == "req-worker"
+        set_request_id(None)
+        assert current_request_id() is None
+
+    def test_bound_id_lands_in_records(self, jsonl):
+        log = get_logger("test")
+        with bind_request_id("req-abc123"):
+            log.info("inside")
+        log.info("outside")
+        inside, outside = jsonl()
+        assert inside["request_id"] == "req-abc123"
+        assert "request_id" not in outside
+
+
+class TestRobustness:
+    def test_broken_stream_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, *_args):
+                raise OSError("pipe gone")
+
+        configure_logging(level="info", json_mode=True, stream=Broken())
+        get_logger("test").info("event")  # must not raise
+
+    def test_default_stream_resolves_to_stderr(self, capsys):
+        configure_logging(level="info", json_mode=True, stream=None)
+        get_logger("test").info("to-stderr")
+        assert "to-stderr" in capsys.readouterr().err

@@ -1,0 +1,218 @@
+"""Unit tests for the metrics registry and its Prometheus exposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.smoke import parse_metrics
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_increments(self, registry):
+        c = registry.counter("test.hits", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("test.hits").inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        g = registry.gauge("test.depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_factory_returns_same_instrument(self, registry):
+        assert registry.counter("test.hits") is registry.counter("test.hits")
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("test.hits")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            registry.gauge("test.hits")
+
+    def test_bad_names_rejected(self, registry):
+        for bad in ("Upper.case", "1leading", "with space", ""):
+            with pytest.raises(ValueError, match="bad metric name"):
+                registry.counter(bad)
+
+    def test_histogram_bucket_placement(self, registry):
+        h = registry.histogram("test.seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 20.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == pytest.approx(20.65)
+        # Cumulative le semantics: 0.1 catches 0.05 and the boundary hit.
+        assert h.cumulative() == [(0.1, 2), (1.0, 3), (10.0, 3), (math.inf, 4)]
+
+    def test_histogram_buckets_must_increase(self, registry):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("test.bad", buckets=(1.0, 1.0))
+
+    def test_default_time_buckets_span_expected_range(self):
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_TIME_BUCKETS[-1] == pytest.approx(100.0)
+        assert all(
+            b > a
+            for a, b in zip(DEFAULT_TIME_BUCKETS, DEFAULT_TIME_BUCKETS[1:])
+        )
+
+
+class TestCollectors:
+    def test_snapshot_merges_instruments_and_collectors(self, registry):
+        registry.counter("test.hits").inc(2)
+        registry.register_collector(
+            "stats", lambda: {"store.hits": 7, "store.misses": 1}
+        )
+        snap = registry.snapshot()
+        assert snap["test.hits"] == 2.0
+        assert snap["store.hits"] == 7.0
+        assert snap["store.misses"] == 1.0
+
+    def test_collector_replaced_by_name(self, registry):
+        registry.register_collector("stats", lambda: {"v": 1})
+        registry.register_collector("stats", lambda: {"v": 2})
+        assert registry.snapshot() == {"v": 2.0}
+
+    def test_collector_unregistered(self, registry):
+        registry.register_collector("stats", lambda: {"v": 1})
+        registry.unregister_collector("stats")
+        assert registry.snapshot() == {}
+
+    def test_failing_collector_contributes_nothing(self, registry):
+        def boom():
+            raise RuntimeError("half-initialized")
+
+        registry.register_collector("sick", boom)
+        registry.register_collector("healthy", lambda: {"ok": 1})
+        assert registry.snapshot() == {"ok": 1.0}
+
+    def test_non_numeric_and_bool_values_dropped(self, registry):
+        registry.register_collector(
+            "stats",
+            lambda: {"num": 3, "flag": True, "text": "nope", "none": None},
+        )
+        assert registry.snapshot() == {"num": 3.0}
+
+
+class TestPrometheusRendering:
+    def test_every_sample_line_parses(self, registry):
+        registry.counter("engine.runs", "engine runs").inc()
+        registry.gauge("queue.depth").set(3)
+        registry.histogram("run.seconds").observe(0.02)
+        registry.register_collector("stats", lambda: {"store.hits": 5})
+        body = render_prometheus(registry)
+        samples = parse_metrics(body)  # raises on any malformed line
+        assert samples["equeue_engine_runs"] == 1.0
+        assert samples["equeue_queue_depth"] == 3.0
+        assert samples["equeue_store_hits"] == 5.0
+        assert samples["equeue_run_seconds_count"] == 1.0
+
+    def test_help_and_type_lines(self, registry):
+        registry.counter("engine.runs", "completed engine runs").inc()
+        body = render_prometheus(registry)
+        assert "# HELP equeue_engine_runs completed engine runs" in body
+        assert "# TYPE equeue_engine_runs counter" in body
+
+    def test_collector_values_typed_as_gauges(self, registry):
+        registry.register_collector("stats", lambda: {"store.hits": 5})
+        body = render_prometheus(registry)
+        assert "# TYPE equeue_store_hits gauge" in body
+
+    def test_histogram_expands_to_cumulative_buckets(self, registry):
+        h = registry.histogram("run.seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        body = render_prometheus(registry)
+        samples = parse_metrics(body)
+        assert samples['equeue_run_seconds_bucket{le="0.1"}'] == 1.0
+        assert samples['equeue_run_seconds_bucket{le="1"}'] == 1.0
+        assert samples['equeue_run_seconds_bucket{le="+Inf"}'] == 2.0
+        assert samples["equeue_run_seconds_count"] == 2.0
+        assert samples["equeue_run_seconds_sum"] == pytest.approx(5.05)
+
+    def test_instrument_shadows_collector_duplicate(self, registry):
+        registry.counter("store.hits").inc(9)
+        registry.register_collector("stats", lambda: {"store.hits": 5})
+        body = render_prometheus(registry)
+        # One sample, the typed instrument's — never a double emission.
+        lines = [
+            line
+            for line in body.splitlines()
+            if line.startswith("equeue_store_hits ")
+        ]
+        assert lines == ["equeue_store_hits 9"]
+
+    def test_name_mapping(self):
+        assert prometheus_name("store.hits") == "equeue_store_hits"
+        assert (
+            prometheus_name("scheduler.sub-mode.x")
+            == "equeue_scheduler_sub_mode_x"
+        )
+
+
+class TestProcessSwitch:
+    def test_disabled_by_default_here(self):
+        assert obs_metrics.METRICS is None
+        assert not obs_metrics.metrics_enabled()
+
+    def test_enable_points_at_process_registry(self):
+        reg = obs_metrics.enable_metrics()
+        assert obs_metrics.METRICS is reg
+        assert reg is obs_metrics.get_registry()
+        assert obs_metrics.metrics_enabled()
+        obs_metrics.disable_metrics()
+        assert obs_metrics.METRICS is None
+        # The registry object survives disable: counters keep history.
+        assert obs_metrics.get_registry() is reg
+
+
+GOLDEN_ENGINE_METRICS = (
+    "engine.runs",
+    "engine.cycles",
+    "engine.scheduler_events",
+    "engine.launches",
+    "engine.plans_compiled",
+    "engine.plan_cache_hits",
+    "engine.blocks_codegenned",
+    "engine.trace_records_dropped",
+    "engine.run_seconds.count",
+    "engine.run_seconds.sum",
+)
+
+
+class TestEngineGoldenKeys:
+    def test_engine_run_populates_golden_names(self):
+        """The documented engine metric names exist and move on a run."""
+        from repro.scenarios import simulate_scenario
+
+        before = obs_metrics.get_registry().snapshot()
+        obs_metrics.enable_metrics()
+        try:
+            result, _ = simulate_scenario("fir")
+        finally:
+            obs_metrics.disable_metrics()
+        after = obs_metrics.get_registry().snapshot()
+        for name in GOLDEN_ENGINE_METRICS:
+            assert name in after, f"missing golden metric {name}"
+        assert after["engine.runs"] == before.get("engine.runs", 0.0) + 1
+        assert (
+            after["engine.cycles"]
+            == before.get("engine.cycles", 0.0) + result.cycles
+        )
